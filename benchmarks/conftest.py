@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every file in this directory regenerates one table of the paper (see
+DESIGN.md §5).  The ``benchmark`` fixture times the run; the produced
+table text is written to ``benchmarks/results/<name>.txt`` so the numbers
+survive the pytest-benchmark report, and the decisive *shape* assertions
+(who wins, by roughly what factor) run on the result.
+
+Scales here are laptop-sized reductions of the paper grid; crank
+``BenchScales`` up (or use ``ExperimentScale.paper()``) for a full run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist a regenerated table and echo it to the captured output."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The default benchmark scale: every comparison axis, small counts."""
+    return ExperimentScale(
+        logs=("CTC_SP2", "OSC_Cluster"),
+        phis=(0.1, 0.5),
+        methods=("expo", "real"),
+        app_scenarios=6,
+        dag_instances=3,
+        start_times=2,
+        taggings=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def deadline_scale() -> ExperimentScale:
+    """Smaller scale for the deadline tables (tightest-deadline searches
+    multiply every instance by ~10 algorithm invocations)."""
+    return ExperimentScale(
+        logs=("OSC_Cluster",),
+        phis=(0.1, 0.5),
+        methods=("expo",),
+        app_scenarios=3,
+        dag_instances=2,
+        start_times=2,
+        taggings=1,
+    )

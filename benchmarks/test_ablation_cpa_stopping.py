@@ -1,0 +1,53 @@
+"""Ablation: CPA stopping criterion (classic vs stringent).
+
+DESIGN.md §7.  The paper uses the improved ("stringent") criterion of
+[34] and reports it yields lower makespans and higher efficiency than
+classic CPA.  This ablation runs both through the full RESSCHED pipeline
+(BL_CPAR + BD_CPAR) and compares turn-around and CPU-hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ProblemContext, ResSchedAlgorithm, schedule_ressched
+from repro.experiments.runner import iter_problem_instances
+from benchmarks.conftest import write_result
+
+
+def _run(scale):
+    rows = []
+    for inst in iter_problem_instances(scale):
+        per = {}
+        for stopping in ("classic", "stringent"):
+            ctx = ProblemContext(inst.graph, inst.scenario, cpa_stopping=stopping)
+            sched = schedule_ressched(
+                inst.graph, inst.scenario, ResSchedAlgorithm(), context=ctx
+            )
+            per[stopping] = (sched.turnaround, sched.cpu_hours)
+        rows.append(per)
+    return rows
+
+
+def test_ablation_cpa_stopping(benchmark, results_dir, bench_scale):
+    rows = benchmark.pedantic(_run, args=(bench_scale,), rounds=1, iterations=1)
+
+    tat_ratio = np.mean(
+        [r["stringent"][0] / r["classic"][0] for r in rows]
+    )
+    cpu_ratio = np.mean(
+        [r["stringent"][1] / r["classic"][1] for r in rows]
+    )
+    text = (
+        f"CPA stopping ablation over {len(rows)} instances\n"
+        f"mean turnaround ratio (stringent/classic): {tat_ratio:.3f}\n"
+        f"mean CPU-hours ratio  (stringent/classic): {cpu_ratio:.3f}"
+    )
+    write_result(results_dir, "ablation_cpa_stopping", text)
+
+    # The stringent criterion must pay for itself in efficiency: clearly
+    # fewer CPU-hours, without giving up much turn-around.
+    assert cpu_ratio < 0.95
+    assert tat_ratio < 1.35
+    benchmark.extra_info["tat_ratio"] = round(float(tat_ratio), 3)
+    benchmark.extra_info["cpu_ratio"] = round(float(cpu_ratio), 3)

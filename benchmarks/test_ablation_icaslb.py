@@ -1,0 +1,81 @@
+"""Ablation: iCASLB vs CPA as the allocation basis (paper §7 future work).
+
+The paper suggests replacing CPA with iCASLB, whose one-step search
+validates each allocation against a real mapped makespan.  This ablation
+runs both as the basis of the reservation-aware forward scheduler
+(BL/BD from each allocator at q = P') and compares turn-around,
+CPU-hours, and scheduling cost.
+
+Expected shape: comparable schedule quality (iCASLB was shown to beat
+CPA modestly on dedicated machines) at a clearly higher scheduling cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import ProblemContext, ResSchedAlgorithm, schedule_ressched
+from repro.experiments.runner import iter_problem_instances
+from repro.experiments.scenarios import ExperimentScale
+from benchmarks.conftest import write_result
+
+
+def _run(scale: ExperimentScale):
+    rows = []
+    for inst in iter_problem_instances(scale):
+        ctx = ProblemContext(inst.graph, inst.scenario)
+        per: dict[str, tuple[float, float, float]] = {}
+        for label, alg in (
+            ("CPA", ResSchedAlgorithm(bl="BL_CPAR", bd="BD_CPAR")),
+            ("iCASLB", ResSchedAlgorithm(bl="BL_ICASLB", bd="BD_ICASLB")),
+        ):
+            t0 = time.perf_counter()
+            sched = schedule_ressched(inst.graph, inst.scenario, alg, context=ctx)
+            elapsed = time.perf_counter() - t0
+            per[label] = (sched.turnaround, sched.cpu_hours, elapsed)
+        rows.append(per)
+    return rows
+
+
+def test_ablation_icaslb(benchmark, results_dir):
+    # A small scale: iCASLB re-maps per candidate per step, so every
+    # instance costs many mappings.
+    scale = ExperimentScale(
+        logs=("OSC_Cluster",),
+        phis=(0.2,),
+        methods=("expo",),
+        app_scenarios=3,
+        dag_instances=2,
+        start_times=2,
+        taggings=1,
+    )
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+
+    tat_ratio = float(
+        np.mean([r["iCASLB"][0] / r["CPA"][0] for r in rows])
+    )
+    cpu_ratio = float(
+        np.mean([r["iCASLB"][1] / r["CPA"][1] for r in rows])
+    )
+    time_ratio = float(
+        np.mean([r["iCASLB"][2] / r["CPA"][2] for r in rows])
+    )
+    text = (
+        f"iCASLB-basis vs CPA-basis over {len(rows)} instances\n"
+        f"mean turnaround ratio (iCASLB/CPA): {tat_ratio:.3f}\n"
+        f"mean CPU-hours ratio  (iCASLB/CPA): {cpu_ratio:.3f}\n"
+        f"mean scheduling-time ratio        : {time_ratio:.1f}x"
+    )
+    write_result(results_dir, "ablation_icaslb", text)
+
+    # Comparable schedule quality; clearly higher scheduling cost.
+    assert tat_ratio < 1.4
+    assert cpu_ratio < 2.0
+    assert time_ratio > 1.5
+    benchmark.extra_info["ratios"] = {
+        "turnaround": round(tat_ratio, 3),
+        "cpu_hours": round(cpu_ratio, 3),
+        "sched_time": round(time_ratio, 1),
+    }

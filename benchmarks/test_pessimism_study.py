@@ -1,0 +1,41 @@
+"""The pessimistic-estimates study the paper defers (§3.1).
+
+"More pessimistic estimates lead to task reservations later in the
+future ... and thus to longer application execution time."  The study
+executes padded schedules under runtime noise: padding must reduce
+reservation kills monotonically-ish while pushing the *planned*
+turn-around up — the paper's claimed mechanism — and heavy padding must
+show up as poor booking efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.pessimism import format_pessimism, run_pessimism_study
+from benchmarks.conftest import write_result
+
+FACTORS = (1.0, 1.3, 1.7, 2.5)
+
+
+def test_pessimism_study(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        run_pessimism_study,
+        kwargs=dict(factors=FACTORS, n_instances=4, noise_sigma=0.25),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "pessimism_study", format_pessimism(rows))
+
+    by_f = {r.pad_factor: r for r in rows}
+
+    # Planned turn-around grows with padding (later, longer windows).
+    assert (
+        by_f[2.5].planned_turnaround_h > by_f[1.0].planned_turnaround_h
+    )
+    # Padding suppresses kills.
+    assert by_f[2.5].kills_per_app < by_f[1.0].kills_per_app
+    assert by_f[2.5].kills_per_app < 1.0
+    # Heavy padding wastes booked CPU-hours.
+    assert by_f[2.5].booking_efficiency < 0.75
+    benchmark.extra_info["kills"] = {
+        str(r.pad_factor): round(r.kills_per_app, 2) for r in rows
+    }

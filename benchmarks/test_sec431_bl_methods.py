@@ -1,0 +1,37 @@
+"""§4.3.1: bottom-level computation methods.
+
+Paper findings: the BL method matters only moderately (improvements over
+BL_1 range from −3.46 % to +5.69 %); BL_CPA and BL_CPAR together are best
+in 78.4 % of cases; BL_1 in 13.7 % and BL_ALL in 7.9 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_bl_comparison
+from repro.experiments.bl_comparison import format_bl_comparison
+from benchmarks.conftest import write_result
+
+
+def test_bl_method_comparison(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        run_bl_comparison, args=(bench_scale,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "sec431_bl_methods", format_bl_comparison(result))
+
+    assert result.n_cases >= 50
+    # Moderate sensitivity: the BL method changes scenario-average
+    # turn-around by percents, not by factors (paper: -3.5 % .. +5.7 %
+    # over 1,000-instance scenario means; our 3-instance means leave
+    # more variance, hence the wider band).
+    assert -35.0 < result.improvement_min <= 0.0 + 1e-9
+    assert 0.0 <= result.improvement_max < 40.0
+
+    # The CPA-based methods dominate the win counts.
+    frac = result.best_fraction
+    cpa_family = frac["BL_CPA"] + frac["BL_CPAR"]
+    assert cpa_family > frac["BL_1"]
+    assert cpa_family > frac["BL_ALL"]
+    assert cpa_family > 0.4
+    benchmark.extra_info["best_fraction"] = {
+        k: round(v, 3) for k, v in frac.items()
+    }

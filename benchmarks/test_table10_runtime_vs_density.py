@@ -1,0 +1,41 @@
+"""Table 10: algorithm execution times as edge density grows (n = 50).
+
+Paper shape: a gentle, monotone-ish increase with density for every
+algorithm (BD_CPAR 2.8 ms at d=0.1 to 4.4 ms at d=0.9 in C), with the
+resource-conservative algorithms again far above the aggressive ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_timing_by_density
+from repro.experiments.timing import format_timing
+from benchmarks.conftest import write_result
+
+ALGS = ("BD_CPAR", "DL_BD_CPAR", "DL_RC_CPAR")
+
+
+def test_table10(benchmark, results_dir, deadline_scale):
+    rows = benchmark.pedantic(
+        run_timing_by_density,
+        args=(deadline_scale,),
+        kwargs=dict(d_values=(0.1, 0.5, 0.9), algorithms=ALGS),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "table10", format_timing(rows, "d"))
+
+    by_d = {r.sweep_value: r.mean_ms for r in rows}
+
+    # Density increases cost only gently (within 4x across the sweep) —
+    # the dominant term is V, not E.
+    for alg in ALGS:
+        assert by_d[0.9][alg] < 4 * max(by_d[0.1][alg], 1e-3)
+
+    # RC remains the expensive family at every density.
+    for d, ms in by_d.items():
+        assert ms["DL_RC_CPAR"] > ms["DL_BD_CPAR"], d
+
+    benchmark.extra_info["ms_by_density"] = {
+        str(d): {k: round(v, 2) for k, v in ms.items()}
+        for d, ms in by_d.items()
+    }

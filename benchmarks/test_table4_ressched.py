@@ -1,0 +1,56 @@
+"""Table 4: RESSCHED with synthetic reservation schedules.
+
+Paper values (avg. degradation from best / wins over 1,440 scenarios):
+
+    turn-around:  BD_ALL 33.75 %/36   BD_HALF 28.38 %/3
+                  BD_CPA 0.29 %/1026  BD_CPAR 0.21 %/386
+    CPU-hours:    BD_ALL 42.48 %/0    BD_HALF 37.83 %/1
+                  BD_CPA 0.75 %/6     BD_CPAR 0.00 %/1434
+
+Shape to reproduce: the CPA-bounded methods are within a few percent of
+best on turn-around while BD_ALL/BD_HALF degrade by tens of percent, and
+BD_CPAR dominates CPU-hours (most wins, ~0 degradation).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table4
+from repro.experiments.table4 import format_table4
+from benchmarks.conftest import write_result
+
+
+def test_table4(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        run_table4, args=(bench_scale,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "table4", format_table4(result))
+
+    tat = result.turnaround.summarize()
+    cpu = result.cpu_hours.summarize()
+
+    # Turn-around: CPA-bounded methods close to best, unbounded far off.
+    assert tat["BD_CPA"].avg_degradation < 10.0
+    assert tat["BD_CPAR"].avg_degradation < 10.0
+    assert tat["BD_ALL"].avg_degradation > 2 * tat["BD_CPAR"].avg_degradation
+    assert tat["BD_HALF"].avg_degradation > tat["BD_CPAR"].avg_degradation
+
+    # Turn-around wins concentrate on the CPA-bounded methods.
+    cpa_wins = tat["BD_CPA"].wins + tat["BD_CPAR"].wins
+    other_wins = tat["BD_ALL"].wins + tat["BD_HALF"].wins
+    assert cpa_wins > other_wins
+
+    # CPU-hours: BD_CPAR dominates (most wins, near-zero degradation),
+    # and the unbounded methods waste tens of percent.
+    assert cpu["BD_CPAR"].wins >= max(
+        cpu["BD_ALL"].wins, cpu["BD_HALF"].wins, cpu["BD_CPA"].wins
+    )
+    assert cpu["BD_CPAR"].avg_degradation < 5.0
+    assert cpu["BD_ALL"].avg_degradation > 20.0
+    assert cpu["BD_HALF"].avg_degradation > 10.0
+
+    benchmark.extra_info["turnaround_deg"] = {
+        k: round(v.avg_degradation, 2) for k, v in tat.items()
+    }
+    benchmark.extra_info["cpu_deg"] = {
+        k: round(v.avg_degradation, 2) for k, v in cpu.items()
+    }

@@ -1,0 +1,38 @@
+"""Table 5: RESSCHED with Grid'5000 reservation schedules.
+
+Paper values (avg. degradation from best / wins over 40 scenarios):
+
+    turn-around:  BD_ALL 34.32 %/0  BD_HALF 30.43 %/9
+                  BD_CPA 0.19 %/9   BD_CPAR 0.15 %/30
+    CPU-hours:    BD_ALL 43.08 %/0  BD_HALF 29.17 %/0
+                  BD_CPA 0.82 %/0   BD_CPAR 0.00 %/40
+
+Same shape as Table 4, now on the real-reservation-log scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table5
+from repro.experiments.table5 import format_table5
+from benchmarks.conftest import write_result
+
+
+def test_table5(benchmark, results_dir, bench_scale):
+    result = benchmark.pedantic(
+        run_table5, args=(bench_scale,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "table5", format_table5(result))
+
+    tat = result.turnaround.summarize()
+    cpu = result.cpu_hours.summarize()
+
+    assert tat["BD_CPAR"].avg_degradation < 10.0
+    assert tat["BD_CPA"].avg_degradation < 10.0
+    assert tat["BD_ALL"].avg_degradation > tat["BD_CPAR"].avg_degradation
+    assert cpu["BD_CPAR"].wins >= cpu["BD_CPA"].wins
+    assert cpu["BD_CPAR"].avg_degradation < 5.0
+    assert cpu["BD_ALL"].avg_degradation > 15.0
+
+    benchmark.extra_info["turnaround_deg"] = {
+        k: round(v.avg_degradation, 2) for k, v in tat.items()
+    }

@@ -1,0 +1,59 @@
+"""Table 7: the hybrid algorithms on the Grid'5000 dataset.
+
+Paper values (avg. % degradation from best): DL_BD_CPA 10.96 / 123.98,
+DL_RC_CPAR 55.08 / 1.57, DL_RC_CPAR-λ 4.73 / 24.46, DL_RCBD_CPAR-λ
+2.57 / 21.65.  Shape: plain RC is the cheapest but can badly miss tight
+deadlines; the λ-hybrids recover the tight deadlines (beating the
+aggressive algorithm) while keeping most of the CPU-hour savings, with
+the RCBD fallback marginally better than the plain hybrid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.table7 import format_table7, run_table7
+from benchmarks.conftest import write_result
+
+
+def test_table7(benchmark, results_dir, deadline_scale):
+    result = benchmark.pedantic(
+        run_table7, args=(deadline_scale,), rounds=1, iterations=1
+    )
+    write_result(results_dir, "table7", format_table7(result))
+
+    tight = result.comparison.tightest.summarize()
+    loose = result.comparison.loose_cpu_hours.summarize()
+
+    def deg(table, name, *, miss=1e9):
+        """Degradation with NaN (= total miss: the algorithm met no
+        deadline at all, plain RC's bind pathology) treated as worst."""
+        v = table[name].avg_degradation
+        return miss if np.isnan(v) else v
+
+    # The hybrids reach (at least nearly) the aggressive algorithm's
+    # tightest deadlines, and never lose to plain RC by more than noise.
+    assert deg(tight, "DL_RCBD_CPAR-lambda") <= deg(tight, "DL_RC_CPAR") + 10.0
+    assert deg(tight, "DL_RC_CPAR-lambda") <= deg(tight, "DL_RC_CPAR") + 10.0
+    assert deg(tight, "DL_RCBD_CPAR-lambda") <= deg(tight, "DL_BD_CPA") + 40.0
+    assert deg(tight, "DL_RC_CPAR-lambda") <= deg(tight, "DL_BD_CPA") + 40.0
+
+    # CPU-hours at loose deadlines: the hybrids are far cheaper than the
+    # aggressive algorithm; plain RC (when it succeeds at all) is the
+    # cheapest of the family.
+    assert deg(loose, "DL_RC_CPAR-lambda") < deg(loose, "DL_BD_CPA")
+    assert deg(loose, "DL_RCBD_CPAR-lambda") < deg(loose, "DL_BD_CPA")
+    if np.isfinite(loose["DL_RC_CPAR"].avg_degradation):
+        assert (
+            loose["DL_RC_CPAR"].avg_degradation
+            <= deg(loose, "DL_RC_CPAR-lambda") + 5.0
+        )
+
+    # The hybrids save real CPU-hours relative to the aggressive
+    # algorithm (paper: DL_RC_CPAR saves 544 h, the hybrid 478 h).
+    saved = result.cpu_hours_saved_vs_aggressive
+    assert saved["DL_RCBD_CPAR-lambda"] > 0
+    assert saved["DL_RC_CPAR-lambda"] > 0
+    benchmark.extra_info["cpu_hours_saved"] = {
+        k: round(v, 1) for k, v in saved.items()
+    }

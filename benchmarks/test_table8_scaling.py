@@ -1,0 +1,85 @@
+"""Table 8: worst-case complexities, checked empirically.
+
+The paper derives polynomial worst cases like O(V²P' + VEP' + VRP') for
+BD_CPAR.  This bench probes the two scaling dimensions a user feels
+most: task count V and reservation count R, asserting growth stays
+polynomial-ish (doubling the dimension must not blow the time up by more
+than the polynomial degree suggests, with generous noise margins).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import ResSchedAlgorithm, schedule_ressched
+from repro.dag import DagGenParams, random_task_graph
+from repro.rng import derive_rng
+from repro.workloads.reservations import ReservationScenario
+from repro.calendar import Reservation, ResourceCalendar
+from benchmarks.conftest import write_result
+
+
+def _scenario_with_reservations(capacity: int, n_resv: int, seed: int):
+    rng = derive_rng(seed, "t8", n_resv)
+    cal = ResourceCalendar(capacity)
+    kept: list[Reservation] = []
+    while len(kept) < n_resv:
+        start = float(rng.uniform(0, 3_000_000))
+        dur = float(rng.uniform(600, 40_000))
+        procs = int(rng.integers(1, capacity // 2 + 1))
+        if cal.min_available(start, start + dur) >= procs:
+            kept.append(cal.reserve(start, dur, procs))
+    return ReservationScenario(
+        name=f"t8-{n_resv}",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(kept),
+        hist_avg_available=capacity / 2,
+    )
+
+
+def _time_once(graph, scenario) -> float:
+    t0 = time.perf_counter()
+    schedule_ressched(graph, scenario, ResSchedAlgorithm())
+    return time.perf_counter() - t0
+
+
+def _run_scaling(seed: int = 7):
+    lines = ["BD_CPAR empirical scaling (mean seconds per schedule)"]
+    results: dict[str, dict[int, float]] = {"V": {}, "R": {}}
+
+    sc = _scenario_with_reservations(64, 100, seed)
+    for n in (25, 50, 100, 200):
+        graphs = [
+            random_task_graph(DagGenParams(n=n), derive_rng(seed, "g", n, k))
+            for k in range(3)
+        ]
+        results["V"][n] = sum(_time_once(g, sc) for g in graphs) / len(graphs)
+    lines.append(
+        "V sweep (R=100): "
+        + "  ".join(f"V={n}: {t * 1000:.1f}ms" for n, t in results["V"].items())
+    )
+
+    graph = random_task_graph(DagGenParams(n=50), derive_rng(seed, "g", 50, 0))
+    for r in (50, 200, 800):
+        sc_r = _scenario_with_reservations(64, r, seed)
+        results["R"][r] = sum(_time_once(graph, sc_r) for _ in range(3)) / 3
+    lines.append(
+        "R sweep (V=50): "
+        + "  ".join(f"R={r}: {t * 1000:.1f}ms" for r, t in results["R"].items())
+    )
+    return results, "\n".join(lines)
+
+
+def test_table8_scaling(benchmark, results_dir):
+    results, text = benchmark.pedantic(_run_scaling, rounds=1, iterations=1)
+    write_result(results_dir, "table8_scaling", text)
+
+    v, r = results["V"], results["R"]
+    # V scaling: 8x tasks should cost well under the V^3 blowup (512x);
+    # the model predicts ~V^2-ish. Allow 150x to absorb noise.
+    assert v[200] < 150 * max(v[25], 1e-4)
+    # R scaling: 16x reservations within ~linear-to-quadratic growth.
+    assert r[800] < 80 * max(r[50], 1e-4)
+    benchmark.extra_info["v_ms"] = {k: round(t * 1000, 1) for k, t in v.items()}
+    benchmark.extra_info["r_ms"] = {k: round(t * 1000, 1) for k, t in r.items()}

@@ -1,0 +1,50 @@
+"""Table 9: algorithm execution times as the task count grows.
+
+The paper times its C implementation (e.g. BD_CPAR 0.2 ms at n=10 to
+16 ms at n=100; DL_RC_CPAR 2.3 ms to 1475 ms).  Absolute values cannot
+transfer to Python; the reproduced *shape* is: every algorithm's time
+grows with n, and the resource-conservative algorithms cost roughly one
+to two orders of magnitude more than their aggressive counterparts
+because they recompute a CPA mapping before every task decision.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_timing_by_n
+from repro.experiments.timing import format_timing
+from benchmarks.conftest import write_result
+
+ALGS = (
+    "BD_CPA",
+    "BD_CPAR",
+    "DL_BD_CPA",
+    "DL_BD_CPAR",
+    "DL_RC_CPA",
+    "DL_RC_CPAR",
+)
+
+
+def test_table9(benchmark, results_dir, deadline_scale):
+    rows = benchmark.pedantic(
+        run_timing_by_n,
+        args=(deadline_scale,),
+        kwargs=dict(n_values=(10, 25, 50, 100), algorithms=ALGS),
+        rounds=1,
+        iterations=1,
+    )
+    write_result(results_dir, "table9", format_timing(rows, "n"))
+
+    by_n = {int(r.sweep_value): r.mean_ms for r in rows}
+
+    # Growth with n for every algorithm (small-n noise tolerated 2x).
+    for alg in ALGS:
+        assert by_n[100][alg] > 0.5 * by_n[10][alg]
+        assert by_n[100][alg] > by_n[25][alg] / 2
+
+    # RC algorithms dominate the cost at n=100 (paper: 10-90x).
+    assert by_n[100]["DL_RC_CPAR"] > 3 * by_n[100]["DL_BD_CPAR"]
+    assert by_n[100]["DL_RC_CPA"] > 3 * by_n[100]["DL_BD_CPA"]
+
+    benchmark.extra_info["ms_at_n100"] = {
+        k: round(v, 2) for k, v in by_n[100].items()
+    }

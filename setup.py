@@ -1,0 +1,15 @@
+from setuptools import setup, find_packages
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Scheduling Mixed-Parallel Applications with "
+        "Advance Reservations' (Aida & Casanova, HPDC 2008)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

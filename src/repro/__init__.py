@@ -1,0 +1,145 @@
+"""repro — Scheduling mixed-parallel applications with advance reservations.
+
+A from-scratch Python reproduction of Aida & Casanova, "Scheduling
+Mixed-Parallel Applications with Advance Reservations" (HPDC 2008):
+the application/platform models, the CPA scheduler, all RESSCHED and
+RESSCHEDDL heuristics, the workload and reservation-schedule generators,
+and the experiment harness regenerating every table of the paper.
+
+Quickstart::
+
+    from repro import (
+        DagGenParams, random_task_graph, make_rng,
+        preset, generate_log, build_reservation_scenario,
+        pick_scheduling_time, schedule_ressched, ResSchedAlgorithm,
+    )
+
+    rng = make_rng(42)
+    app = random_task_graph(DagGenParams(n=50), rng)
+    log_params = preset("SDSC_BLUE")
+    jobs = generate_log(log_params, rng)
+    now = pick_scheduling_time(jobs, rng)
+    scenario = build_reservation_scenario(
+        jobs, log_params.n_procs, phi=0.2, now=now, method="expo", rng=rng
+    )
+    schedule = schedule_ressched(app, scenario, ResSchedAlgorithm())
+    print(schedule.turnaround, schedule.cpu_hours)
+"""
+
+from repro.calendar import Reservation, ResourceCalendar, StepFunction
+from repro.cpa import CpaAllocation, cpa_allocation, cpa_map, cpa_schedule
+from repro.core import (
+    BD_METHODS,
+    BL_METHODS,
+    DEADLINE_ALGORITHMS,
+    RESSCHED_ALGORITHMS,
+    ComparisonTable,
+    DeadlineResult,
+    ProblemContext,
+    ResSchedAlgorithm,
+    schedule_deadline,
+    schedule_ressched,
+    tightest_deadline,
+)
+from repro.dag import (
+    DagGenParams,
+    Task,
+    TaskGraph,
+    random_task_graph,
+    summarize,
+)
+from repro.errors import (
+    CalendarError,
+    GenerationError,
+    InfeasibleError,
+    InvalidDagError,
+    ReproError,
+    ScheduleValidationError,
+    WorkloadError,
+)
+from repro.model import AmdahlModel, DowneyModel, SpeedupModel
+from repro.rng import derive_rng, make_rng
+from repro.schedule import Schedule, TaskPlacement, validate_schedule
+from repro.workloads import (
+    BATCH_LOG_PRESETS,
+    GRID5000,
+    Job,
+    ReservationScenario,
+    SyntheticLogParams,
+    build_reservation_scenario,
+    generate_log,
+    log_statistics,
+    parse_swf,
+    preset,
+    reservation_scenario_from_reservation_log,
+    tag_reservations,
+    write_swf,
+)
+from repro.workloads.reservations import pick_scheduling_time
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidDagError",
+    "GenerationError",
+    "CalendarError",
+    "InfeasibleError",
+    "ScheduleValidationError",
+    "WorkloadError",
+    # rng
+    "make_rng",
+    "derive_rng",
+    # model
+    "SpeedupModel",
+    "AmdahlModel",
+    "DowneyModel",
+    # dag
+    "Task",
+    "TaskGraph",
+    "DagGenParams",
+    "random_task_graph",
+    "summarize",
+    # calendar
+    "Reservation",
+    "ResourceCalendar",
+    "StepFunction",
+    # workloads
+    "Job",
+    "parse_swf",
+    "write_swf",
+    "SyntheticLogParams",
+    "generate_log",
+    "preset",
+    "BATCH_LOG_PRESETS",
+    "GRID5000",
+    "tag_reservations",
+    "build_reservation_scenario",
+    "reservation_scenario_from_reservation_log",
+    "pick_scheduling_time",
+    "ReservationScenario",
+    "log_statistics",
+    # cpa
+    "CpaAllocation",
+    "cpa_allocation",
+    "cpa_map",
+    "cpa_schedule",
+    # schedules
+    "Schedule",
+    "TaskPlacement",
+    "validate_schedule",
+    # core algorithms
+    "ProblemContext",
+    "BL_METHODS",
+    "BD_METHODS",
+    "ResSchedAlgorithm",
+    "RESSCHED_ALGORITHMS",
+    "schedule_ressched",
+    "DeadlineResult",
+    "DEADLINE_ALGORITHMS",
+    "schedule_deadline",
+    "tightest_deadline",
+    "ComparisonTable",
+]

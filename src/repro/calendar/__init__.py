@@ -1,0 +1,7 @@
+"""Advance-reservation calendar: reservations, availability, queries."""
+
+from repro.calendar.reservation import Reservation
+from repro.calendar.timeline import StepFunction
+from repro.calendar.calendar import ResourceCalendar
+
+__all__ = ["Reservation", "StepFunction", "ResourceCalendar"]

@@ -1,0 +1,450 @@
+"""The resource calendar: capacity, reservations, and placement queries.
+
+A :class:`ResourceCalendar` models one homogeneous cluster of ``capacity``
+processors subject to a set of advance reservations.  It answers the three
+questions every scheduler in this library asks:
+
+* :meth:`earliest_start` — first instant at or after ``earliest`` where
+  ``nprocs`` processors are simultaneously free for ``duration`` (forward
+  RESSCHED scheduling);
+* :meth:`latest_start` — last instant such that the window still finishes
+  by ``latest_finish`` (backward RESSCHEDDL scheduling);
+* :meth:`average_available` — time-weighted mean availability over an
+  interval, used for the paper's "historical average number of available
+  processors" P'.
+
+The availability profile ``capacity − occupancy`` is compiled lazily into
+a :class:`StepFunction` and cached until the next :meth:`add`.  Both
+placement queries walk the profile's segments, which makes them
+``O(segments)`` worst case and typically much cheaper thanks to
+``searchsorted`` entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.calendar.reservation import Reservation
+from repro.calendar.timeline import StepFunction
+from repro.errors import CalendarError
+from repro.units import TIME_EPS
+
+
+class ResourceCalendar:
+    """Reservation book-keeping for one cluster.
+
+    Args:
+        capacity: Total processors ``p`` (>= 1).
+        reservations: Initial (competing) reservations.
+        clamp: When True, occupancy beyond capacity merely pins
+            availability at zero instead of raising.  Calendars built from
+            noisy workload data use this; scheduler-owned calendars keep
+            the default strict behaviour so over-subscription bugs surface
+            immediately.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        reservations: Iterable[Reservation] = (),
+        *,
+        clamp: bool = False,
+    ):
+        if capacity < 1:
+            raise CalendarError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = int(capacity)
+        self._clamp = bool(clamp)
+        self._reservations: list[Reservation] = []
+        self._profile: StepFunction | None = None
+        for r in reservations:
+            if r.nprocs > self._capacity:
+                raise CalendarError(
+                    f"reservation needs {r.nprocs} processors but the "
+                    f"platform has only {self._capacity}"
+                )
+            self._reservations.append(r)
+        # Bulk validation: one profile compile checks capacity at every
+        # instant (availability() raises on negative values in strict
+        # mode), instead of a per-reservation scan.
+        self.availability()
+
+    # ------------------------------------------------------------------
+    # Book-keeping
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of processors."""
+        return self._capacity
+
+    @property
+    def reservations(self) -> tuple[Reservation, ...]:
+        """All reservations, in insertion order."""
+        return tuple(self._reservations)
+
+    def __len__(self) -> int:
+        return len(self._reservations)
+
+    def add(self, reservation: Reservation) -> None:
+        """Register a reservation.
+
+        Raises:
+            CalendarError: if the reservation alone exceeds capacity, or —
+                in strict mode — if total occupancy would exceed capacity
+                at any instant.
+        """
+        if reservation.nprocs > self._capacity:
+            raise CalendarError(
+                f"reservation needs {reservation.nprocs} processors but the "
+                f"platform has only {self._capacity}"
+            )
+        self._reservations.append(reservation)
+        self._profile = None
+        if not self._clamp:
+            # Strict capacity check: recompiling the profile raises on any
+            # real violation (micro-violations shorter than the time
+            # tolerance are forgiven — see availability()).  Roll back so
+            # a failed add leaves the calendar unchanged.
+            try:
+                self.availability()
+            except CalendarError:
+                self._reservations.pop()
+                self._profile = None
+                raise CalendarError(
+                    f"adding reservation {reservation} would exceed capacity"
+                ) from None
+
+    def copy(self) -> "ResourceCalendar":
+        """Independent copy (used for tentative scheduling)."""
+        dup = ResourceCalendar(self._capacity, clamp=self._clamp)
+        dup._reservations = list(self._reservations)
+        dup._profile = self._profile
+        return dup
+
+    # ------------------------------------------------------------------
+    # Profile
+    # ------------------------------------------------------------------
+
+    def availability(self) -> StepFunction:
+        """The compiled availability profile (free processors over time)."""
+        if self._profile is None:
+            events: list[tuple[float, float]] = []
+            for r in self._reservations:
+                events.append((r.start, -float(r.nprocs)))
+                events.append((r.end, float(r.nprocs)))
+            profile = StepFunction.from_deltas(events, base=float(self._capacity))
+            if self._clamp:
+                profile = profile.map(lambda v: np.maximum(v, 0.0))
+            elif profile.values.size and profile.values.min() < 0:
+                # Negative availability on a segment longer than the time
+                # tolerance is a genuine violation.  Shorter segments are
+                # floating-point residue — schedulers compute starts as
+                # `boundary - duration`, and `start + duration` can land
+                # one ulp past the boundary; durations are minutes to
+                # hours, so sub-microsecond overlaps are physically
+                # meaningless and get clamped instead.
+                neg = profile.values < 0
+                seg_len = np.append(np.diff(profile.times), np.inf)
+                if bool(np.any(neg & (seg_len > TIME_EPS))):
+                    raise CalendarError(
+                        "reservations exceed platform capacity "
+                        f"(availability reaches {profile.values.min():.0f}); "
+                        "construct the calendar with clamp=True to tolerate "
+                        "this"
+                    )
+                profile = profile.map(lambda v: np.maximum(v, 0.0))
+            self._profile = profile
+        return self._profile
+
+    def available_at(self, t: float) -> int:
+        """Free processors at instant ``t``."""
+        return int(self.availability()(t))
+
+    def min_available(self, t0: float, t1: float) -> int:
+        """Minimum free processors over ``[t0, t1)``."""
+        return int(self.availability().min_over(t0, t1))
+
+    def average_available(self, t0: float, t1: float) -> float:
+        """Time-weighted mean free processors over ``[t0, t1]``.
+
+        This is the paper's P' when evaluated over a trailing window of the
+        historical reservation schedule.
+        """
+        return self.availability().mean(t0, t1)
+
+    def utilization(self, t0: float, t1: float) -> float:
+        """Fraction of processor-time reserved over ``[t0, t1]``."""
+        return 1.0 - self.average_available(t0, t1) / self._capacity
+
+    # ------------------------------------------------------------------
+    # Placement queries
+    # ------------------------------------------------------------------
+
+    def _check_request(self, duration: float, nprocs: int) -> None:
+        if not duration > 0:
+            raise CalendarError(f"duration must be positive, got {duration}")
+        if nprocs < 1:
+            raise CalendarError(f"nprocs must be >= 1, got {nprocs}")
+        if nprocs > self._capacity:
+            raise CalendarError(
+                f"request for {nprocs} processors exceeds capacity "
+                f"{self._capacity}"
+            )
+
+    def earliest_start(
+        self, earliest: float, duration: float, nprocs: int
+    ) -> float:
+        """First start ``s >= earliest`` with ``nprocs`` free on
+        ``[s, s + duration)``.
+
+        Always succeeds: beyond the last reservation the whole machine is
+        free (clamped calendars included, because clamping never lowers
+        the final all-free segment).
+        """
+        self._check_request(duration, nprocs)
+        prof = self.availability()
+        times, k = prof.times, prof.n_segments
+
+        s = float(earliest)
+        i = prof.segment_index(s)
+        while True:
+            window_end = s + duration
+            # Scan segments covering [s, window_end) for a violation.
+            j = i
+            violated_at: int | None = None
+            while True:
+                lo, hi = prof.segment_bounds(j)
+                if prof.segment_value(j) < nprocs and lo < window_end:
+                    violated_at = j
+                    break
+                if hi >= window_end:
+                    break
+                j += 1
+            if violated_at is None:
+                return s
+            # Restart after the violating run: first segment with enough
+            # processors at or beyond the violation.
+            j = violated_at
+            while j < k and prof.segment_value(j) < nprocs:
+                j += 1
+            if j >= k:
+                # Past the last breakpoint availability equals the final
+                # value; reaching here means the final segment itself was
+                # violating, which cannot happen since it is all-free.
+                raise CalendarError(
+                    "no feasible start found — availability never recovers "
+                    f"to {nprocs} processors"
+                )
+            s = float(times[j])
+            i = j
+
+    def latest_start(
+        self,
+        latest_finish: float,
+        duration: float,
+        nprocs: int,
+        *,
+        earliest: float = -np.inf,
+    ) -> float | None:
+        """Latest start ``s`` with ``s >= earliest`` and
+        ``s + duration <= latest_finish`` such that ``nprocs`` processors
+        are free on ``[s, s + duration)``.
+
+        Returns None when no such start exists (the deadline-infeasible
+        outcome for backward scheduling).
+        """
+        self._check_request(duration, nprocs)
+        prof = self.availability()
+        times = prof.times
+
+        # Track the window's *end* (always latest_finish or an exact
+        # breakpoint) rather than recomputing it as start + duration:
+        # `(end - d) + d` can round one ulp past `end`, which would
+        # re-detect the same violation forever.
+        window_end = float(latest_finish)
+        while True:
+            s = window_end - duration
+            if s < earliest:
+                return None
+            # Find the *last* violating segment intersecting [s, window_end).
+            j = int(np.searchsorted(times, window_end, side="left")) - 1
+            violated_at: int | None = None
+            while True:
+                lo, hi = prof.segment_bounds(j)
+                if hi <= s:
+                    break
+                if prof.segment_value(j) < nprocs:
+                    violated_at = j
+                    break
+                if j < 0:
+                    break
+                j -= 1
+            if violated_at is None:
+                return s
+            # The window must finish by the violating segment's start.
+            lo, _ = prof.segment_bounds(violated_at)
+            if not np.isfinite(lo):
+                return None
+            window_end = float(lo)
+
+    def earliest_starts_multi(
+        self,
+        earliest: float,
+        durations: Sequence[float] | np.ndarray,
+        *,
+        m_offset: int = 0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`earliest_start` over a range of processor
+        counts.
+
+        ``durations[j]`` is the duration needed when using
+        ``m_offset + j + 1`` processors (the moldable-task case: one
+        execution-time vector per task).  Returns the earliest feasible
+        start for each count, in one sweep over the availability profile —
+        the schedulers' hot path.  ``m_offset`` lets callers searching for
+        the *fewest* feasible processors escalate through count windows
+        instead of paying for the full 1..p sweep.
+
+        Args:
+            earliest: No window may start before this instant.
+            durations: Positive durations, one per processor count;
+                ``m_offset + len(durations)`` must not exceed capacity.
+            m_offset: The count for ``durations[0]`` is ``m_offset + 1``.
+
+        Returns:
+            Array ``starts`` with ``starts[j]`` the earliest start for
+            ``m_offset + j + 1`` processors.
+        """
+        d = np.asarray(durations, dtype=float)
+        if d.ndim != 1 or d.size == 0:
+            raise CalendarError("durations must be a non-empty 1-D array")
+        if m_offset < 0:
+            raise CalendarError(f"m_offset must be >= 0, got {m_offset}")
+        if m_offset + d.size > self._capacity:
+            raise CalendarError(
+                f"durations imply up to {m_offset + d.size} processors but "
+                f"capacity is {self._capacity}"
+            )
+        if not np.all(d > 0):
+            raise CalendarError("all durations must be positive")
+
+        prof = self.availability()
+        k = prof.n_segments
+        m = np.arange(m_offset + 1, m_offset + d.size + 1)
+        cand = np.full(d.size, float(earliest))
+        result = np.full(d.size, np.nan)
+        done = np.zeros(d.size, dtype=bool)
+
+        j = prof.segment_index(earliest)
+        while True:
+            lo, hi = prof.segment_bounds(j)
+            v = prof.segment_value(j)
+            enough = m <= v
+            # Invariant: availability >= m everywhere on [cand[m], lo], so
+            # a window fits as soon as it also ends within this segment.
+            newly = ~done & enough & (cand + d <= hi)
+            result[newly] = cand[newly]
+            done |= newly
+            broken = ~done & ~enough
+            cand[broken] = hi
+            if done.all():
+                return result
+            if j >= k - 1:
+                # The final segment is all-free (value == capacity >= any
+                # requested count) and extends to +inf, so everything
+                # resolves there; reaching past it is impossible.
+                raise CalendarError(
+                    "availability profile ended before all requests were "
+                    "placed — internal invariant violated"
+                )
+            j += 1
+
+    def latest_starts_multi(
+        self,
+        latest_finish: float,
+        durations: Sequence[float] | np.ndarray,
+        *,
+        earliest: float = -np.inf,
+    ) -> np.ndarray:
+        """Vectorized :meth:`latest_start` over processor counts 1..b.
+
+        Returns, for each processor count ``j + 1``, the latest start
+        ``s >= earliest`` with ``s + durations[j] <= latest_finish`` and the
+        processors free throughout — or NaN when infeasible.
+        """
+        d = np.asarray(durations, dtype=float)
+        if d.ndim != 1 or d.size == 0:
+            raise CalendarError("durations must be a non-empty 1-D array")
+        if d.size > self._capacity:
+            raise CalendarError(
+                f"durations imply up to {d.size} processors but capacity is "
+                f"{self._capacity}"
+            )
+        if not np.all(d > 0):
+            raise CalendarError("all durations must be positive")
+
+        prof = self.availability()
+        times = prof.times
+        m = np.arange(1, d.size + 1)
+        cand = np.full(d.size, float(latest_finish))  # candidate finish
+        result = np.full(d.size, np.nan)
+        resolved = np.zeros(d.size, dtype=bool)
+
+        # Segment holding instants just before latest_finish.
+        j = int(np.searchsorted(times, latest_finish, side="left")) - 1
+        while True:
+            lo, _hi = prof.segment_bounds(j)
+            v = prof.segment_value(j)
+            enough = m <= v
+            starts = cand - d
+            # Invariant: availability >= m on [hi_j, cand[m]); the window
+            # fits once its start also falls inside this segment.
+            fits = ~resolved & enough & (starts >= lo)
+            good = fits & (starts >= earliest)
+            result[good] = starts[good]
+            # A fitting start below `earliest` means every remaining
+            # candidate is even earlier: infeasible (result stays NaN).
+            resolved |= fits
+            broken = ~resolved & ~enough
+            cand[broken] = lo
+            # Once the candidate finish leaves no room above `earliest`,
+            # the request is infeasible.
+            resolved |= broken & (cand - d < earliest)
+            if resolved.all() or j < 0:
+                return result
+            j -= 1
+
+    def fits(self, start: float, duration: float, nprocs: int) -> bool:
+        """True when ``nprocs`` processors are free on
+        ``[start, start + duration)``."""
+        self._check_request(duration, nprocs)
+        return self.min_available(start, start + duration) >= nprocs
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def reserve(
+        self, start: float, duration: float, nprocs: int, label: str = ""
+    ) -> Reservation:
+        """Create, validate, add, and return a reservation."""
+        r = Reservation(start=start, end=start + duration, nprocs=nprocs, label=label)
+        self.add(r)
+        return r
+
+    def span(self) -> tuple[float, float] | None:
+        """Earliest start and latest end over all reservations, or None."""
+        if not self._reservations:
+            return None
+        return (
+            min(r.start for r in self._reservations),
+            max(r.end for r in self._reservations),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResourceCalendar(capacity={self._capacity}, "
+            f"reservations={len(self._reservations)})"
+        )

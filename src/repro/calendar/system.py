@@ -1,0 +1,195 @@
+"""Reservation-system interfaces: full knowledge vs trial-and-error.
+
+The paper assumes the application scheduler sees the whole reservation
+schedule (§3.2.2), noting that otherwise "the application schedule would
+have to be determined via (a bounded number of) trial-and-error
+reservation requests for each application task".  This module implements
+both interaction models so that assumption can be dropped:
+
+* :class:`TransparentSystem` — the paper's model: the scheduler may read
+  the availability profile and query placements directly (PBSpro/Maui
+  style schedule exposure).
+* :class:`OpaqueSystem` — the batch scheduler only answers concrete
+  requests: *"can I have m processors from s for d seconds?"* — yes
+  (booked) or no.  Every probe is counted; schedulers must live within
+  a probe budget.
+
+:func:`probe_earliest_start` finds a feasible start through an opaque
+system with a bounded number of probes: it scans forward with a
+geometrically growing step until a grant, then bisects back toward the
+earliest granted instant.  It is deliberately *not* optimal — that is
+the point of the comparison in ``benchmarks/test_ablation_opaque.py``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.calendar.calendar import ResourceCalendar
+from repro.calendar.reservation import Reservation
+from repro.errors import CalendarError
+
+
+class ReservationSystem(ABC):
+    """What an application scheduler may ask a batch scheduler for."""
+
+    @property
+    @abstractmethod
+    def capacity(self) -> int:
+        """Total processors of the platform."""
+
+    @abstractmethod
+    def try_reserve(
+        self, start: float, duration: float, nprocs: int, label: str = ""
+    ) -> Reservation | None:
+        """Request a concrete reservation; None when it does not fit."""
+
+
+class TransparentSystem(ReservationSystem):
+    """Full schedule knowledge (the paper's assumption).
+
+    Exposes the underlying calendar so schedulers can use the placement
+    queries directly; requests through :meth:`try_reserve` stay
+    available for interface-generic code.
+    """
+
+    def __init__(self, calendar: ResourceCalendar):
+        self._calendar = calendar
+
+    @property
+    def capacity(self) -> int:
+        return self._calendar.capacity
+
+    @property
+    def calendar(self) -> ResourceCalendar:
+        """The visible reservation schedule."""
+        return self._calendar
+
+    def try_reserve(
+        self, start: float, duration: float, nprocs: int, label: str = ""
+    ) -> Reservation | None:
+        try:
+            return self._calendar.reserve(start, duration, nprocs, label)
+        except CalendarError:
+            return None
+
+
+class OpaqueSystem(ReservationSystem):
+    """Trial-and-error interaction: requests only, schedule hidden.
+
+    Every :meth:`probe` and :meth:`try_reserve` increments
+    :attr:`probes`; callers enforce their own budgets.
+    """
+
+    def __init__(self, calendar: ResourceCalendar):
+        self._calendar = calendar
+        self._probes = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._calendar.capacity
+
+    @property
+    def probes(self) -> int:
+        """Requests made so far (granted or not)."""
+        return self._probes
+
+    def probe(self, start: float, duration: float, nprocs: int) -> bool:
+        """Would this reservation be granted? (Counted, not committed.)
+
+        Real systems answer this via a rejected booking or a
+        "showbf"-style query; either way it costs an interaction.
+        """
+        self._probes += 1
+        try:
+            return self._calendar.fits(start, duration, nprocs)
+        except CalendarError:
+            return False
+
+    def try_reserve(
+        self, start: float, duration: float, nprocs: int, label: str = ""
+    ) -> Reservation | None:
+        self._probes += 1
+        try:
+            return self._calendar.reserve(start, duration, nprocs, label)
+        except CalendarError:
+            return None
+
+
+def probe_earliest_start(
+    system: OpaqueSystem,
+    earliest: float,
+    duration: float,
+    nprocs: int,
+    *,
+    max_probes: int = 32,
+    initial_step: float | None = None,
+    step_growth: float = 1.6,
+    refine_probes: int = 5,
+) -> float | None:
+    """Find a feasible start through trial and error.
+
+    Strategy: probe at ``earliest``; on rejection move forward by a
+    geometrically growing step until a probe is granted; then bisect
+    between the last rejected and the granted instant to pull the start
+    earlier (the granted region need not be contiguous, so bisection
+    only refines toward *a* feasible start, keeping whatever grants it
+    finds).
+
+    Args:
+        system: The opaque reservation system.
+        earliest: No start before this instant.
+        duration: Window length.
+        nprocs: Processors requested.
+        max_probes: Total probe budget for this call.
+        initial_step: First forward jump after a rejection (default:
+            ``duration / 2``).
+        step_growth: Geometric growth of the forward step.
+        refine_probes: Probes reserved for the bisection phase.
+
+    Returns:
+        A feasible (not necessarily earliest) start, or None when the
+        budget is exhausted without a grant.
+    """
+    if max_probes < 1:
+        raise CalendarError(f"max_probes must be >= 1, got {max_probes}")
+    step = initial_step if initial_step is not None else duration / 2
+    if step <= 0:
+        raise CalendarError(f"initial_step must be positive, got {step}")
+
+    used = 0
+    t = float(earliest)
+    last_rejected: float | None = None
+    granted: float | None = None
+
+    # Forward phase.
+    while used < max_probes - refine_probes:
+        used += 1
+        if system.probe(t, duration, nprocs):
+            granted = t
+            break
+        last_rejected = t
+        t += step
+        step *= step_growth
+    if granted is None:
+        # Spend the remaining budget continuing forward; grants far out
+        # are better than failure.
+        while used < max_probes:
+            used += 1
+            if system.probe(t, duration, nprocs):
+                return t
+            t += step
+            step *= step_growth
+        return None
+
+    # Refinement phase: bisect toward the earliest grant we can prove.
+    lo = last_rejected if last_rejected is not None else earliest
+    hi = granted
+    while used < max_probes and hi - lo > duration / 8:
+        mid = (lo + hi) / 2
+        used += 1
+        if system.probe(mid, duration, nprocs):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,219 @@
+"""Piecewise-constant functions of time, backed by NumPy arrays.
+
+A :class:`StepFunction` is defined by strictly increasing breakpoints
+``times[0..k-1]`` and ``values[0..k-1]``::
+
+    f(t) = base         for            t <  times[0]
+    f(t) = values[i]    for times[i] <= t < times[i+1]
+    f(t) = values[k-1]  for t >= times[k-1]
+
+i.e. each value holds on a right-open interval and the last value extends
+to +infinity.  An empty breakpoint set gives the constant function
+``base``.  This is the compiled form of a reservation calendar's
+occupancy/availability profile; queries on it are the hot path of every
+scheduler, hence the array representation and ``searchsorted`` lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class StepFunction:
+    """An immutable piecewise-constant function of time."""
+
+    __slots__ = ("times", "values", "base")
+
+    def __init__(
+        self,
+        times: Sequence[float] | np.ndarray,
+        values: Sequence[float] | np.ndarray,
+        base: float = 0.0,
+    ):
+        t = np.asarray(times, dtype=float)
+        v = np.asarray(values, dtype=float)
+        if t.ndim != 1 or v.ndim != 1 or t.shape != v.shape:
+            raise ValueError(
+                f"times and values must be equal-length 1-D arrays, got "
+                f"shapes {t.shape} and {v.shape}"
+            )
+        if t.size and not np.all(np.diff(t) > 0):
+            raise ValueError("breakpoints must be strictly increasing")
+        #: Breakpoint instants, strictly increasing.
+        self.times: np.ndarray = t
+        #: Value on ``[times[i], times[i+1])``.
+        self.values: np.ndarray = v
+        #: Value before the first breakpoint.
+        self.base: float = float(base)
+        t.setflags(write=False)
+        v.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: float) -> "StepFunction":
+        """The constant function ``value``."""
+        return cls(np.empty(0), np.empty(0), base=value)
+
+    @classmethod
+    def from_deltas(
+        cls, events: Iterable[tuple[float, float]], base: float = 0.0
+    ) -> "StepFunction":
+        """Build from ``(time, delta)`` events.
+
+        The function starts at ``base`` and jumps by the summed deltas at
+        each event time.  This is how occupancy profiles are compiled from
+        reservation start/end events.
+        """
+        ev = list(events)
+        if not ev:
+            return cls.constant(base)
+        times = np.array([e[0] for e in ev], dtype=float)
+        deltas = np.array([e[1] for e in ev], dtype=float)
+        order = np.argsort(times, kind="stable")
+        times, deltas = times[order], deltas[order]
+        uniq, inverse = np.unique(times, return_inverse=True)
+        summed = np.zeros(uniq.size)
+        np.add.at(summed, inverse, deltas)
+        values = base + np.cumsum(summed)
+        # Drop zero-jump breakpoints so the representation is canonical.
+        keep = np.empty(uniq.size, dtype=bool)
+        keep[0] = values[0] != base
+        keep[1:] = values[1:] != values[:-1]
+        if not keep.any():
+            return cls.constant(base)
+        return cls(uniq[keep], values[keep], base=base)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def __call__(self, t: float) -> float:
+        """Value at instant ``t``."""
+        i = int(np.searchsorted(self.times, t, side="right")) - 1
+        return self.base if i < 0 else float(self.values[i])
+
+    def sample(self, ts: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorized evaluation at each instant in ``ts``."""
+        ts = np.asarray(ts, dtype=float)
+        if self.values.size == 0:
+            return np.full(ts.shape, self.base)
+        idx = np.searchsorted(self.times, ts, side="right") - 1
+        return np.where(idx < 0, self.base, self.values[np.clip(idx, 0, None)])
+
+    def segment_index(self, t: float) -> int:
+        """Index ``i`` such that ``t`` lies in segment ``i`` (−1 = before
+        the first breakpoint)."""
+        return int(np.searchsorted(self.times, t, side="right")) - 1
+
+    def segment_bounds(self, i: int) -> tuple[float, float]:
+        """Time interval ``[lo, hi)`` of segment ``i``.
+
+        Segment −1 spans ``(-inf, times[0])``; the last segment extends to
+        ``+inf``.
+        """
+        lo = -np.inf if i < 0 else float(self.times[i])
+        hi = (
+            float(self.times[i + 1])
+            if i + 1 < self.times.size
+            else np.inf
+        )
+        return lo, hi
+
+    def segment_value(self, i: int) -> float:
+        """Value of segment ``i`` (−1 = ``base``)."""
+        return self.base if i < 0 else float(self.values[i])
+
+    @property
+    def n_segments(self) -> int:
+        """Number of breakpoint-delimited segments (excluding the base)."""
+        return int(self.times.size)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def integral(self, t0: float, t1: float) -> float:
+        """Integral of the function over ``[t0, t1]``."""
+        if t1 < t0:
+            raise ValueError(f"integration bounds out of order: [{t0}, {t1}]")
+        if t1 == t0:
+            return 0.0
+        # Clip all breakpoints into the window and integrate piecewise.
+        pts = np.concatenate(([t0], self.times[(self.times > t0) & (self.times < t1)], [t1]))
+        vals = self.sample(pts[:-1])
+        return float(np.sum(vals * np.diff(pts)))
+
+    def mean(self, t0: float, t1: float) -> float:
+        """Time-weighted mean value over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError(f"mean needs t1 > t0, got [{t0}, {t1}]")
+        return self.integral(t0, t1) / (t1 - t0)
+
+    def min_over(self, t0: float, t1: float) -> float:
+        """Minimum value attained on ``[t0, t1)``."""
+        if t1 <= t0:
+            raise ValueError(f"min_over needs t1 > t0, got [{t0}, {t1})")
+        i0 = self.segment_index(t0)
+        # Last touched segment: the one containing instants just before t1,
+        # i.e. after the last breakpoint strictly below t1.
+        i1 = int(np.searchsorted(self.times, t1, side="left")) - 1
+        if i1 < i0:
+            i1 = i0
+        return float(min(self.segment_value(i) for i in range(i0, i1 + 1)))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def map(self, fn) -> "StepFunction":
+        """Apply ``fn`` elementwise to the values (and base)."""
+        return StepFunction(
+            self.times.copy(), fn(self.values.copy()), base=float(fn(self.base))
+        )
+
+    def __neg__(self) -> "StepFunction":
+        return StepFunction(self.times.copy(), -self.values, base=-self.base)
+
+    def __add__(self, other: "StepFunction | float") -> "StepFunction":
+        if isinstance(other, (int, float)):
+            return StepFunction(
+                self.times.copy(), self.values + other, base=self.base + other
+            )
+        times = np.union1d(self.times, other.times)
+        values = self.sample(times) + other.sample(times)
+        return StepFunction(times, values, base=self.base + other.base)
+
+    def __radd__(self, other: float) -> "StepFunction":
+        return self.__add__(other)
+
+    def __sub__(self, other: "StepFunction | float") -> "StepFunction":
+        if isinstance(other, (int, float)):
+            return self + (-other)
+        return self + (-other)
+
+    def __rsub__(self, other: float) -> "StepFunction":
+        return (-self) + other
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StepFunction):
+            return NotImplemented
+        return (
+            self.base == other.base
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - arrays are unhashable
+        return hash((self.base, self.times.tobytes(), self.values.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"StepFunction(segments={self.n_segments}, base={self.base}, "
+            f"span=[{self.times[0] if self.times.size else None}, "
+            f"{self.times[-1] if self.times.size else None}])"
+        )

@@ -1,0 +1,234 @@
+"""Command-line interface: generate, inspect, schedule.
+
+Installed as the ``repro`` console script::
+
+    repro gen-dag --n 50 --out app.json
+    repro gen-dag --template montage --out app.json
+    repro gen-log --preset SDSC_BLUE --out cluster.swf
+    repro info --dag app.json
+    repro schedule --dag app.json --log cluster.swf --preset SDSC_BLUE \
+        --phi 0.2 --method expo --gantt
+    repro deadline --dag app.json --log cluster.swf --preset SDSC_BLUE \
+        --phi 0.2 --method expo --deadline-hours 24
+
+Every command is deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.deadline import DEADLINE_ALGORITHMS, schedule_deadline
+from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
+from repro.dag import DagGenParams, from_json, random_task_graph, summarize, to_json
+from repro.dag.templates import TEMPLATES
+from repro.errors import GenerationError, ReproError
+from repro.rng import make_rng
+from repro.units import HOUR
+from repro.viz import ascii_gantt
+from repro.workloads import (
+    build_reservation_scenario,
+    generate_log,
+    parse_swf,
+    preset,
+    write_swf,
+)
+from repro.workloads.reservations import pick_scheduling_time
+
+
+def _parse_ressched_algorithm(name: str) -> ResSchedAlgorithm:
+    """Parse a paper-style name like ``BL_CPAR_BD_CPAR``."""
+    marker = "_BD_"
+    if marker not in name:
+        raise GenerationError(
+            f"algorithm name {name!r} must look like BL_<x>_BD_<y>"
+        )
+    bl, bd_suffix = name.split(marker, 1)
+    return ResSchedAlgorithm(bl=bl, bd=f"BD_{bd_suffix}")
+
+
+def _cmd_gen_dag(args: argparse.Namespace) -> int:
+    rng = make_rng(args.seed)
+    if args.template:
+        graph = TEMPLATES[args.template](rng)
+    else:
+        params = DagGenParams(
+            n=args.n,
+            width=args.width,
+            regularity=args.regularity,
+            density=args.density,
+            jump=args.jump,
+            alpha_max=args.alpha_max,
+        )
+        graph = random_task_graph(params, rng)
+    text = to_json(graph)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {graph.n}-task DAG to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_gen_log(args: argparse.Namespace) -> int:
+    params = preset(args.preset)
+    jobs = generate_log(params, make_rng(args.seed))
+    lines = "\n".join(write_swf(jobs, header=f"synthetic {params.name} log"))
+    if args.out:
+        Path(args.out).write_text(lines + "\n")
+        print(f"wrote {len(jobs)} jobs to {args.out}")
+    else:
+        print(lines)
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = from_json(Path(args.dag).read_text())
+    s = summarize(graph)
+    print(f"tasks            {s.n_tasks}")
+    print(f"edges            {s.n_edges}")
+    print(f"levels           {s.n_levels}")
+    print(f"max width        {s.max_width}")
+    print(f"layered          {s.is_layered}")
+    print(f"critical path    {s.seq_critical_path / HOUR:.2f} h (sequential)")
+    print(f"total work       {s.total_seq_work / HOUR:.2f} CPU-hours (seq)")
+    print(f"parallelism      {s.parallelism:.2f}")
+    print(f"mean alpha       {s.mean_alpha:.3f}")
+    return 0
+
+
+def _load_scenario(args: argparse.Namespace):
+    graph = from_json(Path(args.dag).read_text())
+    params = preset(args.preset)
+    if args.log:
+        with open(args.log) as fh:
+            jobs = parse_swf(fh)
+    else:
+        jobs = generate_log(params, make_rng(args.seed))
+    rng = make_rng(args.seed + 1)
+    now = pick_scheduling_time(jobs, rng)
+    scenario = build_reservation_scenario(
+        jobs, params.n_procs, phi=args.phi, now=now, method=args.method,
+        rng=rng,
+    )
+    return graph, scenario
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    graph, scenario = _load_scenario(args)
+    algorithm = _parse_ressched_algorithm(args.algorithm)
+    schedule = schedule_ressched(graph, scenario, algorithm)
+    print(f"algorithm     {schedule.algorithm}")
+    print(f"platform      {scenario.capacity} processors, "
+          f"{scenario.n_reservations} competing reservations")
+    print(f"turn-around   {schedule.turnaround / HOUR:.2f} h")
+    print(f"CPU-hours     {schedule.cpu_hours:.1f}")
+    if args.gantt:
+        print()
+        print(ascii_gantt(schedule))
+    return 0
+
+
+def _cmd_deadline(args: argparse.Namespace) -> int:
+    graph, scenario = _load_scenario(args)
+    deadline = scenario.now + args.deadline_hours * HOUR
+    result = schedule_deadline(graph, scenario, deadline, args.algorithm)
+    print(f"algorithm     {result.algorithm}")
+    print(f"deadline      now + {args.deadline_hours:.1f} h")
+    if not result.feasible:
+        print("verdict       CANNOT be met")
+        return 1
+    print("verdict       met")
+    if result.lam is not None:
+        print(f"lambda        {result.lam:.2f}")
+    print(f"CPU-hours     {result.cpu_hours:.1f}")
+    if args.gantt and result.schedule is not None:
+        print()
+        print(ascii_gantt(result.schedule))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Scheduling mixed-parallel applications with advance "
+            "reservations (Aida & Casanova, HPDC 2008 — reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-dag", help="generate a random application DAG")
+    p.add_argument("--n", type=int, default=50, help="number of tasks")
+    p.add_argument("--width", type=float, default=0.5)
+    p.add_argument("--regularity", type=float, default=0.5)
+    p.add_argument("--density", type=float, default=0.5)
+    p.add_argument("--jump", type=int, default=1)
+    p.add_argument("--alpha-max", type=float, default=0.2, dest="alpha_max")
+    p.add_argument(
+        "--template", choices=sorted(TEMPLATES), default=None,
+        help="use a workflow template instead of the random generator",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None, help="output JSON path")
+    p.set_defaults(func=_cmd_gen_dag)
+
+    p = sub.add_parser("gen-log", help="generate a synthetic SWF batch log")
+    p.add_argument("--preset", type=str, default="SDSC_BLUE")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None, help="output SWF path")
+    p.set_defaults(func=_cmd_gen_log)
+
+    p = sub.add_parser("info", help="summarize a DAG JSON file")
+    p.add_argument("--dag", type=str, required=True)
+    p.set_defaults(func=_cmd_info)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dag", type=str, required=True, help="DAG JSON path")
+        p.add_argument(
+            "--log", type=str, default=None,
+            help="SWF log path (default: generate from --preset)",
+        )
+        p.add_argument("--preset", type=str, default="SDSC_BLUE")
+        p.add_argument("--phi", type=float, default=0.2)
+        p.add_argument(
+            "--method", choices=("linear", "expo", "real"), default="expo"
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--gantt", action="store_true")
+
+    p = sub.add_parser("schedule", help="minimize turn-around (RESSCHED)")
+    add_common(p)
+    p.add_argument("--algorithm", type=str, default="BL_CPAR_BD_CPAR")
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("deadline", help="meet a deadline (RESSCHEDDL)")
+    add_common(p)
+    p.add_argument(
+        "--algorithm", choices=sorted(DEADLINE_ALGORITHMS),
+        default="DL_RCBD_CPAR-lambda",
+    )
+    p.add_argument(
+        "--deadline-hours", type=float, required=True, dest="deadline_hours",
+        help="deadline as hours after the scheduling instant",
+    )
+    p.set_defaults(func=_cmd_deadline)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Task-allocation bounding methods (paper §4.2, second question).
+
+When the forward scheduler looks for the <processor count, start time>
+pair with the earliest completion, unrestricted processor counts harm
+task parallelism (and waste CPU-hours under Amdahl's diminishing
+returns).  The paper bounds each task's candidate counts by:
+
+* **BD_ALL** — no bound beyond the machine size ``p``;
+* **BD_HALF** — the arbitrary bound ``p / 2`` (a control showing that
+  naive bounding is not enough);
+* **BD_CPA** — the task's CPA allocation computed for ``p`` processors;
+* **BD_CPAR** — the task's CPA allocation computed for ``q = P'``.
+
+Table 4/5 find BD_CPAR best on both turn-around time and CPU-hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import ProblemContext
+from repro.errors import GenerationError
+
+#: The four bounding methods, in paper order (BD_HALF is the paper's
+#: extra control in §4.3.2).
+BD_METHODS: tuple[str, ...] = ("BD_ALL", "BD_HALF", "BD_CPA", "BD_CPAR")
+
+#: Paper methods plus extensions (BD_ICASLB: iCASLB allocations at P').
+BD_METHODS_EXTENDED: tuple[str, ...] = BD_METHODS + ("BD_ICASLB",)
+
+
+def allocation_bounds(ctx: ProblemContext, method: str) -> np.ndarray:
+    """Per-task upper bounds on candidate processor counts.
+
+    Args:
+        ctx: The problem instance.
+        method: One of :data:`BD_METHODS`.
+
+    Returns:
+        Integer array indexed by task; every entry is in ``1..p``.
+    """
+    n = ctx.graph.n
+    if method == "BD_ALL":
+        return np.full(n, ctx.p, dtype=int)
+    if method == "BD_HALF":
+        return np.full(n, max(1, ctx.p // 2), dtype=int)
+    if method == "BD_CPA":
+        return np.array(ctx.cpa_p.allocations, dtype=int)
+    if method == "BD_CPAR":
+        return np.array(ctx.cpa_q.allocations, dtype=int)
+    if method == "BD_ICASLB":
+        return np.array(ctx.icaslb_q.allocations, dtype=int)
+    raise GenerationError(
+        f"unknown bounding method {method!r}; expected one of "
+        f"{BD_METHODS_EXTENDED}"
+    )

@@ -1,0 +1,162 @@
+"""Comparison metrics: degradation from best and win counts (§4.3.2).
+
+The paper summarizes each algorithm over many experimental scenarios
+with two statistics per metric (turn-around time, CPU-hours, tightest
+deadline):
+
+* **average degradation from best** — for each scenario, the average
+  over its random instances of ``(value − best) / best`` where ``best``
+  is the best (smallest) value any algorithm achieved on that instance;
+  then averaged over scenarios and reported as a percentage;
+* **number of wins** — how many scenarios the algorithm is the best on
+  (scenario-level values being instance averages); ties award a win to
+  every tied algorithm, which is why the paper's win columns sum to
+  slightly more than the scenario count.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Relative tolerance for declaring a tie on wins.
+_WIN_RTOL = 1e-9
+
+
+def degradation_from_best(values: dict[str, float]) -> dict[str, float]:
+    """Per-algorithm relative degradation (%) from the best value.
+
+    Lower is better for every metric in this library, so ``best`` is the
+    minimum.  NaN values (e.g. an infeasible deadline attempt) yield NaN
+    degradations and never define the best.
+    """
+    finite = [v for v in values.values() if np.isfinite(v)]
+    if not finite:
+        return {k: float("nan") for k in values}
+    best = min(finite)
+    if best <= 0:
+        # Degenerate instances (zero-cost best) contribute zero spread.
+        return {
+            k: 0.0 if np.isfinite(v) else float("nan")
+            for k, v in values.items()
+        }
+    return {
+        k: 100.0 * (v - best) / best if np.isfinite(v) else float("nan")
+        for k, v in values.items()
+    }
+
+
+def winners(values: dict[str, float]) -> set[str]:
+    """Algorithms achieving the best (minimum) value, ties included."""
+    finite = [v for v in values.values() if np.isfinite(v)]
+    if not finite:
+        return set()
+    best = min(finite)
+    tol = abs(best) * _WIN_RTOL
+    return {
+        k for k, v in values.items() if np.isfinite(v) and v <= best + tol
+    }
+
+
+@dataclass
+class ComparisonTable:
+    """Accumulates per-instance metric values into the paper's summary.
+
+    Usage::
+
+        table = ComparisonTable(metric="turnaround")
+        table.add("scenario-1", {"BD_ALL": 10.0, "BD_CPAR": 8.0})
+        ...
+        summary = table.summarize()
+
+    Attributes:
+        metric: Display name of the metric being compared.
+    """
+
+    metric: str = ""
+    _per_scenario_deg: dict[str, dict[str, list[float]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list))
+    )
+    _per_scenario_vals: dict[str, dict[str, list[float]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list))
+    )
+
+    def add(self, scenario: str, values: dict[str, float]) -> None:
+        """Record one random instance's values for one scenario."""
+        for name, deg in degradation_from_best(values).items():
+            self._per_scenario_deg[scenario][name].append(deg)
+        for name, v in values.items():
+            self._per_scenario_vals[scenario][name].append(v)
+
+    @property
+    def algorithms(self) -> list[str]:
+        """All algorithm names seen so far."""
+        names: set[str] = set()
+        for per_alg in self._per_scenario_deg.values():
+            names |= set(per_alg)
+        return sorted(names)
+
+    @property
+    def n_scenarios(self) -> int:
+        """Number of scenarios recorded."""
+        return len(self._per_scenario_deg)
+
+    def summarize(self) -> dict[str, "AlgorithmSummary"]:
+        """The paper's two summary statistics per algorithm."""
+        out: dict[str, AlgorithmSummary] = {}
+        scenario_means: dict[str, dict[str, float]] = {}
+        for scenario, per_alg in self._per_scenario_vals.items():
+            scenario_means[scenario] = {
+                name: float(np.nanmean(vals)) if np.isfinite(vals).any() else float("nan")
+                for name, vals in (
+                    (n, np.asarray(v, dtype=float)) for n, v in per_alg.items()
+                )
+            }
+        for name in self.algorithms:
+            degs = [
+                float(np.nanmean(np.asarray(per_alg[name], dtype=float)))
+                for per_alg in self._per_scenario_deg.values()
+                if name in per_alg
+                and np.isfinite(np.asarray(per_alg[name], dtype=float)).any()
+            ]
+            n_wins = sum(
+                1
+                for means in scenario_means.values()
+                if name in winners(means)
+            )
+            out[name] = AlgorithmSummary(
+                algorithm=name,
+                avg_degradation=float(np.mean(degs)) if degs else float("nan"),
+                wins=n_wins,
+            )
+        return out
+
+    def format(self, *, order: list[str] | None = None) -> str:
+        """Render the summary as a paper-style text table."""
+        summary = self.summarize()
+        names = order or self.algorithms
+        width = max((len(n) for n in names), default=9)
+        lines = [
+            f"{'Algorithm':<{width}}  {'Avg. deg. from best [%]':>24}  "
+            f"{'Wins':>6}   (metric: {self.metric}, "
+            f"{self.n_scenarios} scenarios)"
+        ]
+        for name in names:
+            s = summary.get(name)
+            if s is None:
+                continue
+            lines.append(
+                f"{name:<{width}}  {s.avg_degradation:>24.2f}  {s.wins:>6}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """One algorithm's row of a comparison table."""
+
+    algorithm: str
+    avg_degradation: float
+    wins: int

@@ -1,0 +1,145 @@
+"""RESSCHED without schedule knowledge: trial-and-error scheduling.
+
+The paper's §3.2.2 assumes full knowledge of the reservation schedule
+and names the alternative — "(a bounded number of) trial-and-error
+reservation requests for each application task" — as future work.  This
+module implements that alternative: the same BL_CPAR / BD_CPAR skeleton
+as :func:`repro.core.ressched.schedule_ressched`, but every placement is
+discovered through an :class:`repro.calendar.system.OpaqueSystem` probe
+sequence instead of a profile query.
+
+Two consequences the ablation bench quantifies: turn-around degrades
+(probing finds *a* feasible start, not the earliest, and cannot afford
+to search processor counts), and the interaction cost is explicit
+(``probes_used``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calendar.system import OpaqueSystem, probe_earliest_start
+from repro.core.bottom_levels import bl_priority_order
+from repro.core.bounds import allocation_bounds
+from repro.core.context import ProblemContext
+from repro.dag import TaskGraph
+from repro.errors import GenerationError, InfeasibleError
+from repro.schedule import Schedule, TaskPlacement
+from repro.workloads.reservations import ReservationScenario
+
+
+@dataclass(frozen=True)
+class OpaqueResult:
+    """A schedule found through trial and error, with its probe bill."""
+
+    schedule: Schedule
+    probes_used: int
+
+    @property
+    def probes_per_task(self) -> float:
+        """Mean probes spent per task."""
+        return self.probes_used / self.schedule.graph.n
+
+
+def schedule_ressched_opaque(
+    graph: TaskGraph,
+    scenario: ReservationScenario,
+    *,
+    probes_per_task: int = 24,
+    bd_method: str = "BD_CPAR",
+    context: ProblemContext | None = None,
+) -> OpaqueResult:
+    """Solve RESSCHED through an opaque reservation interface.
+
+    For each task (decreasing BL_CPAR bottom level) the scheduler probes
+    a small ladder of candidate allocations — the CPA bound, a quarter
+    of it, and one processor — splitting ``probes_per_task`` across
+    them, and commits the candidate with the earliest *completion*.
+    (Probing cannot afford the full 1..bound search the transparent
+    scheduler does; committing the first grant instead of the best
+    completion is much worse — a large allocation often only fits far in
+    the future.)
+
+    Args:
+        graph: The application.
+        scenario: Platform snapshot; only its ``try_reserve``-level
+            interface is used (the calendar is never read).
+        probes_per_task: Probe budget per placement attempt.
+        bd_method: Bound on the single allocation tried per task.
+        context: Optional shared problem context.
+
+    Returns:
+        The schedule and the total number of probes spent.
+
+    Raises:
+        InfeasibleError: when a task cannot be placed within budget even
+            on one processor (practically unreachable: the far future is
+            free and the forward phase reaches it geometrically).
+    """
+    if probes_per_task < 4:
+        raise GenerationError(
+            f"probes_per_task must be >= 4, got {probes_per_task}"
+        )
+    ctx = context or ProblemContext(graph, scenario)
+    if ctx.graph is not graph or ctx.scenario is not scenario:
+        raise GenerationError(
+            "provided context wraps a different graph or scenario"
+        )
+
+    system = OpaqueSystem(scenario.calendar())
+    order = bl_priority_order(ctx, "BL_CPAR")
+    bounds = allocation_bounds(ctx, bd_method)
+    now = scenario.now
+
+    placements: list[TaskPlacement | None] = [None] * graph.n
+    for i in order:
+        ready = now
+        for pred in graph.predecessors(i):
+            placement = placements[pred]
+            assert placement is not None
+            ready = max(ready, placement.finish)
+
+        bound = int(bounds[i])
+        candidates = sorted({bound, max(1, bound // 4), 1}, reverse=True)
+        share = max(4, probes_per_task // len(candidates))
+        best: tuple[float, int, float] | None = None  # (completion, m, start)
+        for m in candidates:
+            dur = ctx.exec_time(i, m)
+            start = probe_earliest_start(
+                system, ready, dur, m, max_probes=share
+            )
+            if start is None:
+                continue
+            completion = start + dur
+            if best is None or (completion, m) < (best[0], best[1]):
+                best = (completion, m, start)
+        if best is None:
+            # Last resort: one processor with the whole budget.
+            dur = ctx.exec_time(i, 1)
+            start = probe_earliest_start(
+                system, ready, dur, 1, max_probes=probes_per_task
+            )
+            if start is None:
+                raise InfeasibleError(
+                    f"task {graph.task(i).name} could not be placed within "
+                    f"{probes_per_task} probes"
+                )
+            best = (start + dur, 1, start)
+
+        _, m, start = best
+        dur = ctx.exec_time(i, m)
+        reservation = system.try_reserve(start, dur, m, label=graph.task(i).name)
+        if reservation is None:
+            raise InfeasibleError(
+                f"granted probe for task {graph.task(i).name} was refused "
+                "at booking time"
+            )
+        placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
+
+    schedule = Schedule(
+        graph=graph,
+        now=now,
+        placements=tuple(placements),  # type: ignore[arg-type]
+        algorithm=f"OPAQUE_{bd_method}",
+    )
+    return OpaqueResult(schedule=schedule, probes_used=system.probes)

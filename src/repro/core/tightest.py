@@ -1,0 +1,148 @@
+"""Tightest achievable deadline, via exponential + binary search (§5.3).
+
+The paper compares deadline algorithms by the tightest deadline each can
+meet on a given instance, "determined via binary search".  Heuristics are
+not guaranteed monotone in the deadline, so — like the paper — the search
+treats them as if they were: the result is the tightest deadline found by
+bisection between a known-infeasible and a known-feasible point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.context import ProblemContext
+from repro.core.deadline import DeadlineResult, schedule_deadline
+from repro.dag import TaskGraph
+from repro.errors import InfeasibleError
+from repro.workloads.reservations import ReservationScenario
+
+
+@dataclass(frozen=True)
+class TightestDeadline:
+    """Result of the tightest-deadline search.
+
+    Attributes:
+        deadline: Tightest absolute deadline the algorithm met.
+        result: The feasible schedule found at that deadline.
+        evaluations: Number of algorithm invocations spent searching.
+    """
+
+    deadline: float
+    result: DeadlineResult
+    evaluations: int
+
+    def turnaround(self, now: float) -> float:
+        """The tightest deadline expressed relative to ``now``."""
+        return self.deadline - now
+
+
+def tightest_deadline(
+    graph: TaskGraph,
+    scenario: ReservationScenario,
+    algorithm: str = "DL_RCBD_CPAR-lambda",
+    *,
+    context: ProblemContext | None = None,
+    rel_tol: float = 5e-3,
+    max_evaluations: int = 60,
+) -> TightestDeadline:
+    """Find the tightest deadline ``algorithm`` can meet on this instance.
+
+    The search works on the deadline's *turnaround* ``K − now``: a lower
+    bound is the critical-path time on fully allocated tasks (no schedule
+    can beat it); the upper bound is found by doubling from that bound
+    until the algorithm succeeds; bisection then narrows the bracket to
+    ``rel_tol`` relative width.
+
+    Args:
+        graph: The application.
+        scenario: Platform snapshot.
+        algorithm: A :data:`repro.core.deadline.DEADLINE_ALGORITHMS` name.
+        context: Optional shared problem context.
+        rel_tol: Relative bracket width at which bisection stops.
+        max_evaluations: Cap on algorithm invocations.
+
+    Returns:
+        The tightest feasible deadline and its schedule.
+
+    Raises:
+        InfeasibleError: when no feasible deadline is found within the
+            evaluation budget (does not happen for the paper's algorithms
+            on sane instances — far-future deadlines are always meetable).
+    """
+    ctx = context or ProblemContext(graph, scenario)
+    now = scenario.now
+
+    # No schedule finishes faster than the critical path at full machine.
+    full_exec = [table[ctx.p - 1] for table in ctx.exec_tables]
+    cp_len, _ = graph.critical_path(full_exec)
+    lo = cp_len  # infeasible-or-unknown turnaround bound
+    evaluations = 0
+    lam_hint = 0.0
+
+    def attempt(turnaround: float) -> DeadlineResult:
+        nonlocal evaluations, lam_hint
+        evaluations += 1
+        res = schedule_deadline(
+            graph,
+            scenario,
+            now + turnaround,
+            algorithm,
+            context=ctx,
+            lam_start=lam_hint,
+        )
+        if res.feasible and res.lam is not None:
+            # λ needed only grows as deadlines tighten; remember it so the
+            # sweep restarts where it last succeeded.
+            lam_hint = res.lam
+        return res
+
+    # Exponential phase: find a feasible upper bound.
+    hi = lo
+    best: DeadlineResult | None = None
+    while evaluations < max_evaluations:
+        hi *= 2.0
+        res = attempt(hi)
+        if res.feasible:
+            best = res
+            break
+    if best is None:
+        raise InfeasibleError(
+            f"{algorithm} met no deadline within {max_evaluations} attempts "
+            f"(last tried turnaround {hi})"
+        )
+
+    # Bisection phase.
+    while hi - lo > rel_tol * hi and evaluations < max_evaluations:
+        mid = (lo + hi) / 2.0
+        res = attempt(mid)
+        if res.feasible:
+            hi, best = mid, res
+        else:
+            lo = mid
+
+    return TightestDeadline(
+        deadline=now + hi, result=best, evaluations=evaluations
+    )
+
+
+def cpu_hours_at_loose_deadline(
+    graph: TaskGraph,
+    scenario: ReservationScenario,
+    algorithm: str,
+    loose_deadline: float,
+    *,
+    context: ProblemContext | None = None,
+) -> float:
+    """CPU-hours used at a loose deadline (Table 6's second metric).
+
+    The paper evaluates each algorithm at a deadline 50 % larger than the
+    loosest tightest-deadline across algorithms; callers compute that
+    deadline and pass it here.
+
+    Returns NaN when the algorithm misses even the loose deadline.
+    """
+    res = schedule_deadline(
+        graph, scenario, loose_deadline, algorithm, context=context
+    )
+    return res.cpu_hours

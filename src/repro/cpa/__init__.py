@@ -1,0 +1,15 @@
+"""CPA: the Critical Path and Area-based mixed-parallel scheduler."""
+
+from repro.cpa.allocation import CpaAllocation, cpa_allocation
+from repro.cpa.cluster import IdleCluster
+from repro.cpa.icaslb import icaslb_allocation
+from repro.cpa.mapping import cpa_map, cpa_schedule
+
+__all__ = [
+    "CpaAllocation",
+    "cpa_allocation",
+    "IdleCluster",
+    "icaslb_allocation",
+    "cpa_map",
+    "cpa_schedule",
+]

@@ -1,0 +1,27 @@
+"""Task-graph (DAG) substrate: tasks, graphs, random generation, I/O."""
+
+from repro.dag.task import Task
+from repro.dag.graph import TaskGraph
+from repro.dag.generator import DagGenParams, random_task_graph
+from repro.dag.analysis import DagSummary, summarize
+from repro.dag.io import (
+    from_json,
+    from_networkx,
+    to_dot,
+    to_json,
+    to_networkx,
+)
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "DagGenParams",
+    "random_task_graph",
+    "DagSummary",
+    "summarize",
+    "to_json",
+    "from_json",
+    "to_dot",
+    "to_networkx",
+    "from_networkx",
+]

@@ -1,0 +1,92 @@
+"""Structural and cost analysis of task graphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+
+
+@dataclass(frozen=True)
+class DagSummary:
+    """Aggregate structural/cost statistics of one task graph.
+
+    Attributes:
+        n_tasks: Number of tasks.
+        n_edges: Number of edges.
+        n_levels: Number of levels (longest-path depth + 1).
+        max_width: Tasks in the widest level (maximum parallelism).
+        mean_width: Mean tasks per level.
+        is_layered: True when every edge links consecutive levels
+            (``jump = 1`` graphs).
+        seq_critical_path: Critical-path length with 1-processor tasks, s.
+        total_seq_work: Sum of sequential task times, s.
+        mean_alpha: Mean Amdahl serial fraction (NaN for non-Amdahl models).
+        parallelism: ``total_seq_work / seq_critical_path`` — the average
+            task parallelism available in the graph.
+    """
+
+    n_tasks: int
+    n_edges: int
+    n_levels: int
+    max_width: int
+    mean_width: float
+    is_layered: bool
+    seq_critical_path: float
+    total_seq_work: float
+    mean_alpha: float
+    parallelism: float
+
+
+def is_layered(graph: TaskGraph) -> bool:
+    """True when every edge goes from level ``l`` to level ``l + 1``."""
+    levels = graph.levels
+    return all(levels[v] == levels[u] + 1 for u, v in graph.edges)
+
+
+def mean_alpha(graph: TaskGraph) -> float:
+    """Mean Amdahl serial fraction over tasks, NaN if any model lacks one."""
+    alphas = [getattr(t.model, "alpha", None) for t in graph.tasks]
+    if any(a is None for a in alphas):
+        return float("nan")
+    return float(np.mean([a for a in alphas if a is not None]))
+
+
+def summarize(graph: TaskGraph) -> DagSummary:
+    """Compute a :class:`DagSummary` for ``graph``."""
+    seq_times = np.array([t.seq_time for t in graph.tasks])
+    cp_len, _ = graph.critical_path(seq_times)
+    total = float(seq_times.sum())
+    return DagSummary(
+        n_tasks=graph.n,
+        n_edges=graph.n_edges,
+        n_levels=graph.n_levels,
+        max_width=graph.max_level_width,
+        mean_width=graph.n / graph.n_levels,
+        is_layered=is_layered(graph),
+        seq_critical_path=cp_len,
+        total_seq_work=total,
+        mean_alpha=mean_alpha(graph),
+        parallelism=total / cp_len if cp_len > 0 else float("nan"),
+    )
+
+
+def width_profile(graph: TaskGraph) -> list[int]:
+    """Number of tasks in each level, in level order."""
+    return [len(lvl) for lvl in graph.level_sets]
+
+
+def edge_length_histogram(graph: TaskGraph) -> dict[int, int]:
+    """Histogram of edge "jump lengths" (level difference per edge).
+
+    A layered graph has all mass at key 1; a graph generated with
+    ``jump = k`` can have keys up to ``k``.
+    """
+    levels = graph.levels
+    hist: dict[int, int] = {}
+    for u, v in graph.edges:
+        d = levels[v] - levels[u]
+        hist[d] = hist.get(d, 0) + 1
+    return hist

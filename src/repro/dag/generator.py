@@ -1,0 +1,182 @@
+"""Random mixed-parallel application generator (daggen-style).
+
+Reimplements the semantics of the DAG generation program of Suter used by
+the paper (Section 3.1, Table 1).  Five parameters shape the graph:
+
+* ``n`` — number of tasks.
+* ``width`` in (0, 1] — maximum parallelism.  The mean number of tasks per
+  level is ``n ** width``: small values give chain-like graphs, large
+  values fork-join graphs (matching the paper's description).
+* ``regularity`` in [0, 1] — uniformity of level sizes.  1 means every
+  level holds the mean number of tasks; 0 lets sizes vary by up to the
+  mean in either direction.
+* ``density`` in (0, 1] — probability of each possible edge between two
+  consecutive levels (a minimum spanning structure is always added so the
+  graph stays connected and layered).
+* ``jump`` >= 1 — extra "jump edges" from level ``l`` to ``l + j`` for
+  ``j = 2..jump`` are each added with probability ``density / j``.
+  ``jump = 1`` yields a layered DAG.
+
+The first and last levels are forced to a single task so the graph has one
+entry and one exit, as the paper assumes.  Task costs follow the paper's
+model: sequential time uniform in [1 minute, 10 hours] and Amdahl serial
+fraction uniform in [0, alpha_max].
+
+Where the original generator's exact arithmetic is unpublished the choices
+above are our documented substitutions (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dag.graph import TaskGraph
+from repro.dag.task import Task
+from repro.errors import GenerationError
+from repro.model import AmdahlModel
+from repro.rng import RNG
+from repro.units import HOUR, MINUTE
+
+
+@dataclass(frozen=True)
+class DagGenParams:
+    """Parameters of the random application generator (paper Table 1).
+
+    Defaults are the paper's boldface default values.
+    """
+
+    n: int = 50
+    width: float = 0.5
+    regularity: float = 0.5
+    density: float = 0.5
+    jump: int = 1
+    alpha_max: float = 0.20
+    min_seq_time: float = 1 * MINUTE
+    max_seq_time: float = 10 * HOUR
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise GenerationError(f"n must be >= 1, got {self.n}")
+        if not 0.0 < self.width <= 1.0:
+            raise GenerationError(f"width must be in (0, 1], got {self.width}")
+        if not 0.0 <= self.regularity <= 1.0:
+            raise GenerationError(
+                f"regularity must be in [0, 1], got {self.regularity}"
+            )
+        if not 0.0 < self.density <= 1.0:
+            raise GenerationError(f"density must be in (0, 1], got {self.density}")
+        if self.jump < 1:
+            raise GenerationError(f"jump must be >= 1, got {self.jump}")
+        if not 0.0 <= self.alpha_max <= 1.0:
+            raise GenerationError(
+                f"alpha_max must be in [0, 1], got {self.alpha_max}"
+            )
+        if not 0 < self.min_seq_time <= self.max_seq_time:
+            raise GenerationError(
+                "sequential time range must satisfy 0 < min <= max, got "
+                f"[{self.min_seq_time}, {self.max_seq_time}]"
+            )
+
+    def with_(self, **changes) -> "DagGenParams":
+        """Copy with the given fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+
+def _level_sizes(params: DagGenParams, rng: RNG) -> list[int]:
+    """Draw the number of tasks per level.
+
+    The first and last levels hold exactly one task (single entry/exit).
+    Middle levels target a mean width of ``n ** width`` with a relative
+    spread controlled by ``1 - regularity``.
+    """
+    n = params.n
+    if n == 1:
+        return [1]
+    if n == 2:
+        return [1, 1]
+
+    remaining = n - 2
+    mean = min(max(1.0, float(n) ** params.width), float(remaining))
+    spread = 1.0 - params.regularity
+    sizes: list[int] = []
+    while remaining > 0:
+        target = mean * (1.0 + spread * rng.uniform(-1.0, 1.0))
+        size = max(1, int(round(target)))
+        size = min(size, remaining)
+        sizes.append(size)
+        remaining -= size
+    return [1, *sizes, 1]
+
+
+def _layer_edges(
+    level_sets: list[list[int]], density: float, rng: RNG
+) -> set[tuple[int, int]]:
+    """Edges between consecutive levels.
+
+    Each potential edge appears with probability ``density``; every task
+    (except entries) then gets at least one predecessor in the previous
+    level and every task (except exits) at least one successor in the next
+    level, which keeps the graph connected and exactly layered.
+    """
+    edges: set[tuple[int, int]] = set()
+    for lvl in range(len(level_sets) - 1):
+        above, below = level_sets[lvl], level_sets[lvl + 1]
+        for u in above:
+            for v in below:
+                if rng.random() < density:
+                    edges.add((u, v))
+        # Guarantee layering: pred in previous level for every below-task,
+        # succ in next level for every above-task.
+        for v in below:
+            if not any((u, v) in edges for u in above):
+                edges.add((int(rng.choice(above)), v))
+        for u in above:
+            if not any((u, v) in edges for v in below):
+                edges.add((u, int(rng.choice(below))))
+    return edges
+
+
+def _jump_edges(
+    level_sets: list[list[int]], density: float, jump: int, rng: RNG
+) -> set[tuple[int, int]]:
+    """Extra edges from level ``l`` to ``l + j`` for ``j = 2..jump``."""
+    edges: set[tuple[int, int]] = set()
+    for j in range(2, jump + 1):
+        prob = density / j
+        for lvl in range(len(level_sets) - j):
+            for u in level_sets[lvl]:
+                for v in level_sets[lvl + j]:
+                    if rng.random() < prob:
+                        edges.add((u, v))
+    return edges
+
+
+def random_task_graph(params: DagGenParams, rng: RNG) -> TaskGraph:
+    """Generate one random mixed-parallel application.
+
+    The result always has a single entry task and a single exit task, and
+    its levels (longest-path depth) coincide with the generated layering.
+
+    Args:
+        params: Shape and cost parameters.
+        rng: Random stream; the result is a deterministic function of
+            ``params`` and the stream state.
+    """
+    sizes = _level_sizes(params, rng)
+    level_sets: list[list[int]] = []
+    next_index = 0
+    for size in sizes:
+        level_sets.append(list(range(next_index, next_index + size)))
+        next_index += size
+    assert next_index == params.n
+
+    edges = _layer_edges(level_sets, params.density, rng)
+    edges |= _jump_edges(level_sets, params.density, params.jump, rng)
+
+    tasks = []
+    for i in range(params.n):
+        seq_time = float(rng.uniform(params.min_seq_time, params.max_seq_time))
+        alpha = float(rng.uniform(0.0, params.alpha_max))
+        tasks.append(Task(name=f"t{i}", seq_time=seq_time, model=AmdahlModel(alpha)))
+
+    return TaskGraph(tasks, edges)

@@ -1,0 +1,156 @@
+"""Task-graph serialization: JSON round-trip, Graphviz DOT, networkx.
+
+The JSON schema is intentionally simple and versioned::
+
+    {
+      "format": "repro-dag",
+      "version": 1,
+      "tasks": [{"name": "...", "seq_time": 123.0,
+                 "model": {"kind": "amdahl", "alpha": 0.1}}, ...],
+      "edges": [[0, 1], ...]
+    }
+
+Only the models shipped by :mod:`repro.model` are serializable; custom
+models must provide their own persistence.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.dag.graph import TaskGraph
+from repro.dag.task import Task
+from repro.errors import InvalidDagError
+from repro.model import (
+    AmdahlModel,
+    DowneyModel,
+    GustafsonFixedWorkModel,
+    SpeedupModel,
+)
+
+_FORMAT = "repro-dag"
+_VERSION = 1
+
+
+def _model_to_obj(model: SpeedupModel) -> dict[str, Any]:
+    if isinstance(model, AmdahlModel):
+        return {"kind": "amdahl", "alpha": model.alpha}
+    if isinstance(model, DowneyModel):
+        return {
+            "kind": "downey",
+            "avg_parallelism": model.avg_parallelism,
+            "sigma": model.sigma,
+        }
+    if isinstance(model, GustafsonFixedWorkModel):
+        return {"kind": "gustafson", "overhead": model.overhead}
+    raise InvalidDagError(
+        f"speedup model {type(model).__name__} is not JSON-serializable"
+    )
+
+
+def _model_from_obj(obj: dict[str, Any]) -> SpeedupModel:
+    kind = obj.get("kind")
+    if kind == "amdahl":
+        return AmdahlModel(alpha=float(obj["alpha"]))
+    if kind == "downey":
+        return DowneyModel(
+            avg_parallelism=float(obj["avg_parallelism"]),
+            sigma=float(obj["sigma"]),
+        )
+    if kind == "gustafson":
+        return GustafsonFixedWorkModel(overhead=float(obj["overhead"]))
+    raise InvalidDagError(f"unknown speedup model kind: {kind!r}")
+
+
+def to_json(graph: TaskGraph) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    doc = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "tasks": [
+            {
+                "name": t.name,
+                "seq_time": t.seq_time,
+                "model": _model_to_obj(t.model),
+            }
+            for t in graph.tasks
+        ],
+        "edges": [list(e) for e in graph.edges],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def from_json(text: str) -> TaskGraph:
+    """Parse a graph serialized by :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise InvalidDagError(f"malformed DAG JSON: {exc}") from exc
+    if doc.get("format") != _FORMAT:
+        raise InvalidDagError(
+            f"not a {_FORMAT} document (format={doc.get('format')!r})"
+        )
+    if doc.get("version") != _VERSION:
+        raise InvalidDagError(
+            f"unsupported {_FORMAT} version {doc.get('version')!r}"
+        )
+    tasks = [
+        Task(
+            name=str(t["name"]),
+            seq_time=float(t["seq_time"]),
+            model=_model_from_obj(t["model"]),
+        )
+        for t in doc["tasks"]
+    ]
+    edges = [(int(u), int(v)) for u, v in doc["edges"]]
+    return TaskGraph(tasks, edges)
+
+
+def to_dot(graph: TaskGraph, *, reduced: bool = False) -> str:
+    """Render ``graph`` as Graphviz DOT.
+
+    Args:
+        graph: The graph to render.
+        reduced: Render only the transitive reduction's edges.
+    """
+    edges = graph.transitive_reduction_edges() if reduced else graph.edges
+    lines = ["digraph dag {", "  rankdir=TB;"]
+    for i, t in enumerate(graph.tasks):
+        hours = t.seq_time / 3600.0
+        lines.append(f'  n{i} [label="{t.name}\\n{hours:.2f}h"];')
+    for u, v in edges:
+        lines.append(f"  n{u} -> n{v};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_networkx(graph: TaskGraph):
+    """Convert to a :class:`networkx.DiGraph` with ``task`` node attributes."""
+    import networkx as nx
+
+    g = nx.DiGraph()
+    for i, t in enumerate(graph.tasks):
+        g.add_node(i, task=t)
+    g.add_edges_from(graph.edges)
+    return g
+
+
+def from_networkx(g) -> TaskGraph:
+    """Build a :class:`TaskGraph` from a networkx DiGraph.
+
+    Nodes must carry a ``task`` attribute holding a :class:`Task`; node
+    identity is mapped to indices in sorted-node order.
+    """
+    nodes = sorted(g.nodes)
+    index = {node: i for i, node in enumerate(nodes)}
+    tasks = []
+    for node in nodes:
+        task = g.nodes[node].get("task")
+        if not isinstance(task, Task):
+            raise InvalidDagError(
+                f"node {node!r} lacks a Task in its 'task' attribute"
+            )
+        tasks.append(task)
+    edges = [(index[u], index[v]) for u, v in g.edges]
+    return TaskGraph(tasks, edges)

@@ -1,0 +1,51 @@
+"""The moldable task: a DAG vertex with a sequential time and speedup model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model import AmdahlModel, SpeedupModel
+
+
+@dataclass(frozen=True)
+class Task:
+    """One data-parallel task of a mixed-parallel application.
+
+    Attributes:
+        name: Human-readable identifier, unique within a graph.
+        seq_time: Sequential execution time ``T(1)`` in seconds (> 0).
+        model: Speedup model mapping processor counts to execution times.
+            Defaults to a perfectly parallel Amdahl model (``alpha = 0``);
+            the random generator draws ``alpha`` per task.
+    """
+
+    name: str
+    seq_time: float
+    model: SpeedupModel = field(default_factory=lambda: AmdahlModel(0.0))
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("task name must be non-empty")
+        if not (self.seq_time > 0 and np.isfinite(self.seq_time)):
+            raise ValueError(
+                f"task {self.name!r}: sequential time must be a positive finite "
+                f"number, got {self.seq_time}"
+            )
+
+    def exec_time(self, m: int) -> float:
+        """Execution time on ``m`` processors."""
+        return self.model.exec_time(self.seq_time, m)
+
+    def exec_times(self, max_m: int) -> np.ndarray:
+        """Vector of execution times for ``m = 1..max_m`` (index ``m-1``)."""
+        return self.model.exec_times(self.seq_time, max_m)
+
+    def work(self, m: int) -> float:
+        """CPU-seconds consumed when run on ``m`` processors."""
+        return self.model.work(self.seq_time, m)
+
+    def with_name(self, name: str) -> "Task":
+        """Copy of this task under a different name (used by subgraphs)."""
+        return Task(name=name, seq_time=self.seq_time, model=self.model)

@@ -1,0 +1,228 @@
+"""Mixed-parallel workflow templates from the paper's motivating domains.
+
+The paper motivates mixed parallelism with scientific workflows — image
+processing pipelines of data-parallel filters, and workflow systems like
+Swift/NAREGI ([23], [46], [27]).  These constructors build DAGs with the
+*shapes* of well-known workflow families, each with moldable Amdahl's-law
+tasks, so examples and tests can exercise structures that the random
+generator rarely produces (deep fan-in trees, butterfly exchanges,
+parameter-sweep fans).
+
+All templates take an ``rng`` so task costs vary per instance while the
+structure stays fixed, and all return single-entry/single-exit graphs
+(the paper's assumption).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dag.graph import TaskGraph
+from repro.dag.task import Task
+from repro.errors import GenerationError
+from repro.model import AmdahlModel
+from repro.rng import RNG
+from repro.units import HOUR, MINUTE
+
+
+def _task(
+    name: str,
+    rng: RNG,
+    *,
+    mean_hours: float,
+    alpha_max: float,
+) -> Task:
+    seq = float(rng.uniform(0.5, 1.5)) * mean_hours * HOUR
+    seq = max(seq, 1 * MINUTE)
+    alpha = float(rng.uniform(0.0, alpha_max))
+    return Task(name, seq, AmdahlModel(alpha))
+
+
+def montage_like(
+    rng: RNG,
+    *,
+    n_tiles: int = 8,
+    alpha_max: float = 0.2,
+) -> TaskGraph:
+    """A Montage-style mosaicking workflow.
+
+    Shape: project each tile, compute pairwise overlaps between adjacent
+    tiles, fit a background model (global join), correct each tile, then
+    co-add into the final mosaic::
+
+        stage -> project_i -> diff_(i,i+1) -> fit -> correct_i -> madd
+
+    Args:
+        rng: Cost randomization stream.
+        n_tiles: Number of image tiles (>= 2).
+        alpha_max: Upper bound on the per-task serial fraction.
+    """
+    if n_tiles < 2:
+        raise GenerationError(f"montage needs >= 2 tiles, got {n_tiles}")
+    tasks: list[Task] = [_task("stage", rng, mean_hours=0.2, alpha_max=alpha_max)]
+    edges: list[tuple[int, int]] = []
+
+    projects = []
+    for i in range(n_tiles):
+        idx = len(tasks)
+        tasks.append(_task(f"project-{i}", rng, mean_hours=1.0, alpha_max=alpha_max))
+        edges.append((0, idx))
+        projects.append(idx)
+
+    diffs = []
+    for i in range(n_tiles - 1):
+        idx = len(tasks)
+        tasks.append(_task(f"diff-{i}", rng, mean_hours=0.4, alpha_max=alpha_max))
+        edges.append((projects[i], idx))
+        edges.append((projects[i + 1], idx))
+        diffs.append(idx)
+
+    fit = len(tasks)
+    tasks.append(_task("fit", rng, mean_hours=0.8, alpha_max=alpha_max))
+    for d in diffs:
+        edges.append((d, fit))
+
+    corrects = []
+    for i in range(n_tiles):
+        idx = len(tasks)
+        tasks.append(_task(f"correct-{i}", rng, mean_hours=0.5, alpha_max=alpha_max))
+        edges.append((fit, idx))
+        corrects.append(idx)
+
+    madd = len(tasks)
+    tasks.append(_task("madd", rng, mean_hours=1.5, alpha_max=alpha_max))
+    for c in corrects:
+        edges.append((c, madd))
+    return TaskGraph(tasks, edges)
+
+
+def parameter_sweep(
+    rng: RNG,
+    *,
+    n_points: int = 16,
+    stages_per_point: int = 2,
+    alpha_max: float = 0.2,
+) -> TaskGraph:
+    """A parameter-sweep campaign: prepare, run chains, reduce.
+
+    Shape: one prepare task fans out to ``n_points`` independent chains
+    of ``stages_per_point`` tasks each, joined by a single reduction —
+    the structure of ensemble simulations and hyper-parameter studies.
+    """
+    if n_points < 1 or stages_per_point < 1:
+        raise GenerationError("sweep needs >= 1 point and >= 1 stage")
+    tasks = [_task("prepare", rng, mean_hours=0.3, alpha_max=alpha_max)]
+    edges: list[tuple[int, int]] = []
+    tails = []
+    for p in range(n_points):
+        prev = 0
+        for s in range(stages_per_point):
+            idx = len(tasks)
+            tasks.append(
+                _task(f"run-{p}-{s}", rng, mean_hours=2.0, alpha_max=alpha_max)
+            )
+            edges.append((prev, idx))
+            prev = idx
+        tails.append(prev)
+    reduce_idx = len(tasks)
+    tasks.append(_task("reduce", rng, mean_hours=0.5, alpha_max=alpha_max))
+    for t in tails:
+        edges.append((t, reduce_idx))
+    return TaskGraph(tasks, edges)
+
+
+def fft_butterfly(
+    rng: RNG,
+    *,
+    width: int = 8,
+    alpha_max: float = 0.1,
+) -> TaskGraph:
+    """An FFT-style butterfly of log2(width) exchange stages.
+
+    Shape: scatter to ``width`` lanes, then ``log2(width)`` stages where
+    lane ``i`` depends on lanes ``i`` and ``i XOR 2^s`` of the previous
+    stage, then gather.  ``width`` must be a power of two.
+    """
+    if width < 2 or width & (width - 1) != 0:
+        raise GenerationError(f"butterfly width must be a power of 2, got {width}")
+    levels = int(math.log2(width))
+    tasks = [_task("scatter", rng, mean_hours=0.2, alpha_max=alpha_max)]
+    edges: list[tuple[int, int]] = []
+
+    prev_row = []
+    for i in range(width):
+        idx = len(tasks)
+        tasks.append(_task(f"s0-{i}", rng, mean_hours=0.6, alpha_max=alpha_max))
+        edges.append((0, idx))
+        prev_row.append(idx)
+
+    for s in range(1, levels + 1):
+        stride = 2 ** (s - 1)
+        row = []
+        for i in range(width):
+            idx = len(tasks)
+            tasks.append(
+                _task(f"s{s}-{i}", rng, mean_hours=0.6, alpha_max=alpha_max)
+            )
+            edges.append((prev_row[i], idx))
+            edges.append((prev_row[i ^ stride], idx))
+            row.append(idx)
+        prev_row = row
+
+    gather = len(tasks)
+    tasks.append(_task("gather", rng, mean_hours=0.3, alpha_max=alpha_max))
+    for i in prev_row:
+        edges.append((i, gather))
+    return TaskGraph(tasks, edges)
+
+
+def inference_tree(
+    rng: RNG,
+    *,
+    leaves: int = 16,
+    alpha_max: float = 0.15,
+) -> TaskGraph:
+    """A reduction tree: many leaf analyses merged pairwise to one root.
+
+    Shape: a distribute task fans out to ``leaves`` leaf tasks; pairs are
+    merged level by level (CyberShake/LIGO-style post-processing).  A
+    non-power-of-two leaf count promotes the odd task to the next level.
+    """
+    if leaves < 2:
+        raise GenerationError(f"tree needs >= 2 leaves, got {leaves}")
+    tasks = [_task("distribute", rng, mean_hours=0.2, alpha_max=alpha_max)]
+    edges: list[tuple[int, int]] = []
+    level = []
+    for i in range(leaves):
+        idx = len(tasks)
+        tasks.append(_task(f"leaf-{i}", rng, mean_hours=1.2, alpha_max=alpha_max))
+        edges.append((0, idx))
+        level.append(idx)
+
+    depth = 0
+    while len(level) > 1:
+        depth += 1
+        nxt = []
+        for j in range(0, len(level) - 1, 2):
+            idx = len(tasks)
+            tasks.append(
+                _task(f"merge-{depth}-{j // 2}", rng, mean_hours=0.7,
+                      alpha_max=alpha_max)
+            )
+            edges.append((level[j], idx))
+            edges.append((level[j + 1], idx))
+            nxt.append(idx)
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    # `level[0]` is the root merge; it is already the single exit.
+    return TaskGraph(tasks, edges)
+
+
+#: All templates by name (example/CLI convenience).
+TEMPLATES = {
+    "montage": montage_like,
+    "sweep": parameter_sweep,
+    "butterfly": fft_butterfly,
+    "tree": inference_tree,
+}

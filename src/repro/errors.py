@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidDagError(ReproError):
+    """A task graph violates a structural requirement.
+
+    Raised for cycles, multiple entry/exit tasks when a single one is
+    required, dangling edge endpoints, or non-positive task costs.
+    """
+
+
+class GenerationError(ReproError):
+    """Random instance generation was given inconsistent parameters."""
+
+
+class CalendarError(ReproError):
+    """A resource-calendar operation is inconsistent.
+
+    Raised when a reservation would exceed the platform capacity, has a
+    non-positive duration, or requests a non-positive processor count.
+    """
+
+
+class InfeasibleError(ReproError):
+    """A scheduling request cannot be satisfied.
+
+    For RESSCHEDDL this signals that the algorithm could not produce a
+    schedule meeting the requested deadline; it is the "answer is no"
+    outcome, not a bug.
+    """
+
+
+class ScheduleValidationError(ReproError):
+    """A computed schedule violates precedence, capacity, or time bounds."""
+
+
+class WorkloadError(ReproError):
+    """A workload log could not be parsed or is internally inconsistent."""

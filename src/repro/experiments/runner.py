@@ -1,0 +1,148 @@
+"""Instance streams: materializing (application, reservation) problems.
+
+The drivers in this package all consume the same stream of problem
+instances: a scenario key (the aggregation unit for degradation-from-best
+and wins) plus a concrete ``(TaskGraph, ReservationScenario)`` pair.
+Streams are fully deterministic: every random object derives its stream
+from the scale's seed and a structural key, so adding scenarios or
+instances never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+from repro.dag import TaskGraph, random_task_graph
+from repro.experiments.scenarios import AppScenario, ExperimentScale
+from repro.rng import derive_rng
+from repro.workloads import (
+    GRID5000,
+    ReservationScenario,
+    build_reservation_scenario,
+    generate_log,
+    preset,
+    reservation_scenario_from_reservation_log,
+)
+from repro.workloads.reservations import pick_scheduling_time
+from repro.workloads.swf import Job
+
+
+@dataclass(frozen=True)
+class InstanceStream:
+    """One problem instance plus its aggregation key."""
+
+    scenario_key: str
+    graph: TaskGraph
+    scenario: ReservationScenario
+
+
+@lru_cache(maxsize=16)
+def _cached_log(log_name: str, seed: int) -> tuple[Job, ...]:
+    params = preset(log_name)
+    rng = derive_rng(seed, "log", log_name)
+    return tuple(generate_log(params, rng))
+
+
+def _dags(app: AppScenario, scale: ExperimentScale) -> list[TaskGraph]:
+    return [
+        random_task_graph(
+            app.params, derive_rng(scale.seed, "dag", app.name, k)
+        )
+        for k in range(scale.dag_instances)
+    ]
+
+
+def iter_problem_instances(
+    scale: ExperimentScale,
+    *,
+    pair_instances: bool = True,
+) -> Iterator[InstanceStream]:
+    """Instances over the synthetic-log grid (Tables 4, 6; §4.3.1).
+
+    A scenario key is one (application spec, log, phi, method) cell.  For
+    each cell the scale supplies ``dag_instances`` DAGs and
+    ``start_times * taggings`` reservation schedules.
+
+    Args:
+        scale: Grid dimensions.
+        pair_instances: When True (default), the i-th DAG is paired with
+            the i-th reservation schedule round-robin — linear cost in the
+            instance counts.  When False the full cross product is
+            generated, as in the paper's 20 x 50 crossing.
+    """
+    apps = scale.selected_app_scenarios()
+    for log_name in scale.logs:
+        jobs = list(_cached_log(log_name, scale.seed))
+        capacity = preset(log_name).n_procs
+        for phi in scale.phis:
+            for method in scale.methods:
+                resv_scenarios: list[ReservationScenario] = []
+                for s in range(scale.start_times):
+                    now_rng = derive_rng(
+                        scale.seed, "now", log_name, phi, method, s
+                    )
+                    now = pick_scheduling_time(jobs, now_rng)
+                    for t in range(scale.taggings):
+                        tag_rng = derive_rng(
+                            scale.seed, "tag", log_name, phi, method, s, t
+                        )
+                        resv_scenarios.append(
+                            build_reservation_scenario(
+                                jobs,
+                                capacity,
+                                phi=phi,
+                                now=now,
+                                method=method,
+                                rng=tag_rng,
+                                name=f"{log_name}-{method}-phi{phi}-s{s}t{t}",
+                            )
+                        )
+                for app in apps:
+                    key = f"{app.name}|{log_name}|phi={phi}|{method}"
+                    dags = _dags(app, scale)
+                    if pair_instances:
+                        count = max(len(dags), len(resv_scenarios))
+                        pairs = [
+                            (dags[i % len(dags)], resv_scenarios[i % len(resv_scenarios)])
+                            for i in range(count)
+                        ]
+                    else:
+                        pairs = [
+                            (g, sc) for g in dags for sc in resv_scenarios
+                        ]
+                    for graph, scenario in pairs:
+                        yield InstanceStream(key, graph, scenario)
+
+
+def iter_grid5000_instances(
+    scale: ExperimentScale,
+    *,
+    n_start_times: int | None = None,
+) -> Iterator[InstanceStream]:
+    """Instances over the Grid'5000 reservation log (Tables 5, 6, 7).
+
+    The paper extracts 50 reservation schedules at 50 random start times;
+    here ``n_start_times`` defaults to the scale's ``start_times``.
+    """
+    jobs = list(_cached_log("Grid5000", scale.seed))
+    capacity = GRID5000.n_procs
+    n_starts = n_start_times if n_start_times is not None else scale.start_times
+    scenarios = []
+    for s in range(n_starts):
+        now_rng = derive_rng(scale.seed, "g5k-now", s)
+        now = pick_scheduling_time(jobs, now_rng)
+        scenarios.append(
+            reservation_scenario_from_reservation_log(
+                jobs, capacity, now, name=f"Grid5000-s{s}"
+            )
+        )
+    for app in scale.selected_app_scenarios():
+        key = f"{app.name}|Grid5000"
+        dags = _dags(app, scale)
+        count = max(len(dags), len(scenarios))
+        for i in range(count):
+            yield InstanceStream(
+                key, dags[i % len(dags)], scenarios[i % len(scenarios)]
+            )

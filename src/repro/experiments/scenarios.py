@@ -1,0 +1,135 @@
+"""Experimental scenario grids (paper Table 1 and §4.3.1 methodology).
+
+The paper's application grid fixes five of six parameters at their
+defaults and sweeps the sixth, giving ``5 + 4 + 9 + 9 + 9 + 4 = 40``
+application scenarios.  Reservation scenarios cross the four logs with
+three tagging fractions and three reshaping methods (36 combinations).
+
+The paper runs 1,440 scenario combinations with 1,000 random instances
+each; :class:`ExperimentScale` makes every dimension adjustable so the
+shipped benchmarks default to a laptop-scale subset that still covers
+every comparison axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.dag import DagGenParams
+from repro.errors import GenerationError
+
+#: Paper Table 1 sweeps (defaults in DagGenParams are the boldface values).
+N_TASK_VALUES = (10, 25, 50, 75, 100)
+ALPHA_VALUES = (0.05, 0.10, 0.15, 0.20)
+WIDTH_VALUES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+DENSITY_VALUES = WIDTH_VALUES
+REGULARITY_VALUES = WIDTH_VALUES
+JUMP_VALUES = (1, 2, 3, 4)
+
+#: Paper §4.3 reservation grid.
+PHI_VALUES = (0.1, 0.2, 0.5)
+METHOD_VALUES = ("linear", "expo", "real")
+
+
+@dataclass(frozen=True)
+class AppScenario:
+    """One application specification of the Table 1 grid."""
+
+    name: str
+    params: DagGenParams
+
+
+def table1_app_scenarios() -> list[AppScenario]:
+    """The paper's 40 application scenarios.
+
+    One scenario per swept value of each parameter, all other parameters
+    at their defaults.  The default configuration appears once per sweep
+    (as in the paper's counting: 5+4+9+9+9+4 = 40 specifications).
+    """
+    base = DagGenParams()
+    scenarios: list[AppScenario] = []
+    for n in N_TASK_VALUES:
+        scenarios.append(AppScenario(f"n={n}", replace(base, n=n)))
+    for a in ALPHA_VALUES:
+        scenarios.append(AppScenario(f"alpha={a}", replace(base, alpha_max=a)))
+    for w in WIDTH_VALUES:
+        scenarios.append(AppScenario(f"width={w}", replace(base, width=w)))
+    for d in DENSITY_VALUES:
+        scenarios.append(AppScenario(f"density={d}", replace(base, density=d)))
+    for r in REGULARITY_VALUES:
+        scenarios.append(
+            AppScenario(f"regularity={r}", replace(base, regularity=r))
+        )
+    for j in JUMP_VALUES:
+        scenarios.append(AppScenario(f"jump={j}", replace(base, jump=j)))
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs of an experiment run.
+
+    The paper-scale values are noted in brackets; the defaults here are a
+    reduced grid that exercises every comparison dimension in minutes.
+
+    Attributes:
+        logs: Workload logs to use [all four].
+        phis: Tagging fractions [0.1, 0.2, 0.5].
+        methods: Reshaping methods [linear, expo, real].
+        app_scenarios: Number of Table 1 application scenarios, sampled
+            evenly across the 40 [40]; None = all.
+        dag_instances: Random DAGs per application scenario [20].
+        start_times: Scheduling instants per reservation spec [10].
+        taggings: Random taggings per start time [5].
+        seed: Root seed; every instance derives a keyed stream from it.
+    """
+
+    logs: tuple[str, ...] = ("CTC_SP2", "SDSC_BLUE")
+    phis: tuple[float, ...] = (0.1, 0.5)
+    methods: tuple[str, ...] = ("expo", "real")
+    app_scenarios: int | None = 6
+    dag_instances: int = 3
+    start_times: int = 2
+    taggings: int = 1
+    seed: int = 20080623  # HPDC 2008's opening day
+
+    def __post_init__(self) -> None:
+        if self.dag_instances < 1 or self.start_times < 1 or self.taggings < 1:
+            raise GenerationError("instance counts must all be >= 1")
+        if self.app_scenarios is not None and self.app_scenarios < 1:
+            raise GenerationError("app_scenarios must be >= 1 or None")
+
+    def selected_app_scenarios(self) -> list[AppScenario]:
+        """The application scenarios this scale covers (even subsample)."""
+        full = table1_app_scenarios()
+        if self.app_scenarios is None or self.app_scenarios >= len(full):
+            return full
+        # Even strides keep every parameter family represented.
+        stride = len(full) / self.app_scenarios
+        return [full[int(i * stride)] for i in range(self.app_scenarios)]
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        """The smallest meaningful scale (CI-sized)."""
+        return cls(
+            logs=("OSC_Cluster",),
+            phis=(0.2,),
+            methods=("expo",),
+            app_scenarios=2,
+            dag_instances=2,
+            start_times=1,
+            taggings=1,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The full paper grid (hours to days of compute in Python)."""
+        return cls(
+            logs=("CTC_SP2", "OSC_Cluster", "SDSC_BLUE", "SDSC_DS"),
+            phis=PHI_VALUES,
+            methods=METHOD_VALUES,
+            app_scenarios=None,
+            dag_instances=20,
+            start_times=10,
+            taggings=5,
+        )

@@ -1,0 +1,58 @@
+"""Table 2: characteristics of the four (synthetic) batch logs.
+
+The paper's Table 2 describes its archive logs by platform size and
+average utilization.  This driver generates each calibrated synthetic log
+and reports the same columns, so the bench can confirm the substitutes
+land on the published characteristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rng import derive_rng
+from repro.workloads import BATCH_LOG_PRESETS, generate_log
+from repro.workloads.synthetic import achieved_utilization
+
+
+@dataclass(frozen=True)
+class LogRow:
+    """One row of Table 2 (measured on the synthetic log)."""
+
+    name: str
+    n_cpus: int
+    n_jobs: int
+    utilization_target: float
+    utilization_measured: float
+
+
+def run_table2(seed: int = 20080623) -> list[LogRow]:
+    """Generate all four logs and measure their utilization."""
+    rows = []
+    for name, params in BATCH_LOG_PRESETS.items():
+        jobs = generate_log(params, derive_rng(seed, "log", name))
+        rows.append(
+            LogRow(
+                name=name,
+                n_cpus=params.n_procs,
+                n_jobs=len(jobs),
+                utilization_target=params.target_utilization,
+                utilization_measured=achieved_utilization(jobs, params.n_procs),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[LogRow]) -> str:
+    """Paper-style rendering of Table 2."""
+    lines = [
+        f"{'Name':<12} {'#CPUs':>6} {'#jobs':>7} "
+        f"{'target util [%]':>16} {'measured util [%]':>18}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<12} {r.n_cpus:>6} {r.n_jobs:>7} "
+            f"{100 * r.utilization_target:>16.1f} "
+            f"{100 * r.utilization_measured:>18.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Table 4: RESSCHED results with synthetic reservation schedules.
+
+Compares the four allocation-bounding methods (BD_ALL, BD_HALF, BD_CPA,
+BD_CPAR; bottom levels always BL_CPAR) on two metrics — turn-around time
+and CPU-hours — reporting average degradation from best and win counts,
+exactly as the paper's Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core import ProblemContext, ResSchedAlgorithm, schedule_ressched
+from repro.core.metrics import ComparisonTable
+from repro.experiments.runner import InstanceStream, iter_problem_instances
+from repro.experiments.scenarios import ExperimentScale
+
+#: The Table 4/5 competitors, in paper row order.
+TABLE4_BD_METHODS = ("BD_ALL", "BD_HALF", "BD_CPA", "BD_CPAR")
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """Both metric tables, ready for formatting or assertions."""
+
+    turnaround: ComparisonTable
+    cpu_hours: ComparisonTable
+
+
+def compare_bd_methods(
+    instances: Iterable[InstanceStream],
+    *,
+    bd_methods: tuple[str, ...] = TABLE4_BD_METHODS,
+    bl: str = "BL_CPAR",
+) -> Table4Result:
+    """Run each BD method over a stream of instances and accumulate the
+    paper's summary statistics (shared by Tables 4 and 5)."""
+    turnaround = ComparisonTable(metric="turn-around time")
+    cpu_hours = ComparisonTable(metric="CPU-hours")
+    for inst in instances:
+        ctx = ProblemContext(inst.graph, inst.scenario)
+        tat: dict[str, float] = {}
+        cpu: dict[str, float] = {}
+        for bd in bd_methods:
+            sched = schedule_ressched(
+                inst.graph,
+                inst.scenario,
+                ResSchedAlgorithm(bl=bl, bd=bd),
+                context=ctx,
+            )
+            tat[bd] = sched.turnaround
+            cpu[bd] = sched.cpu_hours
+        turnaround.add(inst.scenario_key, tat)
+        cpu_hours.add(inst.scenario_key, cpu)
+    return Table4Result(turnaround=turnaround, cpu_hours=cpu_hours)
+
+
+def run_table4(scale: ExperimentScale) -> Table4Result:
+    """Table 4: the synthetic-log grid."""
+    return compare_bd_methods(iter_problem_instances(scale))
+
+
+def format_table4(result: Table4Result, *, title: str = "Table 4") -> str:
+    """Paper-style two-metric table."""
+    t = result.turnaround.summarize()
+    c = result.cpu_hours.summarize()
+    lines = [
+        f"{title}: turn-around time and CPU-hours "
+        f"({result.turnaround.n_scenarios} scenarios)",
+        f"{'Algorithm':<10} {'TAT deg [%]':>12} {'TAT wins':>9} "
+        f"{'CPU deg [%]':>12} {'CPU wins':>9}",
+    ]
+    for bd in TABLE4_BD_METHODS:
+        if bd not in t:
+            continue
+        lines.append(
+            f"{bd:<10} {t[bd].avg_degradation:>12.2f} {t[bd].wins:>9} "
+            f"{c[bd].avg_degradation:>12.2f} {c[bd].wins:>9}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Table 5: RESSCHED results with Grid'5000 reservation schedules.
+
+Same comparison as Table 4 but on reservation scenarios extracted from
+the (synthetic) Grid'5000 reservation log at random start times.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import iter_grid5000_instances
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.table4 import Table4Result, compare_bd_methods, format_table4
+
+
+def run_table5(scale: ExperimentScale) -> Table4Result:
+    """Table 5: the Grid'5000 instance stream."""
+    return compare_bd_methods(iter_grid5000_instances(scale))
+
+
+def format_table5(result: Table4Result) -> str:
+    """Paper-style rendering."""
+    return format_table4(result, title="Table 5 (Grid'5000)")

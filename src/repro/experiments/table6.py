@@ -1,0 +1,144 @@
+"""Table 6: deadline algorithms — tightest deadline and loose-deadline cost.
+
+For each instance the paper determines, per algorithm, (i) the tightest
+deadline it can meet (binary search) and (ii) the CPU-hours it spends
+when given a loose deadline — 50 % larger than the loosest tightest
+deadline across the algorithms.  Both metrics are summarized as average
+degradation from best, split by tagging fraction phi (synthetic logs)
+plus a Grid'5000 column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+import numpy as np
+
+from repro.core import ProblemContext, schedule_deadline, tightest_deadline
+from repro.core.metrics import ComparisonTable
+from repro.errors import InfeasibleError
+from repro.experiments.runner import (
+    InstanceStream,
+    iter_grid5000_instances,
+    iter_problem_instances,
+)
+from repro.experiments.scenarios import ExperimentScale
+
+#: Table 6's five competitors, in paper row order.
+TABLE6_ALGORITHMS = (
+    "DL_BD_ALL",
+    "DL_BD_CPA",
+    "DL_BD_CPAR",
+    "DL_RC_CPA",
+    "DL_RC_CPAR",
+)
+
+#: The loose deadline is this factor times the loosest tightest deadline.
+LOOSE_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class DeadlineComparison:
+    """Tightest-deadline and loose-deadline-cost tables for one column."""
+
+    column: str
+    tightest: ComparisonTable
+    loose_cpu_hours: ComparisonTable
+
+
+def compare_deadline_algorithms(
+    column: str,
+    instances: Iterable[InstanceStream],
+    *,
+    algorithms: tuple[str, ...] = TABLE6_ALGORITHMS,
+) -> DeadlineComparison:
+    """Run the Table 6 protocol over one instance stream."""
+    tightest = ComparisonTable(metric="tightest deadline (turnaround)")
+    loose = ComparisonTable(metric="CPU-hours at loose deadline")
+    for inst in instances:
+        ctx = ProblemContext(inst.graph, inst.scenario)
+        now = inst.scenario.now
+
+        tight: dict[str, float] = {}
+        for alg in algorithms:
+            try:
+                td = tightest_deadline(
+                    inst.graph, inst.scenario, alg, context=ctx
+                )
+                tight[alg] = td.turnaround(now)
+            except InfeasibleError:
+                tight[alg] = float("nan")
+        tightest.add(inst.scenario_key, tight)
+
+        finite = [v for v in tight.values() if np.isfinite(v)]
+        if not finite:
+            continue
+        loose_deadline = now + LOOSE_FACTOR * max(finite)
+        cpu: dict[str, float] = {}
+        for alg in algorithms:
+            res = schedule_deadline(
+                inst.graph, inst.scenario, loose_deadline, alg, context=ctx
+            )
+            cpu[alg] = res.cpu_hours
+        loose.add(inst.scenario_key, cpu)
+    return DeadlineComparison(column=column, tightest=tightest, loose_cpu_hours=loose)
+
+
+def run_table6(
+    scale: ExperimentScale,
+    *,
+    log: str = "SDSC_BLUE",
+    algorithms: tuple[str, ...] = TABLE6_ALGORITHMS,
+) -> list[DeadlineComparison]:
+    """Table 6: one column per phi on ``log``, plus a Grid'5000 column.
+
+    The paper restricts the synthetic columns to SDSC_BLUE because the
+    tightest-deadline search is expensive; pass a different ``log`` to
+    explore the others.
+    """
+    columns: list[DeadlineComparison] = []
+    for phi in scale.phis:
+        sub = replace(scale, logs=(log,), phis=(phi,))
+        columns.append(
+            compare_deadline_algorithms(
+                f"phi={phi}",
+                iter_problem_instances(sub),
+                algorithms=algorithms,
+            )
+        )
+    columns.append(
+        compare_deadline_algorithms(
+            "Grid5000",
+            iter_grid5000_instances(scale),
+            algorithms=algorithms,
+        )
+    )
+    return columns
+
+
+def format_table6(columns: list[DeadlineComparison]) -> str:
+    """Paper-style rendering: degradation-from-best per column."""
+    algs = columns[0].tightest.algorithms if columns else []
+    header = f"{'Algorithm':<20}" + "".join(
+        f" {c.column:>12}" for c in columns
+    )
+    lines = ["Tightest deadline (avg % degradation from best)", header]
+    summaries_t = [c.tightest.summarize() for c in columns]
+    for alg in algs:
+        row = f"{alg:<20}"
+        for s in summaries_t:
+            v = s[alg].avg_degradation if alg in s else float("nan")
+            row += f" {v:>12.2f}"
+        lines.append(row)
+    lines.append("")
+    lines.append("CPU-hours at loose deadline (avg % degradation from best)")
+    lines.append(header)
+    summaries_c = [c.loose_cpu_hours.summarize() for c in columns]
+    for alg in algs:
+        row = f"{alg:<20}"
+        for s in summaries_c:
+            v = s[alg].avg_degradation if alg in s else float("nan")
+            row += f" {v:>12.2f}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Execution-time models for moldable (data-parallel) tasks."""
+
+from repro.model.speedup import (
+    AmdahlModel,
+    DowneyModel,
+    GustafsonFixedWorkModel,
+    SpeedupModel,
+)
+
+__all__ = [
+    "SpeedupModel",
+    "AmdahlModel",
+    "DowneyModel",
+    "GustafsonFixedWorkModel",
+]

@@ -1,0 +1,183 @@
+"""Speedup models for moldable tasks.
+
+A *moldable* (data-parallel) task can execute on any number of processors
+``m`` in ``1..p``; its execution time ``T(m)`` is determined by a speedup
+model.  The paper (Section 3.1) models tasks with **Amdahl's law**: a
+fraction ``alpha`` of the sequential time ``T(1)`` is not parallelizable,
+
+    T(m) = T(1) * (alpha + (1 - alpha) / m).
+
+That model is the default everywhere in this library.  Two alternative
+models are provided as extensions (they plug into the same schedulers and
+are used by ablation benchmarks): Downey's empirical model of parallel
+speedup, and a fixed-work Gustafson-style model.
+
+All models expose execution time through ``exec_time(seq_time, m)`` and
+guarantee two properties the schedulers rely on:
+
+* **Non-increasing time**: ``T(m+1) <= T(m)`` — an extra processor never
+  slows a task down.
+* **Non-increasing efficiency**: ``m * T(m)`` is non-decreasing in ``m``
+  (equivalently speedup is concave-ish) — work (CPU-seconds) never shrinks
+  when processors are added.  CPA's area argument assumes this.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class SpeedupModel(ABC):
+    """Strategy mapping processor counts to execution times for one task."""
+
+    @abstractmethod
+    def speedup(self, m: int) -> float:
+        """Speedup ``T(1) / T(m)`` on ``m`` processors (``>= 1``)."""
+
+    def exec_time(self, seq_time: float, m: int) -> float:
+        """Execution time on ``m`` processors for a task with sequential
+        time ``seq_time``."""
+        if m < 1:
+            raise ValueError(f"processor count must be >= 1, got {m}")
+        if seq_time <= 0:
+            raise ValueError(f"sequential time must be positive, got {seq_time}")
+        return seq_time / self.speedup(m)
+
+    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
+        """Vector of ``T(m)`` for ``m = 1..max_m`` (index ``m-1``).
+
+        Used by the schedulers' inner loops; subclasses may override with
+        a vectorized implementation.
+        """
+        return np.array([self.exec_time(seq_time, m) for m in range(1, max_m + 1)])
+
+    def work(self, seq_time: float, m: int) -> float:
+        """CPU-seconds consumed on ``m`` processors: ``m * T(m)``."""
+        return m * self.exec_time(seq_time, m)
+
+
+@dataclass(frozen=True)
+class AmdahlModel(SpeedupModel):
+    """Amdahl's-law speedup with serial fraction ``alpha`` in ``[0, 1]``.
+
+    ``alpha = 0`` is perfectly parallel (linear speedup); ``alpha = 1`` is
+    fully sequential (no speedup).
+    """
+
+    alpha: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+
+    def speedup(self, m: int) -> float:
+        if m < 1:
+            raise ValueError(f"processor count must be >= 1, got {m}")
+        return 1.0 / (self.alpha + (1.0 - self.alpha) / m)
+
+    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
+        if seq_time <= 0:
+            raise ValueError(f"sequential time must be positive, got {seq_time}")
+        if max_m < 1:
+            raise ValueError(f"max_m must be >= 1, got {max_m}")
+        m = np.arange(1, max_m + 1, dtype=float)
+        return seq_time * (self.alpha + (1.0 - self.alpha) / m)
+
+
+@dataclass(frozen=True)
+class DowneyModel(SpeedupModel):
+    """Downey's model of parallel speedup (extension, not in the paper).
+
+    Parameterized by the average parallelism ``A >= 1`` and the coefficient
+    of variation of parallelism ``sigma >= 0``.  For ``sigma <= 1``::
+
+        S(m) = A*m / (A + sigma/2 * (m - 1))          for 1 <= m <= A
+        S(m) = A*m / (sigma*(A - 1/2) + m*(1 - sigma/2))  for A <= m <= 2A-1
+        S(m) = A                                       for m >= 2A-1
+
+    For ``sigma >= 1``::
+
+        S(m) = m*A*(sigma+1) / (sigma*(m + A - 1) + A)  for m <= A + A*sigma - sigma
+        S(m) = A                                         otherwise
+
+    Reference: A. B. Downey, "A model for speedup of parallel programs",
+    UC Berkeley Technical Report CSD-97-933, 1997.
+    """
+
+    avg_parallelism: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.avg_parallelism < 1.0:
+            raise ValueError(
+                f"average parallelism must be >= 1, got {self.avg_parallelism}"
+            )
+        if self.sigma < 0.0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def speedup(self, m: int) -> float:
+        if m < 1:
+            raise ValueError(f"processor count must be >= 1, got {m}")
+        a, s = self.avg_parallelism, self.sigma
+        n = float(m)
+        if s <= 1.0:
+            if n <= a:
+                val = a * n / (a + s / 2.0 * (n - 1.0))
+            elif n <= 2.0 * a - 1.0:
+                val = a * n / (s * (a - 0.5) + n * (1.0 - s / 2.0))
+            else:
+                val = a
+        else:
+            if n <= a + a * s - s:
+                val = n * a * (s + 1.0) / (s * (n + a - 1.0) + a)
+            else:
+                val = a
+        # Guard against parameter corners where the piecewise formulas dip
+        # below 1 or exceed A.
+        return float(min(max(val, 1.0), a))
+
+
+@dataclass(frozen=True)
+class GustafsonFixedWorkModel(SpeedupModel):
+    """A fixed-work model with a per-processor overhead (extension).
+
+    ``T(m) = T(1)/m + overhead * (m - 1)`` — linear speedup eroded by a
+    coordination overhead that grows with the allocation.  Exhibits an
+    optimal processor count beyond which time *increases*; the schedulers
+    clamp allocations to the non-increasing prefix via
+    :meth:`max_useful_processors`.
+    """
+
+    overhead: float
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0.0:
+            raise ValueError(f"overhead must be >= 0, got {self.overhead}")
+
+    def speedup(self, m: int) -> float:  # pragma: no cover - via exec_time
+        raise NotImplementedError(
+            "GustafsonFixedWorkModel defines exec_time directly because its "
+            "speedup depends on the sequential time"
+        )
+
+    def exec_time(self, seq_time: float, m: int) -> float:
+        if m < 1:
+            raise ValueError(f"processor count must be >= 1, got {m}")
+        if seq_time <= 0:
+            raise ValueError(f"sequential time must be positive, got {seq_time}")
+        return seq_time / m + self.overhead * (m - 1)
+
+    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
+        m = np.arange(1, max_m + 1, dtype=float)
+        return seq_time / m + self.overhead * (m - 1)
+
+    def max_useful_processors(self, seq_time: float, p: int) -> int:
+        """Largest ``m <= p`` on the non-increasing prefix of ``T(m)``."""
+        times = self.exec_times(seq_time, p)
+        for m in range(1, p):
+            if times[m] > times[m - 1]:
+                return m
+        return p

@@ -1,0 +1,27 @@
+"""Multi-cluster scheduling (extension; paper §7 broader question).
+
+The paper restricts itself to a single homogeneous cluster and names
+"platforms beyond a single homogeneous cluster" as the broader future
+question.  This package takes the contained first step: several
+homogeneous clusters of the *same* processor speed but different sizes
+and different competing-reservation schedules; each task runs within one
+cluster (tasks are moldable inside a cluster, never split across
+clusters), and — as in the paper's model — inter-task data goes through
+files, so no inter-cluster network is modeled.
+"""
+
+from repro.multi.scenario import MultiClusterScenario
+from repro.multi.schedule import (
+    MultiPlacement,
+    MultiSchedule,
+    validate_multi_schedule,
+)
+from repro.multi.ressched import schedule_ressched_multi
+
+__all__ = [
+    "MultiClusterScenario",
+    "MultiPlacement",
+    "MultiSchedule",
+    "validate_multi_schedule",
+    "schedule_ressched_multi",
+]

@@ -1,0 +1,61 @@
+"""The multi-cluster platform snapshot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GenerationError
+from repro.units import TIME_EPS
+from repro.workloads.reservations import ReservationScenario
+
+
+@dataclass(frozen=True)
+class MultiClusterScenario:
+    """Several clusters, one scheduling instant.
+
+    Attributes:
+        clusters: Per-cluster snapshots (capacity, competing
+            reservations, P'), all sharing the same ``now``.  Cluster
+            names must be unique.
+    """
+
+    clusters: tuple[ReservationScenario, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise GenerationError("a multi-cluster scenario needs >= 1 cluster")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise GenerationError(f"cluster names must be unique, got {names}")
+        now = self.clusters[0].now
+        for c in self.clusters[1:]:
+            if abs(c.now - now) > TIME_EPS:
+                raise GenerationError(
+                    "all clusters must share the scheduling instant; got "
+                    f"{[cl.now for cl in self.clusters]}"
+                )
+
+    @property
+    def now(self) -> float:
+        """The shared scheduling instant."""
+        return self.clusters[0].now
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+    @property
+    def total_capacity(self) -> int:
+        """Processors across all clusters."""
+        return sum(c.capacity for c in self.clusters)
+
+    def cluster(self, name: str) -> ReservationScenario:
+        """Look up a cluster by name."""
+        for c in self.clusters:
+            if c.name == name:
+                return c
+        raise GenerationError(
+            f"no cluster named {name!r}; have "
+            f"{[c.name for c in self.clusters]}"
+        )

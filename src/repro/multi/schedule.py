@@ -1,0 +1,155 @@
+"""Multi-cluster schedules and their validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dag import TaskGraph
+from repro.errors import ScheduleValidationError
+from repro.multi.scenario import MultiClusterScenario
+from repro.schedule import Schedule, TaskPlacement, validate_schedule
+from repro.units import HOUR, TIME_EPS
+
+
+@dataclass(frozen=True)
+class MultiPlacement:
+    """One task's reservation on one cluster.
+
+    Attributes:
+        task: Task index.
+        cluster: Name of the hosting cluster.
+        start: Start time, seconds.
+        nprocs: Processors allocated (within the hosting cluster).
+        duration: Execution time, seconds.
+    """
+
+    task: int
+    cluster: str
+    start: float
+    nprocs: int
+    duration: float
+
+    @property
+    def finish(self) -> float:
+        """Completion time."""
+        return self.start + self.duration
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Processor-seconds consumed."""
+        return self.nprocs * self.duration
+
+
+@dataclass(frozen=True)
+class MultiSchedule:
+    """A complete multi-cluster schedule of one application."""
+
+    graph: TaskGraph
+    now: float
+    placements: tuple[MultiPlacement, ...]
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.placements) != self.graph.n:
+            raise ScheduleValidationError(
+                f"schedule has {len(self.placements)} placements for "
+                f"{self.graph.n} tasks"
+            )
+        for i, pl in enumerate(self.placements):
+            if pl.task != i:
+                raise ScheduleValidationError(
+                    "placements must be indexed by task"
+                )
+
+    @property
+    def completion(self) -> float:
+        """Finish time of the last task."""
+        return max(pl.finish for pl in self.placements)
+
+    @property
+    def turnaround(self) -> float:
+        """Completion − now."""
+        return self.completion - self.now
+
+    @property
+    def cpu_hours(self) -> float:
+        """Total processor-hours reserved."""
+        return sum(pl.cpu_seconds for pl in self.placements) / HOUR
+
+    def per_cluster(self) -> dict[str, list[MultiPlacement]]:
+        """Placements grouped by hosting cluster."""
+        groups: dict[str, list[MultiPlacement]] = {}
+        for pl in self.placements:
+            groups.setdefault(pl.cluster, []).append(pl)
+        return groups
+
+    def cluster_schedule(self, cluster: str) -> Schedule | None:
+        """This schedule's restriction to one cluster, as a
+        single-cluster :class:`Schedule` over the induced subgraph —
+        None when the cluster hosts no task."""
+        mine = [pl for pl in self.placements if pl.cluster == cluster]
+        if not mine:
+            return None
+        sub, old_to_new = self.graph.subgraph([pl.task for pl in mine])
+        placements = [None] * sub.n
+        for pl in mine:
+            placements[old_to_new[pl.task]] = TaskPlacement(
+                task=old_to_new[pl.task],
+                start=pl.start,
+                nprocs=pl.nprocs,
+                duration=pl.duration,
+            )
+        return Schedule(
+            graph=sub,
+            now=self.now,
+            placements=tuple(placements),  # type: ignore[arg-type]
+            algorithm=self.algorithm,
+        )
+
+
+def validate_multi_schedule(
+    schedule: MultiSchedule,
+    scenario: MultiClusterScenario,
+    *,
+    deadline: float | None = None,
+) -> None:
+    """Verify a multi-cluster schedule end to end.
+
+    Checks global precedence (across clusters) and, per cluster, the
+    full single-cluster validation (capacity together with that
+    cluster's competing reservations, execution-time consistency,
+    start-after-now).
+
+    Raises:
+        ScheduleValidationError: on the first violated property.
+    """
+    known = {c.name for c in scenario.clusters}
+    for pl in schedule.placements:
+        if pl.cluster not in known:
+            raise ScheduleValidationError(
+                f"task {pl.task} placed on unknown cluster {pl.cluster!r}"
+            )
+
+    for u, v in schedule.graph.edges:
+        if (
+            schedule.placements[v].start
+            < schedule.placements[u].finish - TIME_EPS
+        ):
+            raise ScheduleValidationError(
+                f"precedence violated across clusters: task {v} starts "
+                f"before predecessor {u} finishes"
+            )
+
+    for cluster in scenario.clusters:
+        sub = schedule.cluster_schedule(cluster.name)
+        if sub is None:
+            continue
+        validate_schedule(
+            sub, cluster.capacity, cluster.reservations, deadline=deadline
+        )
+
+    if deadline is not None and schedule.completion > deadline + TIME_EPS:
+        raise ScheduleValidationError(
+            f"deadline violated: completion {schedule.completion} > "
+            f"{deadline}"
+        )

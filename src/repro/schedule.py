@@ -1,0 +1,198 @@
+"""Schedules: task placements, aggregate metrics, and validation.
+
+A :class:`Schedule` is the common output type of every scheduler in this
+library (CPA on a dedicated cluster, the RESSCHED forward heuristics, the
+RESSCHEDDL backward heuristics).  It records one :class:`TaskPlacement`
+per task — start time, processor count, duration — plus the scheduling
+instant ``now``.
+
+:func:`validate_schedule` re-checks every property a correct schedule must
+have (placement completeness, execution-time consistency, precedence,
+capacity together with the competing reservations, deadline).  Schedulers
+do not call it on their own output — it exists so tests and users can
+verify results independently of the scheduling logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.dag import TaskGraph
+from repro.errors import CalendarError, ScheduleValidationError
+from repro.units import HOUR, TIME_EPS
+
+
+@dataclass(frozen=True)
+class TaskPlacement:
+    """The reservation made for one task.
+
+    Attributes:
+        task: Task index in the schedule's graph.
+        start: Start time, seconds.
+        nprocs: Processors allocated.
+        duration: Execution time on that allocation, seconds.
+    """
+
+    task: int
+    start: float
+    nprocs: int
+    duration: float
+
+    @property
+    def finish(self) -> float:
+        """Completion time."""
+        return self.start + self.duration
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Processor-seconds consumed."""
+        return self.nprocs * self.duration
+
+    def as_reservation(self, label: str = "") -> Reservation:
+        """The reservation backing this placement."""
+        return Reservation(
+            start=self.start,
+            end=self.finish,
+            nprocs=self.nprocs,
+            label=label or f"task{self.task}",
+        )
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete schedule of one application.
+
+    Attributes:
+        graph: The scheduled task graph.
+        now: The scheduling instant; turn-around time is measured from it.
+        placements: One placement per task, indexed by task.
+        algorithm: Name of the producing algorithm (for reports).
+    """
+
+    graph: TaskGraph
+    now: float
+    placements: tuple[TaskPlacement, ...]
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.placements) != self.graph.n:
+            raise ScheduleValidationError(
+                f"schedule has {len(self.placements)} placements for "
+                f"{self.graph.n} tasks"
+            )
+        for i, pl in enumerate(self.placements):
+            if pl.task != i:
+                raise ScheduleValidationError(
+                    f"placement {i} refers to task {pl.task}; placements "
+                    "must be indexed by task"
+                )
+
+    @property
+    def completion(self) -> float:
+        """Finish time of the last task."""
+        return max(pl.finish for pl in self.placements)
+
+    @property
+    def turnaround(self) -> float:
+        """Turn-around time: ``completion − now`` (RESSCHED's objective)."""
+        return self.completion - self.now
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Total processor-seconds reserved for the application."""
+        return sum(pl.cpu_seconds for pl in self.placements)
+
+    @property
+    def cpu_hours(self) -> float:
+        """Total processor-hours reserved (the paper's resource metric)."""
+        return self.cpu_seconds / HOUR
+
+    @property
+    def allocations(self) -> tuple[int, ...]:
+        """Processor counts by task."""
+        return tuple(pl.nprocs for pl in self.placements)
+
+    def start_of(self, task: int) -> float:
+        """Start time of ``task``."""
+        return self.placements[task].start
+
+    def finish_of(self, task: int) -> float:
+        """Finish time of ``task``."""
+        return self.placements[task].finish
+
+    def reservations(self) -> list[Reservation]:
+        """The application's reservations, one per task."""
+        return [
+            pl.as_reservation(self.graph.task(pl.task).name)
+            for pl in self.placements
+        ]
+
+
+def validate_schedule(
+    schedule: Schedule,
+    capacity: int,
+    competing: Sequence[Reservation] = (),
+    *,
+    deadline: float | None = None,
+    eps: float = TIME_EPS,
+) -> None:
+    """Verify a schedule end to end; raise on the first violation.
+
+    Checks performed:
+
+    1. every task starts at or after ``now``;
+    2. each placement's duration equals the task's execution time on its
+       allocation (within ``eps``);
+    3. precedence: no task starts before all its predecessors finish;
+    4. capacity: application reservations plus competing reservations
+       never exceed ``capacity`` processors at any instant;
+    5. when ``deadline`` is given: completion ≤ deadline.
+
+    Raises:
+        ScheduleValidationError: describing the first violated property.
+    """
+    graph = schedule.graph
+
+    for pl in schedule.placements:
+        if pl.start < schedule.now - eps:
+            raise ScheduleValidationError(
+                f"task {pl.task} starts at {pl.start} before now="
+                f"{schedule.now}"
+            )
+        if not 1 <= pl.nprocs <= capacity:
+            raise ScheduleValidationError(
+                f"task {pl.task} uses {pl.nprocs} processors on a "
+                f"{capacity}-processor platform"
+            )
+        expected = graph.task(pl.task).exec_time(pl.nprocs)
+        if not np.isclose(pl.duration, expected, rtol=1e-9, atol=eps):
+            raise ScheduleValidationError(
+                f"task {pl.task} duration {pl.duration} does not match its "
+                f"execution time {expected} on {pl.nprocs} processors"
+            )
+
+    for u, v in graph.edges:
+        if schedule.placements[v].start < schedule.placements[u].finish - eps:
+            raise ScheduleValidationError(
+                f"precedence violated: task {v} starts at "
+                f"{schedule.placements[v].start} before predecessor {u} "
+                f"finishes at {schedule.placements[u].finish}"
+            )
+
+    try:
+        ResourceCalendar(
+            capacity,
+            list(competing) + schedule.reservations(),
+        )
+    except CalendarError as exc:
+        raise ScheduleValidationError(f"capacity violated: {exc}") from exc
+
+    if deadline is not None and schedule.completion > deadline + eps:
+        raise ScheduleValidationError(
+            f"deadline violated: completion {schedule.completion} > "
+            f"deadline {deadline}"
+        )

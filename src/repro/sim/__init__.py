@@ -1,0 +1,33 @@
+"""Execution simulation: running planned schedules under runtime noise.
+
+The paper assumes perfect knowledge of task execution times and defers
+the study of pessimistic estimates (§3.1).  This package makes that
+study runnable: pad the estimates a scheduler books with, execute the
+resulting plan under a runtime-noise model with real reservation
+semantics (a task that outlives its reservation is killed and must be
+re-booked), and measure realized turn-around and wasted CPU-hours.
+"""
+
+from repro.sim.noise import (
+    ExactRuntime,
+    LognormalNoise,
+    RuntimeModel,
+    UniformNoise,
+)
+from repro.sim.execution import (
+    ExecutionResult,
+    TaskOutcome,
+    execute_schedule,
+    pad_graph,
+)
+
+__all__ = [
+    "RuntimeModel",
+    "ExactRuntime",
+    "UniformNoise",
+    "LognormalNoise",
+    "TaskOutcome",
+    "ExecutionResult",
+    "execute_schedule",
+    "pad_graph",
+]

@@ -1,0 +1,81 @@
+"""Runtime-noise models: actual vs estimated task execution times.
+
+A :class:`RuntimeModel` maps a task's *estimated* execution time (what
+the scheduler booked reservations for) to its *actual* execution time.
+The multiplicative factor is drawn once per task — runtime uncertainty
+is a property of the task, not of each attempt, so a re-booked task
+keeps its actual duration.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.rng import RNG
+
+
+class RuntimeModel(ABC):
+    """Maps estimated execution times to actual ones."""
+
+    @abstractmethod
+    def factor(self, rng: RNG) -> float:
+        """Draw one multiplicative actual/estimated factor (> 0)."""
+
+    def actual(self, estimated: float, rng: RNG) -> float:
+        """Actual execution time for an ``estimated`` one."""
+        f = self.factor(rng)
+        if not f > 0:
+            raise ValueError(f"runtime factor must be positive, got {f}")
+        return estimated * f
+
+
+@dataclass(frozen=True)
+class ExactRuntime(RuntimeModel):
+    """The paper's baseline: estimates are exact."""
+
+    def factor(self, rng: RNG) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class UniformNoise(RuntimeModel):
+    """Factors uniform in ``[low, high]``.
+
+    ``UniformNoise(0.7, 1.0)`` models users who overestimate by up to
+    ~40 % (the common batch-queue behaviour [Mu'alem & Feitelson 2001]);
+    ``UniformNoise(0.9, 1.2)`` allows 20 % underestimation.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.low <= self.high:
+            raise ValueError(
+                f"need 0 < low <= high, got [{self.low}, {self.high}]"
+            )
+
+    def factor(self, rng: RNG) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+
+@dataclass(frozen=True)
+class LognormalNoise(RuntimeModel):
+    """Lognormal factors with unit median and shape ``sigma``.
+
+    Symmetric in log-space: half of the tasks run longer than estimated,
+    half shorter, with heavier tails as ``sigma`` grows.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {self.sigma}")
+
+    def factor(self, rng: RNG) -> float:
+        if self.sigma == 0:
+            return 1.0
+        return float(math.exp(rng.normal(0.0, self.sigma)))

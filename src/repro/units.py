@@ -1,0 +1,83 @@
+"""Time units and small numeric helpers.
+
+All simulated time in this library is expressed in **seconds** as plain
+Python floats.  The origin (t = 0) is arbitrary; workload logs place their
+first event at or after 0, and scheduling decisions happen at some instant
+``now`` within the log's span.
+
+The constants below exist so that call sites read naturally
+(``3 * HOUR`` rather than ``10800.0``) and so that unit mistakes are easy
+to spot in review.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: One second of simulated time (the base unit).
+SECOND: float = 1.0
+#: One minute of simulated time.
+MINUTE: float = 60.0
+#: One hour of simulated time.
+HOUR: float = 3600.0
+#: One day of simulated time.
+DAY: float = 86400.0
+#: One (7-day) week of simulated time.
+WEEK: float = 7 * DAY
+
+#: Absolute tolerance used when comparing simulated times for equality.
+#: Times in this library come from sums/differences of floats spanning up
+#: to months (~1e7 s), so 1e-6 s of slack absorbs representation error
+#: while remaining far below any meaningful duration (tasks last >= 1 min).
+TIME_EPS: float = 1e-6
+
+
+def seconds_to_hours(t: float) -> float:
+    """Convert a duration in seconds to hours."""
+    return t / HOUR
+
+
+def hours_to_seconds(t: float) -> float:
+    """Convert a duration in hours to seconds."""
+    return t * HOUR
+
+
+def times_close(a: float, b: float, *, eps: float = TIME_EPS) -> bool:
+    """Return True when two simulated times are equal up to ``eps``."""
+    return abs(a - b) <= eps
+
+
+def time_leq(a: float, b: float, *, eps: float = TIME_EPS) -> bool:
+    """Return True when ``a <= b`` up to the time tolerance."""
+    return a <= b + eps
+
+
+def time_lt(a: float, b: float, *, eps: float = TIME_EPS) -> bool:
+    """Return True when ``a < b`` by more than the time tolerance."""
+    return a < b - eps
+
+
+def format_duration(t: float) -> str:
+    """Render a duration in seconds as a compact human string.
+
+    >>> format_duration(90.0)
+    '1m30s'
+    >>> format_duration(2 * DAY + 3 * HOUR)
+    '2d3h0m0s'
+    """
+    if t < 0:
+        return "-" + format_duration(-t)
+    if math.isinf(t):
+        return "inf"
+    total = int(round(t))
+    days, rem = divmod(total, int(DAY))
+    hours, rem = divmod(rem, int(HOUR))
+    minutes, secs = divmod(rem, int(MINUTE))
+    parts: list[str] = []
+    if days:
+        parts.append(f"{days}d")
+    if hours or parts:
+        parts.append(f"{hours}h")
+    parts.append(f"{minutes}m")
+    parts.append(f"{secs}s")
+    return "".join(parts)

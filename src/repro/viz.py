@@ -1,0 +1,90 @@
+"""ASCII rendering of schedules and availability profiles.
+
+Pure-text visual aids for the examples and for debugging: a Gantt chart
+of task placements and a strip chart of a calendar's free processors.
+No plotting dependencies — output goes to any terminal or log file.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.calendar import ResourceCalendar
+from repro.schedule import Schedule
+from repro.units import format_duration
+
+
+def ascii_gantt(
+    schedule: Schedule,
+    *,
+    width: int = 72,
+    label_width: int = 10,
+) -> str:
+    """Render a schedule as an ASCII Gantt chart.
+
+    Each row is one task: ``#`` marks its execution window between ``now``
+    and the schedule's completion; the right column shows the processor
+    count.
+
+    Args:
+        schedule: The schedule to draw.
+        width: Characters available for the time axis.
+        label_width: Characters reserved for task names.
+    """
+    t0 = schedule.now
+    t1 = schedule.completion
+    span = max(t1 - t0, 1e-9)
+    scale = width / span
+
+    lines = [
+        f"{'task':<{label_width}} |{'time →':<{width}}| procs",
+    ]
+    for pl in sorted(schedule.placements, key=lambda p: (p.start, p.task)):
+        name = schedule.graph.task(pl.task).name[:label_width]
+        a = int((pl.start - t0) * scale)
+        b = max(int((pl.finish - t0) * scale), a + 1)
+        b = min(b, width)
+        bar = " " * a + "#" * (b - a)
+        lines.append(f"{name:<{label_width}} |{bar:<{width}}| {pl.nprocs:>5}")
+    lines.append(
+        f"{'':<{label_width}}  span {format_duration(span)}, "
+        f"turnaround {format_duration(schedule.turnaround)}, "
+        f"{schedule.cpu_hours:.1f} CPU-hours"
+    )
+    return "\n".join(lines)
+
+
+def ascii_availability(
+    calendar: ResourceCalendar,
+    t0: float,
+    t1: float,
+    *,
+    width: int = 72,
+    height: int = 8,
+) -> str:
+    """Render free processors over ``[t0, t1]`` as a column chart.
+
+    Each column is one time slice (its minimum availability); each row a
+    band of the machine, top row = full capacity.
+    """
+    if t1 <= t0:
+        raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+    edges = np.linspace(t0, t1, width + 1)
+    prof = calendar.availability()
+    mins = np.array(
+        [prof.min_over(edges[i], edges[i + 1]) for i in range(width)]
+    )
+    cap = calendar.capacity
+
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = cap * (level - 0.5) / height
+        row = "".join("█" if v >= threshold else " " for v in mins)
+        label = f"{int(round(cap * level / height)):>6}"
+        rows.append(f"{label} |{row}|")
+    rows.append(f"{'':>6} +{'-' * width}+")
+    rows.append(
+        f"{'':>6}  {format_duration(0)} .. {format_duration(t1 - t0)} "
+        f"(capacity {cap}, {len(calendar)} reservations)"
+    )
+    return "\n".join(rows)

@@ -1,0 +1,45 @@
+"""Workload substrate: batch logs, reservation schedules, statistics."""
+
+from repro.workloads.swf import Job, parse_swf, write_swf
+from repro.workloads.synthetic import (
+    SyntheticLogParams,
+    generate_log,
+    place_jobs_fcfs,
+)
+from repro.workloads.presets import (
+    BATCH_LOG_PRESETS,
+    GRID5000,
+    preset,
+)
+from repro.workloads.reservations import (
+    ReservationScenario,
+    build_reservation_scenario,
+    reservation_scenario_from_reservation_log,
+    tag_reservations,
+)
+from repro.workloads.stats import (
+    LogStatistics,
+    log_statistics,
+    reserved_processor_series,
+    schedule_correlation,
+)
+
+__all__ = [
+    "Job",
+    "parse_swf",
+    "write_swf",
+    "SyntheticLogParams",
+    "generate_log",
+    "place_jobs_fcfs",
+    "BATCH_LOG_PRESETS",
+    "GRID5000",
+    "preset",
+    "ReservationScenario",
+    "tag_reservations",
+    "build_reservation_scenario",
+    "reservation_scenario_from_reservation_log",
+    "LogStatistics",
+    "log_statistics",
+    "reserved_processor_series",
+    "schedule_correlation",
+]

@@ -1,0 +1,85 @@
+"""Calibrated generator presets for the paper's workload logs.
+
+Table 2 of the paper lists four Parallel Workloads Archive batch logs;
+Table 3 adds mean job execution times and mean submit-to-start times, plus
+the same statistics for the Grid'5000 reservation log.  Each preset below
+pins the published platform size, average utilization, and mean runtime.
+
+The Grid'5000 preset generates a *reservation log*: every job is an
+advance reservation, booked ``booking_lead_mean`` ahead on average
+(matching the published 3.24 h mean time-to-start).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.units import DAY, HOUR
+from repro.workloads.synthetic import SyntheticLogParams
+
+#: The paper's four batch logs (Table 2 / Table 3 characteristics).
+BATCH_LOG_PRESETS: dict[str, SyntheticLogParams] = {
+    "CTC_SP2": SyntheticLogParams(
+        name="CTC_SP2",
+        n_procs=430,
+        duration=120 * DAY,
+        target_utilization=0.658,
+        mean_runtime=3.20 * HOUR,
+    ),
+    "OSC_Cluster": SyntheticLogParams(
+        name="OSC_Cluster",
+        n_procs=57,
+        duration=120 * DAY,
+        target_utilization=0.385,
+        mean_runtime=9.33 * HOUR,
+    ),
+    "SDSC_BLUE": SyntheticLogParams(
+        name="SDSC_BLUE",
+        n_procs=1152,
+        duration=120 * DAY,
+        target_utilization=0.757,
+        mean_runtime=1.18 * HOUR,
+    ),
+    "SDSC_DS": SyntheticLogParams(
+        name="SDSC_DS",
+        n_procs=224,
+        duration=120 * DAY,
+        target_utilization=0.273,
+        mean_runtime=1.52 * HOUR,
+    ),
+}
+
+#: Grid'5000-style pure reservation log (Table 3: 1.84 h mean execution,
+#: 3.24 h mean submit-to-start).  The platform size approximates one
+#: Grid'5000 site of the 2006-2007 era; the utilization targets the
+#: moderate reservation load the paper's Table 6/7 discussion implies
+#: (dense enough to occasionally catch resource-conservative algorithms
+#: "in a bind", sparse enough that deadlines remain broadly meetable).
+GRID5000: SyntheticLogParams = SyntheticLogParams(
+    name="Grid5000",
+    n_procs=256,
+    duration=60 * DAY,
+    target_utilization=0.55,
+    mean_runtime=1.84 * HOUR,
+    booking_lead_mean=3.24 * HOUR,
+)
+
+#: All presets by name, including the reservation log.
+ALL_PRESETS: dict[str, SyntheticLogParams] = {
+    **BATCH_LOG_PRESETS,
+    "Grid5000": GRID5000,
+}
+
+
+def preset(name: str) -> SyntheticLogParams:
+    """Look up a preset by name.
+
+    Raises:
+        WorkloadError: for unknown names (message lists the valid ones).
+    """
+    try:
+        return ALL_PRESETS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload preset {name!r}; available: "
+            f"{', '.join(sorted(ALL_PRESETS))}"
+        ) from None

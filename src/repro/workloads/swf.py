@@ -1,0 +1,168 @@
+"""Standard Workload Format (SWF) jobs, parsing and writing.
+
+The Parallel Workloads Archive stores batch logs in SWF: one job per line,
+18 whitespace-separated integer fields, ``;``-prefixed header comments.
+The paper draws its four batch logs from that archive; this module lets
+real archive files be used directly, and gives the synthetic generator a
+faithful on-disk format.
+
+Field reference (0-based column → meaning):
+    0 job number | 1 submit time [s] | 2 wait time [s] | 3 run time [s]
+    4 allocated processors | 5 average CPU time | 6 used memory
+    7 requested processors | 8 requested time | 9 requested memory
+    10 status | 11 user id | 12 group id | 13 executable | 14 queue
+    15 partition | 16 preceding job | 17 think time
+
+Missing values are encoded as ``-1``.  Only the fields the simulator
+consumes (submit, wait, run time, processors, partition) are modeled
+explicitly; the rest round-trip through defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import WorkloadError
+
+#: Number of whitespace-separated fields in an SWF record.
+N_SWF_FIELDS = 18
+
+
+@dataclass(frozen=True)
+class Job:
+    """One batch job (or advance reservation) of a workload log.
+
+    Attributes:
+        job_id: Sequential identifier within the log.
+        submit: Submission time, seconds from the log origin.
+        wait: Delay between submission and start, seconds (>= 0).
+        runtime: Execution time, seconds (> 0 for jobs the simulator uses).
+        nprocs: Processors used (>= 1).
+        partition: SWF partition number (-1 when unknown); the paper's
+            SDSC_DS log is filtered to partition 3.
+    """
+
+    job_id: int
+    submit: float
+    wait: float
+    runtime: float
+    nprocs: int
+    partition: int = -1
+
+    def __post_init__(self) -> None:
+        if self.wait < 0:
+            raise WorkloadError(f"job {self.job_id}: negative wait {self.wait}")
+        if self.runtime <= 0:
+            raise WorkloadError(
+                f"job {self.job_id}: runtime must be positive, got {self.runtime}"
+            )
+        if self.nprocs < 1:
+            raise WorkloadError(
+                f"job {self.job_id}: nprocs must be >= 1, got {self.nprocs}"
+            )
+
+    @property
+    def start(self) -> float:
+        """Start time: ``submit + wait``."""
+        return self.submit + self.wait
+
+    @property
+    def end(self) -> float:
+        """Completion time: ``start + runtime``."""
+        return self.start + self.runtime
+
+    @property
+    def cpu_seconds(self) -> float:
+        """Processor-seconds consumed."""
+        return self.nprocs * self.runtime
+
+
+def parse_swf(
+    lines: Iterable[str],
+    *,
+    partition: int | None = None,
+    skip_invalid: bool = True,
+) -> list[Job]:
+    """Parse SWF text into jobs.
+
+    Args:
+        lines: An iterable of lines (an open file works).
+        partition: When given, keep only jobs of this SWF partition (the
+            paper restricts SDSC_DS to partition 3).
+        skip_invalid: Drop records with missing/zero runtime or processor
+            counts (status-cancelled jobs) instead of raising; matches how
+            the archive logs are conventionally cleaned.
+
+    Returns:
+        Jobs in file order.
+
+    Raises:
+        WorkloadError: on malformed records (wrong field count,
+            non-numeric fields), or on invalid jobs when
+            ``skip_invalid=False``.
+    """
+    jobs: list[Job] = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(";"):
+            continue
+        fields = line.split()
+        if len(fields) != N_SWF_FIELDS:
+            raise WorkloadError(
+                f"SWF line {lineno}: expected {N_SWF_FIELDS} fields, got "
+                f"{len(fields)}"
+            )
+        try:
+            job_id = int(fields[0])
+            submit = float(fields[1])
+            wait = float(fields[2])
+            runtime = float(fields[3])
+            nprocs = int(fields[4])
+            part = int(fields[15])
+        except ValueError as exc:
+            raise WorkloadError(f"SWF line {lineno}: non-numeric field: {exc}") from exc
+
+        if partition is not None and part != partition:
+            continue
+        if runtime <= 0 or nprocs < 1 or wait < 0:
+            if skip_invalid:
+                continue
+            raise WorkloadError(
+                f"SWF line {lineno}: invalid job (runtime={runtime}, "
+                f"nprocs={nprocs}, wait={wait})"
+            )
+        jobs.append(
+            Job(
+                job_id=job_id,
+                submit=submit,
+                wait=wait,
+                runtime=runtime,
+                nprocs=nprocs,
+                partition=part,
+            )
+        )
+    return jobs
+
+
+def write_swf(jobs: Iterable[Job], *, header: str = "") -> Iterator[str]:
+    """Render jobs as SWF lines (generator of strings without newlines).
+
+    Args:
+        jobs: Jobs to write.
+        header: Optional comment text placed in ``;``-prefixed lines.
+    """
+    for comment_line in header.splitlines():
+        yield f"; {comment_line}"
+    for job in jobs:
+        fields = [-1] * N_SWF_FIELDS
+        fields[0] = job.job_id
+        fields[1] = int(round(job.submit))
+        fields[2] = int(round(job.wait))
+        fields[3] = int(round(job.runtime))
+        fields[4] = job.nprocs
+        fields[7] = job.nprocs
+        fields[8] = int(round(job.runtime))
+        fields[10] = 1  # status: completed
+        fields[15] = job.partition
+        yield " ".join(str(f) for f in fields)

@@ -1,0 +1,86 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DagGenParams,
+    ResourceCalendar,
+    Task,
+    TaskGraph,
+    make_rng,
+    random_task_graph,
+)
+from repro.calendar import Reservation
+from repro.model import AmdahlModel
+from repro.workloads import (
+    build_reservation_scenario,
+    generate_log,
+    preset,
+)
+from repro.workloads.reservations import pick_scheduling_time
+
+
+@pytest.fixture
+def rng():
+    """A deterministic root random generator."""
+    return make_rng(1234)
+
+
+@pytest.fixture
+def small_graph():
+    """A 6-task diamond-ish DAG with hand-set costs.
+
+    Structure::
+
+        t0 -> t1 -> t3 -> t5
+        t0 -> t2 -> t4 -> t5
+              t2 -> t3
+    """
+    tasks = [
+        Task("t0", 600.0, AmdahlModel(0.05)),
+        Task("t1", 3600.0, AmdahlModel(0.10)),
+        Task("t2", 1800.0, AmdahlModel(0.00)),
+        Task("t3", 7200.0, AmdahlModel(0.20)),
+        Task("t4", 900.0, AmdahlModel(0.15)),
+        Task("t5", 300.0, AmdahlModel(0.05)),
+    ]
+    edges = [(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 5)]
+    return TaskGraph(tasks, edges)
+
+
+@pytest.fixture
+def medium_graph(rng):
+    """A 25-task random application at default shape parameters."""
+    return random_task_graph(DagGenParams(n=25), rng)
+
+
+@pytest.fixture
+def busy_calendar():
+    """A 16-processor calendar with a few competing reservations."""
+    reservations = [
+        Reservation(start=0.0, end=4000.0, nprocs=8, label="r0"),
+        Reservation(start=2000.0, end=6000.0, nprocs=4, label="r1"),
+        Reservation(start=10_000.0, end=20_000.0, nprocs=16, label="r2"),
+        Reservation(start=30_000.0, end=40_000.0, nprocs=12, label="r3"),
+    ]
+    return ResourceCalendar(16, reservations)
+
+
+@pytest.fixture(scope="session")
+def osc_jobs():
+    """One synthetic OSC_Cluster log, shared across the session."""
+    params = preset("OSC_Cluster")
+    return generate_log(params, make_rng(777)), params
+
+
+@pytest.fixture
+def osc_scenario(osc_jobs):
+    """A reservation scenario built from the OSC log."""
+    jobs, params = osc_jobs
+    rng = make_rng(4242)
+    now = pick_scheduling_time(jobs, rng)
+    return build_reservation_scenario(
+        jobs, params.n_procs, phi=0.2, now=now, method="expo", rng=rng
+    )

@@ -1,0 +1,135 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import _parse_ressched_algorithm, build_parser, main
+from repro.errors import GenerationError
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_algorithm_name_parsing(self):
+        alg = _parse_ressched_algorithm("BL_CPAR_BD_CPAR")
+        assert alg.bl == "BL_CPAR"
+        assert alg.bd == "BD_CPAR"
+        alg = _parse_ressched_algorithm("BL_1_BD_ALL")
+        assert alg.bl == "BL_1"
+        assert alg.bd == "BD_ALL"
+
+    def test_algorithm_name_rejects_garbage(self):
+        with pytest.raises(GenerationError):
+            _parse_ressched_algorithm("nonsense")
+
+
+class TestGenDag:
+    def test_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "dag.json"
+        rc = main(["gen-dag", "--n", "8", "--seed", "1", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert len(doc["tasks"]) == 8
+
+    def test_stdout_when_no_out(self, capsys):
+        rc = main(["gen-dag", "--n", "3", "--seed", "1"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-dag"
+
+    def test_template(self, tmp_path):
+        out = tmp_path / "m.json"
+        rc = main(
+            ["gen-dag", "--template", "montage", "--seed", "2", "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        names = [t["name"] for t in doc["tasks"]]
+        assert "madd" in names
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["gen-dag", "--n", "10", "--seed", "7", "--out", str(a)])
+        main(["gen-dag", "--n", "10", "--seed", "7", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+    def test_invalid_params_exit_code(self, capsys):
+        rc = main(["gen-dag", "--n", "0"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenLog:
+    def test_writes_swf(self, tmp_path):
+        out = tmp_path / "log.swf"
+        rc = main(
+            ["gen-log", "--preset", "OSC_Cluster", "--seed", "1",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith(";")
+        assert len(lines) > 100
+
+    def test_unknown_preset(self, capsys):
+        rc = main(["gen-log", "--preset", "NOPE"])
+        assert rc == 2
+
+
+class TestInfoScheduleDeadline:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        out = tmp_path / "dag.json"
+        main(["gen-dag", "--n", "10", "--seed", "3", "--out", str(out)])
+        return str(out)
+
+    def test_info(self, dag_file, capsys):
+        rc = main(["info", "--dag", dag_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out
+        assert "critical path" in out
+
+    def test_schedule(self, dag_file, capsys):
+        rc = main(
+            ["schedule", "--dag", dag_file, "--preset", "OSC_Cluster",
+             "--seed", "5", "--gantt"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "turn-around" in out
+        assert "CPU-hours" in out
+        assert "#" in out  # gantt bars
+
+    def test_schedule_with_explicit_log(self, dag_file, tmp_path, capsys):
+        log = tmp_path / "log.swf"
+        main(["gen-log", "--preset", "OSC_Cluster", "--seed", "1",
+              "--out", str(log)])
+        rc = main(
+            ["schedule", "--dag", dag_file, "--log", str(log),
+             "--preset", "OSC_Cluster", "--seed", "5"]
+        )
+        assert rc == 0
+
+    def test_deadline_met(self, dag_file, capsys):
+        rc = main(
+            ["deadline", "--dag", dag_file, "--preset", "OSC_Cluster",
+             "--seed", "5", "--deadline-hours", "200",
+             "--algorithm", "DL_BD_CPA"]
+        )
+        assert rc == 0
+        assert "met" in capsys.readouterr().out
+
+    def test_deadline_missed_exit_code(self, dag_file, capsys):
+        rc = main(
+            ["deadline", "--dag", dag_file, "--preset", "OSC_Cluster",
+             "--seed", "5", "--deadline-hours", "0.01",
+             "--algorithm", "DL_BD_CPA"]
+        )
+        assert rc == 1
+        assert "CANNOT" in capsys.readouterr().out

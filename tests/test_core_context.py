@@ -1,0 +1,138 @@
+"""Tests for ProblemContext, BL methods, and BD bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calendar import Reservation
+from repro.core import ProblemContext, bl_exec_times, allocation_bounds
+from repro.core.bottom_levels import BL_METHODS, bl_priority_order
+from repro.core.bounds import BD_METHODS
+from repro.errors import GenerationError
+from repro.workloads.reservations import ReservationScenario
+
+
+def _scenario(capacity=16, hist=8.0, now=0.0):
+    return ReservationScenario(
+        name="test",
+        capacity=capacity,
+        now=now,
+        reservations=(Reservation(100.0, 200.0, 4),),
+        hist_avg_available=hist,
+    )
+
+
+class TestProblemContext:
+    def test_p_and_q(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(capacity=16, hist=7.6))
+        assert ctx.p == 16
+        assert ctx.q == 8  # rounded
+
+    def test_q_clamped(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(capacity=16, hist=1.0))
+        assert ctx.q == 1
+
+    def test_cpa_q_equals_cpa_p_when_same(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(capacity=16, hist=16.0))
+        assert ctx.cpa_q is ctx.cpa_p
+
+    def test_cpa_allocations_cached(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert ctx.cpa_p is ctx.cpa_p
+
+    def test_exec_tables_shape(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert len(ctx.exec_tables) == medium_graph.n
+        assert all(t.shape == (16,) for t in ctx.exec_tables)
+
+    def test_exec_time_lookup(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert ctx.exec_time(0, 4) == pytest.approx(
+            medium_graph.task(0).exec_time(4)
+        )
+
+    def test_rejects_bad_stopping(self, medium_graph):
+        with pytest.raises(GenerationError):
+            ProblemContext(medium_graph, _scenario(), cpa_stopping="odd")
+
+
+class TestBlExecTimes:
+    def test_bl_1_is_sequential(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        times = bl_exec_times(ctx, "BL_1")
+        expected = [t.seq_time for t in medium_graph.tasks]
+        assert np.allclose(times, expected)
+
+    def test_bl_all_uses_full_machine(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        times = bl_exec_times(ctx, "BL_ALL")
+        expected = [t.exec_time(16) for t in medium_graph.tasks]
+        assert np.allclose(times, expected)
+
+    def test_bl_cpa_matches_allocation(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert np.allclose(
+            bl_exec_times(ctx, "BL_CPA"), ctx.cpa_p.exec_times_array
+        )
+
+    def test_bl_cpar_uses_q(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(hist=4.0))
+        assert np.allclose(
+            bl_exec_times(ctx, "BL_CPAR"), ctx.cpa_q.exec_times_array
+        )
+
+    def test_ordering_bl1_dominates(self, medium_graph):
+        """BL_1 times upper-bound every other method's times."""
+        ctx = ProblemContext(medium_graph, _scenario())
+        base = bl_exec_times(ctx, "BL_1")
+        for method in ("BL_ALL", "BL_CPA", "BL_CPAR"):
+            assert np.all(bl_exec_times(ctx, method) <= base + 1e-9)
+
+    def test_rejects_unknown(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        with pytest.raises(GenerationError, match="unknown bottom-level"):
+            bl_exec_times(ctx, "BL_X")
+
+    @pytest.mark.parametrize("method", BL_METHODS)
+    def test_priority_order_topological(self, medium_graph, method):
+        ctx = ProblemContext(medium_graph, _scenario())
+        order = bl_priority_order(ctx, method)
+        pos = {node: k for k, node in enumerate(order)}
+        for u, v in medium_graph.edges:
+            assert pos[u] < pos[v]
+
+
+class TestAllocationBounds:
+    def test_bd_all(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert np.all(allocation_bounds(ctx, "BD_ALL") == 16)
+
+    def test_bd_half(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert np.all(allocation_bounds(ctx, "BD_HALF") == 8)
+
+    def test_bd_half_at_least_one(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(capacity=1, hist=1.0))
+        assert np.all(allocation_bounds(ctx, "BD_HALF") == 1)
+
+    def test_bd_cpa_matches_cpa(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        assert tuple(allocation_bounds(ctx, "BD_CPA")) == ctx.cpa_p.allocations
+
+    def test_bd_cpar_bounded_by_q(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario(hist=4.0))
+        bounds = allocation_bounds(ctx, "BD_CPAR")
+        assert np.all(bounds <= 4)
+
+    def test_rejects_unknown(self, medium_graph):
+        ctx = ProblemContext(medium_graph, _scenario())
+        with pytest.raises(GenerationError, match="unknown bounding"):
+            allocation_bounds(ctx, "BD_X")
+
+    @pytest.mark.parametrize("method", BD_METHODS)
+    def test_all_bounds_in_range(self, medium_graph, method):
+        ctx = ProblemContext(medium_graph, _scenario())
+        bounds = allocation_bounds(ctx, method)
+        assert np.all(bounds >= 1)
+        assert np.all(bounds <= 16)

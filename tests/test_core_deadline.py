@@ -1,0 +1,265 @@
+"""Tests for the RESSCHEDDL backward schedulers (repro.core.deadline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.core import (
+    DEADLINE_ALGORITHMS,
+    ProblemContext,
+    ResSchedAlgorithm,
+    schedule_deadline,
+    schedule_ressched,
+)
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import GenerationError
+from repro.rng import make_rng
+from repro.schedule import validate_schedule
+from repro.workloads.reservations import ReservationScenario
+
+ALG_NAMES = tuple(DEADLINE_ALGORITHMS)
+
+
+def _scenario(capacity=16, hist=None, now=0.0, reservations=()):
+    return ReservationScenario(
+        name="test",
+        capacity=capacity,
+        now=now,
+        reservations=tuple(reservations),
+        hist_avg_available=float(hist if hist is not None else capacity),
+    )
+
+
+@pytest.fixture
+def loose_deadline(medium_graph, osc_scenario):
+    """A comfortably loose absolute deadline for the shared instance."""
+    base = schedule_ressched(medium_graph, osc_scenario)
+    return osc_scenario.now + 2.5 * base.turnaround
+
+
+class TestRegistry:
+    def test_paper_algorithms_present(self):
+        assert set(ALG_NAMES) == {
+            "DL_BD_ALL",
+            "DL_BD_CPA",
+            "DL_BD_CPAR",
+            "DL_RC_CPA",
+            "DL_RC_CPAR",
+            "DL_RC_CPAR-lambda",
+            "DL_RCBD_CPAR-lambda",
+        }
+
+    def test_unknown_algorithm_rejected(self, medium_graph, osc_scenario):
+        with pytest.raises(GenerationError, match="unknown deadline"):
+            schedule_deadline(medium_graph, osc_scenario, 1e9, "DL_NOPE")
+
+
+class TestFeasibleSchedules:
+    @pytest.mark.parametrize("alg", ALG_NAMES)
+    def test_valid_and_meets_deadline(
+        self, medium_graph, osc_scenario, loose_deadline, alg
+    ):
+        res = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, alg
+        )
+        if not res.feasible:
+            # RC variants may legitimately fail when caught in a bind;
+            # aggressive ones must succeed at a loose deadline.
+            assert alg.startswith("DL_RC")
+            assert res.schedule is None
+            return
+        validate_schedule(
+            res.schedule,
+            osc_scenario.capacity,
+            osc_scenario.reservations,
+            deadline=loose_deadline,
+        )
+        assert res.algorithm == alg
+        assert np.isfinite(res.cpu_hours)
+
+    def test_infeasible_before_now(self, medium_graph, osc_scenario):
+        res = schedule_deadline(
+            medium_graph, osc_scenario, osc_scenario.now - 1.0, "DL_BD_CPA"
+        )
+        assert not res.feasible
+        assert res.schedule is None
+        assert np.isnan(res.cpu_hours)
+
+    def test_impossibly_tight_deadline(self, medium_graph, osc_scenario):
+        res = schedule_deadline(
+            medium_graph, osc_scenario, osc_scenario.now + 1.0, "DL_BD_ALL"
+        )
+        assert not res.feasible
+
+    def test_deterministic(self, medium_graph, osc_scenario, loose_deadline):
+        a = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_BD_CPAR"
+        )
+        b = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_BD_CPAR"
+        )
+        assert a.schedule.placements == b.schedule.placements
+
+
+class TestAggressiveBehaviour:
+    def test_latest_start_leaning(self, medium_graph):
+        """Aggressive schedules cluster near the deadline on an idle
+        machine: the exit task finishes exactly at K."""
+        sc = _scenario(capacity=16)
+        deadline = 1_000_000.0
+        res = schedule_deadline(medium_graph, sc, deadline, "DL_BD_ALL")
+        assert res.feasible
+        assert res.schedule.completion == pytest.approx(deadline)
+
+    def test_bd_all_spends_more_cpu_hours(
+        self, medium_graph, osc_scenario, loose_deadline
+    ):
+        a = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_BD_ALL"
+        )
+        b = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_BD_CPAR"
+        )
+        assert a.feasible and b.feasible
+        assert a.cpu_hours > b.cpu_hours
+
+    def test_respects_competing_block(self, medium_graph):
+        block = Reservation(40_000.0, 200_000.0, 16)
+        sc = _scenario(reservations=[block])
+        res = schedule_deadline(medium_graph, sc, 400_000.0, "DL_BD_CPA")
+        assert res.feasible
+        validate_schedule(res.schedule, 16, [block], deadline=400_000.0)
+
+
+class TestResourceConservativeBehaviour:
+    def test_rc_saves_cpu_hours_at_loose_deadline(
+        self, medium_graph, osc_scenario, loose_deadline
+    ):
+        rc = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_RC_CPAR"
+        )
+        ag = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_BD_CPA"
+        )
+        assert ag.feasible
+        if rc.feasible:
+            assert rc.cpu_hours <= ag.cpu_hours
+
+    def test_rc_on_idle_machine_matches_cpa_shape(self, medium_graph):
+        """With no reservations and a loose deadline, RC schedules early
+        (near the CPA guideline), not against the deadline."""
+        sc = _scenario(capacity=16)
+        deadline = 10_000_000.0
+        res = schedule_deadline(medium_graph, sc, deadline, "DL_RC_CPAR")
+        assert res.feasible
+        # Completion far before the deadline (unlike the aggressive rule).
+        assert res.schedule.completion < deadline / 2
+
+    def test_hybrid_lambda_reported(self, medium_graph, osc_scenario, loose_deadline):
+        res = schedule_deadline(
+            medium_graph, osc_scenario, loose_deadline, "DL_RC_CPAR-lambda"
+        )
+        if res.feasible:
+            assert res.lam is not None
+            assert 0.0 <= res.lam <= 1.0
+
+    def test_lam_start_skips_lower_values(self, medium_graph, osc_scenario, loose_deadline):
+        res = schedule_deadline(
+            medium_graph,
+            osc_scenario,
+            loose_deadline,
+            "DL_RC_CPAR-lambda",
+            lam_start=0.5,
+        )
+        if res.feasible:
+            assert res.lam >= 0.5
+
+    def test_hybrid_no_worse_than_rc_feasibility(
+        self, medium_graph, osc_scenario
+    ):
+        """Wherever plain RC succeeds, the λ-hybrid succeeds too (λ=0 is
+        its first attempt)."""
+        base = schedule_ressched(medium_graph, osc_scenario)
+        for factor in (1.2, 1.6, 2.4):
+            deadline = osc_scenario.now + factor * base.turnaround
+            rc = schedule_deadline(
+                medium_graph, osc_scenario, deadline, "DL_RC_CPAR"
+            )
+            hy = schedule_deadline(
+                medium_graph, osc_scenario, deadline, "DL_RC_CPAR-lambda"
+            )
+            if rc.feasible:
+                assert hy.feasible
+                assert hy.lam == 0.0
+                assert hy.cpu_hours == pytest.approx(rc.cpu_hours)
+
+    def test_hybrid_can_recover_from_binds(self, medium_graph):
+        """A near-term availability squeeze defeats λ=0 but not the
+        sweep: construct a scenario busy now, free later."""
+        reservations = [Reservation(0.0, 80_000.0, 15)]
+        sc = _scenario(capacity=16, hist=14.0, reservations=reservations)
+        base = schedule_ressched(medium_graph, sc, ResSchedAlgorithm())
+        deadline = sc.now + 1.05 * base.turnaround
+        hy = schedule_deadline(
+            medium_graph, sc, deadline, "DL_RC_CPAR-lambda"
+        )
+        rc = schedule_deadline(medium_graph, sc, deadline, "DL_RC_CPAR")
+        # The hybrid dominates plain RC on feasibility by construction.
+        if rc.feasible:
+            assert hy.feasible
+        if hy.feasible and hy.lam is not None and not rc.feasible:
+            assert hy.lam > 0.0
+
+
+class TestDeadlineProperties:
+    @given(
+        seed=st.integers(0, 200),
+        alg=st.sampled_from(ALG_NAMES),
+        factor=st.floats(1.05, 3.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feasible_results_always_validate(self, seed, alg, factor):
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=10), rng)
+        capacity = int(rng.integers(4, 32))
+        cal = ResourceCalendar(capacity)
+        reservations = []
+        for _ in range(rng.integers(0, 6)):
+            start = float(rng.uniform(0, 100_000))
+            dur = float(rng.uniform(1_000, 50_000))
+            procs = int(rng.integers(1, capacity + 1))
+            if cal.min_available(start, start + dur) >= procs:
+                reservations.append(cal.reserve(start, dur, procs))
+        sc = _scenario(
+            capacity=capacity,
+            hist=float(rng.uniform(1, capacity)),
+            reservations=reservations,
+        )
+        base = schedule_ressched(graph, sc)
+        deadline = sc.now + factor * base.turnaround
+        res = schedule_deadline(graph, sc, deadline, alg)
+        if res.feasible:
+            validate_schedule(
+                res.schedule, capacity, reservations, deadline=deadline
+            )
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_aggressive_feasibility_monotone_in_deadline(self, seed):
+        """If DL_BD_CPA meets K it meets every K' > K (spot-checked)."""
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=8), rng)
+        sc = _scenario(capacity=8, hist=6.0)
+        base = schedule_ressched(graph, sc)
+        k = sc.now + 1.1 * base.turnaround
+        first = schedule_deadline(graph, sc, k, "DL_BD_CPA")
+        if first.feasible:
+            for factor in (1.5, 2.0, 4.0):
+                later = schedule_deadline(
+                    graph, sc, k * factor, "DL_BD_CPA"
+                )
+                assert later.feasible

@@ -1,0 +1,104 @@
+"""Tests for comparison metrics (repro.core.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    ComparisonTable,
+    degradation_from_best,
+    winners,
+)
+
+
+class TestDegradation:
+    def test_best_gets_zero(self):
+        deg = degradation_from_best({"a": 10.0, "b": 20.0})
+        assert deg["a"] == 0.0
+        assert deg["b"] == pytest.approx(100.0)
+
+    def test_nan_propagates_without_defining_best(self):
+        deg = degradation_from_best({"a": float("nan"), "b": 20.0})
+        assert math.isnan(deg["a"])
+        assert deg["b"] == 0.0
+
+    def test_all_nan(self):
+        deg = degradation_from_best({"a": float("nan")})
+        assert math.isnan(deg["a"])
+
+    def test_zero_best_degenerates_to_zero_spread(self):
+        deg = degradation_from_best({"a": 0.0, "b": 5.0})
+        assert deg["a"] == 0.0
+        assert deg["b"] == 0.0
+
+
+class TestWinners:
+    def test_single_winner(self):
+        assert winners({"a": 1.0, "b": 2.0}) == {"a"}
+
+    def test_ties_share_the_win(self):
+        assert winners({"a": 1.0, "b": 1.0, "c": 2.0}) == {"a", "b"}
+
+    def test_near_ties_within_tolerance(self):
+        assert winners({"a": 1.0, "b": 1.0 + 1e-12}) == {"a", "b"}
+
+    def test_nan_never_wins(self):
+        assert winners({"a": float("nan"), "b": 3.0}) == {"b"}
+
+    def test_empty_when_all_nan(self):
+        assert winners({"a": float("nan")}) == set()
+
+
+class TestComparisonTable:
+    def test_two_scenarios_summary(self):
+        t = ComparisonTable(metric="x")
+        # Scenario s1: a wins both instances.
+        t.add("s1", {"a": 10.0, "b": 20.0})
+        t.add("s1", {"a": 10.0, "b": 15.0})
+        # Scenario s2: b wins.
+        t.add("s2", {"a": 30.0, "b": 10.0})
+        summary = t.summarize()
+        assert t.n_scenarios == 2
+        assert summary["a"].wins == 1
+        assert summary["b"].wins == 1
+        # a's degradation: s1 avg 0 %, s2 200 % -> mean 100 %.
+        assert summary["a"].avg_degradation == pytest.approx(100.0)
+        # b's degradation: s1 avg (100+50)/2 = 75 %, s2 0 % -> 37.5 %.
+        assert summary["b"].avg_degradation == pytest.approx(37.5)
+
+    def test_wins_use_scenario_means(self):
+        t = ComparisonTable()
+        # a wins one instance hugely, loses the other slightly; the
+        # scenario-level mean decides.
+        t.add("s", {"a": 1.0, "b": 10.0})
+        t.add("s", {"a": 12.0, "b": 10.0})
+        summary = t.summarize()
+        assert summary["a"].wins == 1  # mean a = 6.5 < mean b = 10
+        assert summary["b"].wins == 0
+
+    def test_nan_instances_ignored_in_means(self):
+        t = ComparisonTable()
+        t.add("s", {"a": float("nan"), "b": 10.0})
+        t.add("s", {"a": 4.0, "b": 10.0})
+        summary = t.summarize()
+        assert summary["a"].wins == 1
+
+    def test_algorithms_sorted(self):
+        t = ComparisonTable()
+        t.add("s", {"z": 1.0, "a": 2.0})
+        assert t.algorithms == ["a", "z"]
+
+    def test_format_contains_rows(self):
+        t = ComparisonTable(metric="turnaround")
+        t.add("s", {"a": 1.0, "b": 2.0})
+        text = t.format()
+        assert "turnaround" in text
+        assert "a" in text and "b" in text
+
+    def test_format_respects_order(self):
+        t = ComparisonTable()
+        t.add("s", {"a": 1.0, "b": 2.0})
+        text = t.format(order=["b", "a"])
+        assert text.index("b") < text.rindex("a")

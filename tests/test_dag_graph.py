@@ -1,0 +1,232 @@
+"""Tests for repro.dag.graph (TaskGraph structure and queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dag import Task, TaskGraph
+from repro.dag.graph import chain_graph, fork_join_graph
+from repro.errors import InvalidDagError
+from repro.model import AmdahlModel
+
+
+def _tasks(n, seq=100.0):
+    return [Task(f"t{i}", seq, AmdahlModel(0.1)) for i in range(n)]
+
+
+class TestConstruction:
+    def test_single_task(self):
+        g = TaskGraph(_tasks(1), [])
+        assert g.n == 1
+        assert g.n_edges == 0
+        assert g.entry == g.exit == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidDagError):
+            TaskGraph([], [])
+
+    def test_rejects_duplicate_names(self):
+        tasks = [Task("a", 1.0), Task("a", 2.0)]
+        with pytest.raises(InvalidDagError, match="duplicate"):
+            TaskGraph(tasks, [])
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(InvalidDagError, match="self-loop"):
+            TaskGraph(_tasks(2), [(0, 0)])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(InvalidDagError, match="missing task"):
+            TaskGraph(_tasks(2), [(0, 5)])
+
+    def test_rejects_cycle(self):
+        with pytest.raises(InvalidDagError, match="cycle"):
+            TaskGraph(_tasks(3), [(0, 1), (1, 2), (2, 0)])
+
+    def test_duplicate_edges_collapse(self):
+        g = TaskGraph(_tasks(2), [(0, 1), (0, 1)])
+        assert g.n_edges == 1
+
+
+class TestAccessors:
+    def test_index_of(self, small_graph):
+        assert small_graph.index_of("t3") == 3
+
+    def test_index_of_unknown_raises(self, small_graph):
+        with pytest.raises(InvalidDagError):
+            small_graph.index_of("nope")
+
+    def test_predecessors_successors(self, small_graph):
+        assert small_graph.predecessors(3) == (1, 2)
+        assert small_graph.successors(2) == (3, 4)
+
+    def test_edges_sorted(self, small_graph):
+        assert small_graph.edges == tuple(sorted(small_graph.edges))
+
+    def test_equality_and_hash(self, small_graph):
+        clone = TaskGraph(small_graph.tasks, small_graph.edges)
+        assert clone == small_graph
+        assert hash(clone) == hash(small_graph)
+
+    def test_inequality_on_edges(self, small_graph):
+        other = TaskGraph(small_graph.tasks, small_graph.edges[:-1])
+        assert other != small_graph
+
+
+class TestStructure:
+    def test_topological_order_respects_edges(self, small_graph):
+        order = small_graph.topological_order
+        pos = {node: k for k, node in enumerate(order)}
+        for u, v in small_graph.edges:
+            assert pos[u] < pos[v]
+
+    def test_entry_exit(self, small_graph):
+        assert small_graph.entry == 0
+        assert small_graph.exit == 5
+
+    def test_entry_raises_on_multiple_sources(self):
+        g = TaskGraph(_tasks(3), [(0, 2), (1, 2)])
+        with pytest.raises(InvalidDagError, match="entry"):
+            _ = g.entry
+
+    def test_exit_raises_on_multiple_sinks(self):
+        g = TaskGraph(_tasks(3), [(0, 1), (0, 2)])
+        with pytest.raises(InvalidDagError, match="exit"):
+            _ = g.exit
+
+    def test_levels(self, small_graph):
+        assert small_graph.levels == (0, 1, 1, 2, 2, 3)
+
+    def test_level_sets_partition_tasks(self, small_graph):
+        flat = [i for lvl in small_graph.level_sets for i in lvl]
+        assert sorted(flat) == list(range(small_graph.n))
+
+    def test_max_level_width(self, small_graph):
+        assert small_graph.max_level_width == 2
+
+
+class TestBottomTopLevels:
+    def test_bottom_levels_unit_times(self, small_graph):
+        bl = small_graph.bottom_levels(np.ones(6))
+        # Longest path from each node to the sink, counting nodes.
+        assert bl[5] == 1
+        assert bl[3] == 2
+        assert bl[0] == 4
+
+    def test_bottom_level_exceeds_successors(self, small_graph):
+        w = np.array([t.seq_time for t in small_graph.tasks])
+        bl = small_graph.bottom_levels(w)
+        for u, v in small_graph.edges:
+            assert bl[u] >= bl[v] + w[u] - 1e-9
+
+    def test_top_levels_entry_zero(self, small_graph):
+        tl = small_graph.top_levels(np.ones(6))
+        assert tl[0] == 0
+        assert tl[5] == 3
+
+    def test_top_plus_bottom_bounded_by_cp(self, small_graph):
+        w = np.array([t.seq_time for t in small_graph.tasks])
+        bl = small_graph.bottom_levels(w)
+        tl = small_graph.top_levels(w)
+        cp, _ = small_graph.critical_path(w)
+        assert np.all(tl + bl <= cp + 1e-6)
+
+    def test_rejects_wrong_shape(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.bottom_levels(np.ones(3))
+        with pytest.raises(ValueError):
+            small_graph.top_levels(np.ones(3))
+
+
+class TestCriticalPath:
+    def test_critical_path_of_chain(self):
+        g = chain_graph(_tasks(4))
+        length, path = g.critical_path([1.0, 2.0, 3.0, 4.0])
+        assert length == pytest.approx(10.0)
+        assert path == (0, 1, 2, 3)
+
+    def test_critical_path_picks_heavier_branch(self, small_graph):
+        w = np.array([t.seq_time for t in small_graph.tasks])
+        length, path = small_graph.critical_path(w)
+        assert path == (0, 1, 3, 5)
+        assert length == pytest.approx(w[0] + w[1] + w[3] + w[5])
+
+    def test_path_is_connected(self, medium_graph):
+        w = np.array([t.seq_time for t in medium_graph.tasks])
+        _, path = medium_graph.critical_path(w)
+        for a, b in zip(path, path[1:]):
+            assert b in medium_graph.successors(a)
+
+
+class TestTotalWork:
+    def test_sequential_default(self, small_graph):
+        expected = sum(t.seq_time for t in small_graph.tasks)
+        assert small_graph.total_work() == pytest.approx(expected)
+
+    def test_with_allocations(self, small_graph):
+        allocs = [2] * 6
+        expected = sum(t.work(2) for t in small_graph.tasks)
+        assert small_graph.total_work(allocs) == pytest.approx(expected)
+
+    def test_rejects_wrong_length(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.total_work([1, 2])
+
+
+class TestSubgraph:
+    def test_subgraph_preserves_induced_edges(self, small_graph):
+        sub, old_to_new = small_graph.subgraph([0, 2, 4])
+        assert sub.n == 3
+        edges = {
+            (old_to_new[0], old_to_new[2]),
+            (old_to_new[2], old_to_new[4]),
+        }
+        assert set(sub.edges) == edges
+
+    def test_subgraph_tasks_match(self, small_graph):
+        sub, old_to_new = small_graph.subgraph([1, 3])
+        for old, new in old_to_new.items():
+            assert sub.task(new) == small_graph.task(old)
+
+    def test_full_subgraph_is_identity(self, small_graph):
+        sub, mapping = small_graph.subgraph(range(small_graph.n))
+        assert sub == small_graph
+        assert all(mapping[i] == i for i in range(small_graph.n))
+
+    def test_rejects_empty(self, small_graph):
+        with pytest.raises(InvalidDagError):
+            small_graph.subgraph([])
+
+    def test_rejects_bad_index(self, small_graph):
+        with pytest.raises(InvalidDagError):
+            small_graph.subgraph([0, 99])
+
+
+class TestTransitiveReduction:
+    def test_removes_shortcut_edge(self):
+        g = TaskGraph(_tasks(3), [(0, 1), (1, 2), (0, 2)])
+        assert set(g.transitive_reduction_edges()) == {(0, 1), (1, 2)}
+
+    def test_keeps_all_edges_of_chain(self):
+        g = chain_graph(_tasks(5))
+        assert set(g.transitive_reduction_edges()) == set(g.edges)
+
+
+class TestHelpers:
+    def test_chain_graph(self):
+        g = chain_graph(_tasks(3))
+        assert g.levels == (0, 1, 2)
+        assert g.max_level_width == 1
+
+    def test_fork_join(self):
+        g = fork_join_graph(
+            Task("in", 1.0), _tasks(3), Task("out", 1.0)
+        )
+        assert g.entry == 0
+        assert g.exit == 4
+        assert g.max_level_width == 3
+
+    def test_fork_join_empty_middle(self):
+        g = fork_join_graph(Task("in", 1.0), [], Task("out", 1.0))
+        assert g.n == 2
+        assert g.edges == ((0, 1),)

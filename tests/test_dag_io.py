@@ -1,0 +1,139 @@
+"""Tests for repro.dag.io (JSON/DOT/networkx) and repro.dag.analysis."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.dag import (
+    DagGenParams,
+    from_json,
+    from_networkx,
+    random_task_graph,
+    summarize,
+    to_dot,
+    to_json,
+    to_networkx,
+)
+from repro.dag.analysis import edge_length_histogram, is_layered, width_profile
+from repro.dag.task import Task
+from repro.dag.graph import TaskGraph
+from repro.errors import InvalidDagError
+from repro.model import AmdahlModel, DowneyModel, GustafsonFixedWorkModel
+from repro.rng import make_rng
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_random_graph(self):
+        g = random_task_graph(DagGenParams(n=30), make_rng(5))
+        assert from_json(to_json(g)) == g
+
+    def test_roundtrip_all_models(self):
+        tasks = [
+            Task("a", 100.0, AmdahlModel(0.3)),
+            Task("b", 200.0, DowneyModel(8.0, 1.5)),
+            Task("c", 300.0, GustafsonFixedWorkModel(2.0)),
+        ]
+        g = TaskGraph(tasks, [(0, 1), (1, 2)])
+        back = from_json(to_json(g))
+        assert back == g
+        assert isinstance(back.task(1).model, DowneyModel)
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(InvalidDagError, match="malformed"):
+            from_json("{not json")
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InvalidDagError, match="not a repro-dag"):
+            from_json('{"format": "other", "version": 1}')
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(InvalidDagError, match="version"):
+            from_json('{"format": "repro-dag", "version": 99}')
+
+    def test_rejects_unknown_model(self):
+        doc = (
+            '{"format": "repro-dag", "version": 1, '
+            '"tasks": [{"name": "a", "seq_time": 1.0, '
+            '"model": {"kind": "mystery"}}], "edges": []}'
+        )
+        with pytest.raises(InvalidDagError, match="unknown speedup model"):
+            from_json(doc)
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, small_graph):
+        dot = to_dot(small_graph)
+        assert "digraph" in dot
+        assert dot.count("->") == small_graph.n_edges
+        assert "t3" in dot
+
+    def test_reduced_drops_shortcuts(self):
+        tasks = [Task(f"t{i}", 10.0) for i in range(3)]
+        g = TaskGraph(tasks, [(0, 1), (1, 2), (0, 2)])
+        assert to_dot(g, reduced=True).count("->") == 2
+
+
+class TestNetworkx:
+    def test_roundtrip(self, small_graph):
+        assert from_networkx(to_networkx(small_graph)) == small_graph
+
+    def test_to_networkx_structure(self, small_graph):
+        g = to_networkx(small_graph)
+        assert isinstance(g, nx.DiGraph)
+        assert g.number_of_nodes() == small_graph.n
+        assert nx.is_directed_acyclic_graph(g)
+
+    def test_from_networkx_requires_task_attr(self):
+        g = nx.DiGraph()
+        g.add_node(0)
+        with pytest.raises(InvalidDagError, match="task"):
+            from_networkx(g)
+
+    def test_networkx_longest_path_matches_critical_path(self, small_graph):
+        """Cross-check our critical path against networkx."""
+        import numpy as np
+
+        w = np.array([t.seq_time for t in small_graph.tasks])
+        nxg = to_networkx(small_graph)
+        for u, v in nxg.edges:
+            nxg.edges[u, v]["weight"] = w[v]
+        path = nx.dag_longest_path(nxg, weight="weight")
+        nx_len = sum(w[i] for i in path)
+        our_len, _ = small_graph.critical_path(w)
+        assert our_len == pytest.approx(nx_len)
+
+
+class TestAnalysis:
+    def test_summary_fields(self, small_graph):
+        s = summarize(small_graph)
+        assert s.n_tasks == 6
+        assert s.n_edges == 7
+        assert s.n_levels == 4
+        assert s.max_width == 2
+        assert s.is_layered is True  # every edge links consecutive levels
+
+    def test_is_layered_detects_skip(self):
+        tasks = [Task(f"t{i}", 10.0) for i in range(3)]
+        layered = TaskGraph(tasks, [(0, 1), (1, 2)])
+        skipping = TaskGraph(tasks, [(0, 1), (1, 2), (0, 2)])
+        assert is_layered(layered)
+        assert not is_layered(skipping)
+
+    def test_width_profile_sums_to_n(self, medium_graph):
+        assert sum(width_profile(medium_graph)) == medium_graph.n
+
+    def test_edge_length_histogram_counts_all(self, medium_graph):
+        hist = edge_length_histogram(medium_graph)
+        assert sum(hist.values()) == medium_graph.n_edges
+
+    def test_parallelism_at_least_one(self, medium_graph):
+        s = summarize(medium_graph)
+        assert s.parallelism >= 1.0
+        assert s.seq_critical_path <= s.total_seq_work
+
+    def test_mean_alpha_nan_for_non_amdahl(self):
+        g = TaskGraph([Task("a", 1.0, DowneyModel(4.0, 1.0))], [])
+        import math
+
+        assert math.isnan(summarize(g).mean_alpha)

@@ -1,0 +1,112 @@
+"""Tests for the workflow templates (repro.dag.templates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.templates import (
+    TEMPLATES,
+    fft_butterfly,
+    inference_tree,
+    montage_like,
+    parameter_sweep,
+)
+from repro.errors import GenerationError
+from repro.model import AmdahlModel
+from repro.rng import make_rng
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_single_entry_exit(self, name):
+        g = TEMPLATES[name](make_rng(1))
+        assert len(g.sources) == 1
+        assert len(g.sinks) == 1
+
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_costs_positive_amdahl(self, name):
+        g = TEMPLATES[name](make_rng(1))
+        for t in g.tasks:
+            assert t.seq_time > 0
+            assert isinstance(t.model, AmdahlModel)
+
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_deterministic_structure(self, name):
+        a = TEMPLATES[name](make_rng(3))
+        b = TEMPLATES[name](make_rng(3))
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_schedulable(self, name):
+        from repro.cpa import cpa_schedule
+        from repro.schedule import validate_schedule
+
+        g = TEMPLATES[name](make_rng(2))
+        sched = cpa_schedule(g, 16)
+        validate_schedule(sched, 16)
+
+
+class TestMontage:
+    def test_task_count(self):
+        # stage + n projects + (n-1) diffs + fit + n corrects + madd
+        g = montage_like(make_rng(1), n_tiles=6)
+        assert g.n == 1 + 6 + 5 + 1 + 6 + 1
+
+    def test_diff_depends_on_adjacent_projects(self):
+        g = montage_like(make_rng(1), n_tiles=4)
+        d0 = g.index_of("diff-0")
+        preds = {g.task(i).name for i in g.predecessors(d0)}
+        assert preds == {"project-0", "project-1"}
+
+    def test_rejects_single_tile(self):
+        with pytest.raises(GenerationError):
+            montage_like(make_rng(1), n_tiles=1)
+
+
+class TestSweep:
+    def test_shape(self):
+        g = parameter_sweep(make_rng(1), n_points=5, stages_per_point=3)
+        assert g.n == 1 + 5 * 3 + 1
+        assert g.max_level_width == 5
+        assert g.n_levels == 3 + 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(GenerationError):
+            parameter_sweep(make_rng(1), n_points=0)
+
+
+class TestButterfly:
+    def test_dependency_pattern(self):
+        g = fft_butterfly(make_rng(1), width=4)
+        # Stage-1 lane 0 depends on stage-0 lanes 0 and 1.
+        s1_0 = g.index_of("s1-0")
+        preds = {g.task(i).name for i in g.predecessors(s1_0)}
+        assert preds == {"s0-0", "s0-1"}
+        # Stage-2 lane 0 depends on stage-1 lanes 0 and 2.
+        s2_0 = g.index_of("s2-0")
+        preds = {g.task(i).name for i in g.predecessors(s2_0)}
+        assert preds == {"s1-0", "s1-2"}
+
+    def test_task_count(self):
+        # scatter + (log2(8)+1) * 8 lanes + gather
+        g = fft_butterfly(make_rng(1), width=8)
+        assert g.n == 1 + 4 * 8 + 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(GenerationError):
+            fft_butterfly(make_rng(1), width=6)
+
+
+class TestTree:
+    def test_power_of_two_leaves(self):
+        g = inference_tree(make_rng(1), leaves=8)
+        # distribute + 8 leaves + 4 + 2 + 1 merges
+        assert g.n == 1 + 8 + 7
+
+    def test_odd_leaves_promote(self):
+        g = inference_tree(make_rng(1), leaves=5)
+        assert len(g.sinks) == 1
+
+    def test_rejects_one_leaf(self):
+        with pytest.raises(GenerationError):
+            inference_tree(make_rng(1), leaves=1)

@@ -1,0 +1,70 @@
+"""Tests for the error hierarchy and the public package surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.InvalidDagError,
+            errors.GenerationError,
+            errors.CalendarError,
+            errors.InfeasibleError,
+            errors.ScheduleValidationError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CalendarError("x")
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_registries_complete(self):
+        assert len(repro.RESSCHED_ALGORITHMS) == 12
+        assert len(repro.DEADLINE_ALGORITHMS) == 7
+        assert len(repro.BL_METHODS) == 4
+        assert len(repro.BD_METHODS) == 4
+
+    def test_quickstart_docstring_pipeline(self):
+        """The module docstring's quickstart actually runs."""
+        from repro import (
+            DagGenParams,
+            ResSchedAlgorithm,
+            build_reservation_scenario,
+            generate_log,
+            make_rng,
+            pick_scheduling_time,
+            preset,
+            random_task_graph,
+            schedule_ressched,
+        )
+
+        rng = make_rng(42)
+        app = random_task_graph(DagGenParams(n=10), rng)
+        log_params = preset("OSC_Cluster")
+        jobs = generate_log(log_params.with_(duration=40 * 86400.0), rng)
+        now = pick_scheduling_time(jobs, rng)
+        scenario = build_reservation_scenario(
+            jobs, log_params.n_procs, phi=0.2, now=now, method="expo", rng=rng
+        )
+        schedule = schedule_ressched(app, scenario, ResSchedAlgorithm())
+        assert schedule.turnaround > 0
+        assert schedule.cpu_hours > 0

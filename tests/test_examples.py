@@ -1,0 +1,62 @@
+"""Smoke tests: the example scripts must run end to end.
+
+``deadline_campaign.py`` performs several tightest-deadline searches and
+is exercised by the benchmark suite's machinery instead; the other three
+examples run here in full.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "name, markers",
+    [
+        ("quickstart.py", ["turn-around", "CPU-hours", "#"]),
+        ("image_pipeline.py", ["deadline", "Booked reservations", "mosaic"]),
+        (
+            "reservation_playground.py",
+            ["method=linear", "method=expo", "method=real", "P'"],
+        ),
+    ],
+)
+def test_example_runs(name, markers, capsys):
+    out = _run_example(name, capsys)
+    for marker in markers:
+        assert marker in out, f"{name}: {marker!r} not in output"
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "image_pipeline.py",
+        "deadline_campaign.py",
+        "reservation_playground.py",
+    } <= names
+
+
+def test_deadline_campaign_importable():
+    """The long-running example must at least parse and expose main()."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "deadline_campaign", EXAMPLES / "deadline_campaign.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # definitions only; main() is guarded
+    assert callable(module.main)

@@ -1,0 +1,80 @@
+"""Tiny-scale tests for the Table 6/7 experiment drivers.
+
+The full protocols run in the benchmark harness; these tests check the
+drivers' structure on a single instance so driver regressions surface in
+the fast suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import iter_problem_instances
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.table6 import (
+    compare_deadline_algorithms,
+    format_table6,
+)
+from repro.experiments.table7 import TABLE7_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        logs=("OSC_Cluster",),
+        phis=(0.2,),
+        methods=("expo",),
+        app_scenarios=1,
+        dag_instances=1,
+        start_times=1,
+        taggings=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def comparison(tiny_scale):
+    return compare_deadline_algorithms(
+        "tiny",
+        iter_problem_instances(tiny_scale),
+        algorithms=("DL_BD_CPA", "DL_RC_CPAR"),
+    )
+
+
+class TestCompareDeadlineAlgorithms:
+    def test_column_label(self, comparison):
+        assert comparison.column == "tiny"
+
+    def test_both_algorithms_present(self, comparison):
+        tight = comparison.tightest.summarize()
+        assert set(tight) == {"DL_BD_CPA", "DL_RC_CPAR"}
+
+    def test_degradations_nonnegative_or_nan(self, comparison):
+        for table in (comparison.tightest, comparison.loose_cpu_hours):
+            for s in table.summarize().values():
+                assert np.isnan(s.avg_degradation) or s.avg_degradation >= 0
+
+    def test_loose_deadline_ran(self, comparison):
+        # The loose-deadline table has the same scenario count as the
+        # tightest table whenever at least one algorithm found a
+        # tightest deadline.
+        assert comparison.loose_cpu_hours.n_scenarios in (
+            0,
+            comparison.tightest.n_scenarios,
+        )
+
+    def test_format_renders_both_metrics(self, comparison):
+        text = format_table6([comparison])
+        assert "Tightest deadline" in text
+        assert "CPU-hours at loose deadline" in text
+        assert "DL_RC_CPAR" in text
+
+
+class TestTable7Constants:
+    def test_paper_row_order(self):
+        assert TABLE7_ALGORITHMS == (
+            "DL_BD_CPA",
+            "DL_RC_CPAR",
+            "DL_RC_CPAR-lambda",
+            "DL_RCBD_CPAR-lambda",
+        )

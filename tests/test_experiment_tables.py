@@ -1,0 +1,111 @@
+"""Smoke/shape tests for the per-table experiment drivers.
+
+These run tiny scales — the paper-shape assertions live in the benchmark
+harness; here we check the drivers produce structurally sound results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_bl_comparison,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.experiments.bl_comparison import format_bl_comparison
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import format_table3
+from repro.experiments.table4 import TABLE4_BD_METHODS, format_table4
+from repro.experiments.table5 import format_table5
+from repro.experiments.timing import (
+    format_timing,
+    run_timing_by_density,
+    run_timing_by_n,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return ExperimentScale.smoke()
+
+
+class TestTable2:
+    def test_rows_and_format(self):
+        rows = run_table2()
+        assert {r.name for r in rows} == {
+            "CTC_SP2", "OSC_Cluster", "SDSC_BLUE", "SDSC_DS",
+        }
+        for r in rows:
+            assert abs(r.utilization_measured - r.utilization_target) < 0.15
+        text = format_table2(rows)
+        assert "SDSC_BLUE" in text
+
+
+class TestTable3:
+    def test_stats_and_correlations(self):
+        result = run_table3(phis=(0.2,), methods=("expo", "real"), n_samples=1)
+        assert "Grid5000" in result.stats
+        assert len(result.stats) == 5
+        assert set(result.correlations) == {"expo", "real"}
+        text = format_table3(result)
+        assert "correlation" in text.lower()
+
+    def test_grid5000_stats_near_presets(self):
+        result = run_table3(phis=(0.2,), methods=("expo",), n_samples=1)
+        g5k = result.stats["Grid5000"]
+        assert g5k.avg_exec_time == pytest.approx(1.84 * 3600, rel=0.4)
+        assert g5k.avg_time_to_exec > 0
+
+
+class TestBlComparison:
+    def test_structure(self, smoke):
+        res = run_bl_comparison(smoke, bd_methods=("BD_CPAR",))
+        assert res.n_cases == 2  # 2 scenarios x 1 bd method
+        assert set(res.best_fraction) == {
+            "BL_1", "BL_ALL", "BL_CPA", "BL_CPAR",
+        }
+        total = sum(res.best_fraction.values())
+        assert total == pytest.approx(1.0)
+        assert res.improvement_min <= res.improvement_max
+        assert "BL_CPA + BL_CPAR" in format_bl_comparison(res)
+
+
+class TestTable4And5:
+    def test_table4_structure(self, smoke):
+        result = run_table4(smoke)
+        t = result.turnaround.summarize()
+        assert set(t) == set(TABLE4_BD_METHODS)
+        for s in t.values():
+            assert s.avg_degradation >= -1e-9
+        wins = sum(s.wins for s in t.values())
+        assert wins >= result.turnaround.n_scenarios
+        assert "BD_CPAR" in format_table4(result)
+
+    def test_table5_structure(self, smoke):
+        result = run_table5(smoke)
+        assert result.turnaround.n_scenarios >= 1
+        assert "Grid'5000" in format_table5(result)
+
+
+class TestTiming:
+    def test_timing_by_n_shape(self, smoke):
+        rows = run_timing_by_n(
+            smoke, n_values=(10, 25), algorithms=("BD_CPAR", "DL_RC_CPAR")
+        )
+        assert [r.sweep_value for r in rows] == [10.0, 25.0]
+        for r in rows:
+            assert set(r.mean_ms) == {"BD_CPAR", "DL_RC_CPAR"}
+            assert all(v > 0 for v in r.mean_ms.values())
+        assert "BD_CPAR" in format_timing(rows, "n")
+
+    def test_timing_by_density_shape(self, smoke):
+        rows = run_timing_by_density(
+            smoke, d_values=(0.3,), algorithms=("BD_CPAR",)
+        )
+        assert len(rows) == 1
+        assert np.isfinite(rows[0].mean_ms["BD_CPAR"])

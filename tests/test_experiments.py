@@ -1,0 +1,127 @@
+"""Tests for the experiment harness (repro.experiments)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    iter_grid5000_instances,
+    iter_problem_instances,
+    table1_app_scenarios,
+)
+from repro.errors import GenerationError
+from repro.experiments.scenarios import (
+    ALPHA_VALUES,
+    JUMP_VALUES,
+    N_TASK_VALUES,
+)
+
+
+class TestTable1Grid:
+    def test_forty_scenarios(self):
+        assert len(table1_app_scenarios()) == 40
+
+    def test_counts_per_family(self):
+        names = [s.name for s in table1_app_scenarios()]
+        assert sum(n.startswith("n=") for n in names) == len(N_TASK_VALUES)
+        assert sum(n.startswith("alpha=") for n in names) == len(ALPHA_VALUES)
+        assert sum(n.startswith("width=") for n in names) == 9
+        assert sum(n.startswith("density=") for n in names) == 9
+        assert sum(n.startswith("regularity=") for n in names) == 9
+        assert sum(n.startswith("jump=") for n in names) == len(JUMP_VALUES)
+
+    def test_sweeps_fix_other_params(self):
+        for s in table1_app_scenarios():
+            if s.name == "density=0.9":
+                assert s.params.n == 50
+                assert s.params.width == 0.5
+                assert s.params.density == 0.9
+
+
+class TestScale:
+    def test_smoke_smaller_than_default(self):
+        smoke = ExperimentScale.smoke()
+        default = ExperimentScale()
+        assert smoke.dag_instances <= default.dag_instances
+        assert len(smoke.logs) <= len(default.logs)
+
+    def test_paper_scale_full_grid(self):
+        paper = ExperimentScale.paper()
+        assert len(paper.logs) == 4
+        assert paper.phis == (0.1, 0.2, 0.5)
+        assert paper.app_scenarios is None
+        assert len(paper.selected_app_scenarios()) == 40
+
+    def test_subsample_spans_families(self):
+        scale = ExperimentScale(app_scenarios=6)
+        names = [s.name for s in scale.selected_app_scenarios()]
+        assert len(names) == 6
+        families = {n.split("=")[0] for n in names}
+        assert len(families) >= 4
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(GenerationError):
+            ExperimentScale(dag_instances=0)
+        with pytest.raises(GenerationError):
+            ExperimentScale(app_scenarios=0)
+
+
+class TestInstanceStreams:
+    def test_synthetic_stream_counts(self):
+        scale = ExperimentScale.smoke()
+        instances = list(iter_problem_instances(scale))
+        # scenarios: 1 log x 1 phi x 1 method x 2 apps; instances each:
+        # max(dags, starts*taggings) = 2.
+        assert len(instances) == 4
+        keys = {i.scenario_key for i in instances}
+        assert len(keys) == 2
+
+    def test_deterministic(self):
+        scale = ExperimentScale.smoke()
+        a = list(iter_problem_instances(scale))
+        b = list(iter_problem_instances(scale))
+        assert [i.scenario_key for i in a] == [i.scenario_key for i in b]
+        assert all(x.graph == y.graph for x, y in zip(a, b))
+        assert all(
+            x.scenario.reservations == y.scenario.reservations
+            for x, y in zip(a, b)
+        )
+
+    def test_cross_product_mode(self):
+        scale = ExperimentScale.smoke()
+        paired = list(iter_problem_instances(scale, pair_instances=True))
+        crossed = list(iter_problem_instances(scale, pair_instances=False))
+        assert len(crossed) >= len(paired)
+
+    def test_scenarios_are_feasible(self):
+        scale = ExperimentScale.smoke()
+        for inst in iter_problem_instances(scale):
+            inst.scenario.calendar()  # strict: raises on violation
+
+    def test_grid5000_stream(self):
+        scale = ExperimentScale.smoke()
+        instances = list(iter_grid5000_instances(scale))
+        assert instances
+        for inst in instances:
+            assert inst.scenario.method == "asis"
+            assert np.isnan(inst.scenario.phi)
+
+    def test_seed_changes_instances(self):
+        a = list(iter_problem_instances(ExperimentScale.smoke()))
+        b = list(
+            iter_problem_instances(
+                ExperimentScale.smoke().__class__(
+                    logs=("OSC_Cluster",),
+                    phis=(0.2,),
+                    methods=("expo",),
+                    app_scenarios=2,
+                    dag_instances=2,
+                    start_times=1,
+                    taggings=1,
+                    seed=999,
+                )
+            )
+        )
+        assert a[0].graph != b[0].graph

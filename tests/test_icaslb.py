@@ -1,0 +1,105 @@
+"""Tests for the iCASLB-style allocator (repro.cpa.icaslb)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import Reservation
+from repro.cpa import cpa_allocation, cpa_map, icaslb_allocation
+from repro.core import ProblemContext, ResSchedAlgorithm, schedule_ressched
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import GenerationError
+from repro.rng import make_rng
+from repro.schedule import validate_schedule
+from repro.workloads.reservations import ReservationScenario
+
+
+class TestAllocation:
+    def test_bounds_respected(self, medium_graph):
+        a = icaslb_allocation(medium_graph, 16)
+        assert all(1 <= m <= 16 for m in a.allocations)
+
+    def test_single_processor(self, small_graph):
+        a = icaslb_allocation(small_graph, 1)
+        assert a.allocations == (1,) * small_graph.n
+
+    def test_makespan_recorded_is_mapped(self, medium_graph):
+        a = icaslb_allocation(medium_graph, 16)
+        sched = cpa_map(medium_graph, a.allocations, 16)
+        assert sched.turnaround == pytest.approx(a.critical_path)
+
+    def test_never_worse_than_sequential_map(self, medium_graph):
+        """The iterative search starts from the all-ones mapping and
+        only keeps improvements: its final makespan can't exceed it."""
+        a = icaslb_allocation(medium_graph, 16)
+        ones = cpa_map(medium_graph, [1] * medium_graph.n, 16)
+        assert a.critical_path <= ones.turnaround + 1e-6
+
+    def test_usually_competitive_with_cpa(self, medium_graph):
+        """One-step search validates against real makespans; on this
+        fixed instance it must not lose badly to two-phase CPA."""
+        ica = icaslb_allocation(medium_graph, 16)
+        cpa = cpa_allocation(medium_graph, 16)
+        cpa_mk = cpa_map(medium_graph, cpa.allocations, 16).turnaround
+        assert ica.critical_path <= 1.2 * cpa_mk
+
+    def test_rejects_bad_params(self, small_graph):
+        with pytest.raises(GenerationError):
+            icaslb_allocation(small_graph, 0)
+        with pytest.raises(GenerationError):
+            icaslb_allocation(small_graph, 4, lookahead=-1)
+
+    def test_iteration_cap(self, medium_graph):
+        a = icaslb_allocation(medium_graph, 16, max_iterations=2)
+        assert a.iterations <= 2
+
+    def test_deterministic(self, medium_graph):
+        a = icaslb_allocation(medium_graph, 16)
+        b = icaslb_allocation(medium_graph, 16)
+        assert a.allocations == b.allocations
+
+    @given(seed=st.integers(0, 200), q=st.integers(1, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_valid_allocations(self, seed, q):
+        g = random_task_graph(DagGenParams(n=10), make_rng(seed))
+        a = icaslb_allocation(g, q)
+        assert all(1 <= m <= q for m in a.allocations)
+        assert a.critical_path > 0
+
+
+class TestResSchedIntegration:
+    @pytest.fixture
+    def scenario(self):
+        return ReservationScenario(
+            name="ica",
+            capacity=16,
+            now=0.0,
+            reservations=(Reservation(0.0, 20_000.0, 10),),
+            hist_avg_available=8.0,
+        )
+
+    def test_bd_icaslb_schedules_validly(self, medium_graph, scenario):
+        sched = schedule_ressched(
+            medium_graph,
+            scenario,
+            ResSchedAlgorithm(bl="BL_ICASLB", bd="BD_ICASLB"),
+        )
+        validate_schedule(sched, scenario.capacity, scenario.reservations)
+        assert sched.algorithm == "BL_ICASLB_BD_ICASLB"
+
+    def test_bounds_follow_icaslb(self, medium_graph, scenario):
+        ctx = ProblemContext(medium_graph, scenario)
+        sched = schedule_ressched(
+            medium_graph,
+            scenario,
+            ResSchedAlgorithm(bl="BL_CPAR", bd="BD_ICASLB"),
+            context=ctx,
+        )
+        for pl in sched.placements:
+            assert pl.nprocs <= ctx.icaslb_q.allocations[pl.task]
+
+    def test_context_caches_icaslb(self, medium_graph, scenario):
+        ctx = ProblemContext(medium_graph, scenario)
+        assert ctx.icaslb_q is ctx.icaslb_q

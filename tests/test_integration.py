@@ -1,0 +1,156 @@
+"""End-to-end integration tests across the whole pipeline.
+
+Each test tells one complete story: generate workload + application,
+schedule, validate, execute — crossing module boundaries the unit tests
+keep apart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DagGenParams,
+    ProblemContext,
+    ResSchedAlgorithm,
+    build_reservation_scenario,
+    generate_log,
+    make_rng,
+    pick_scheduling_time,
+    preset,
+    random_task_graph,
+    schedule_deadline,
+    schedule_ressched,
+    tightest_deadline,
+    validate_schedule,
+)
+from repro.cpa import cpa_schedule
+from repro.sim import UniformNoise, execute_schedule, pad_graph
+from repro.units import HOUR
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """One shared end-to-end problem instance."""
+    rng = make_rng(321)
+    params = preset("SDSC_DS")
+    jobs = generate_log(params, rng)
+    graph = random_task_graph(DagGenParams(n=30), rng)
+    now = pick_scheduling_time(jobs, rng)
+    scenario = build_reservation_scenario(
+        jobs, params.n_procs, phi=0.3, now=now, method="linear", rng=rng
+    )
+    return graph, scenario
+
+
+class TestForwardPipeline:
+    def test_all_bd_methods_validate(self, pipeline):
+        graph, scenario = pipeline
+        ctx = ProblemContext(graph, scenario)
+        for bd in ("BD_ALL", "BD_HALF", "BD_CPA", "BD_CPAR"):
+            sched = schedule_ressched(
+                graph, scenario, ResSchedAlgorithm(bd=bd), context=ctx
+            )
+            validate_schedule(sched, scenario.capacity, scenario.reservations)
+
+    def test_reservation_pressure_slows_things_down(self, pipeline):
+        """The same application on an empty platform finishes no later."""
+        graph, scenario = pipeline
+        busy = schedule_ressched(graph, scenario)
+        idle = cpa_schedule(graph, scenario.capacity, start_time=scenario.now)
+        assert idle.turnaround <= busy.turnaround + 1e-6
+
+    def test_turnaround_bounded_by_sequential(self, pipeline):
+        """Never slower than running every task alone, back to back,
+        after all competing reservations end."""
+        graph, scenario = pipeline
+        sched = schedule_ressched(graph, scenario)
+        seq_total = sum(t.seq_time for t in graph.tasks)
+        last_resv_end = max(
+            (r.end for r in scenario.reservations), default=scenario.now
+        )
+        worst = (last_resv_end - scenario.now) + seq_total
+        assert sched.turnaround <= worst + 1e-6
+
+
+class TestDeadlinePipeline:
+    def test_tightest_consistent_with_forward(self, pipeline):
+        """The tightest deadline is in the same ballpark as the forward
+        scheduler's turn-around (neither can beat the critical path)."""
+        graph, scenario = pipeline
+        ctx = ProblemContext(graph, scenario)
+        forward = schedule_ressched(graph, scenario, context=ctx)
+        td = tightest_deadline(graph, scenario, "DL_BD_CPA", context=ctx)
+        assert td.turnaround(scenario.now) < 3 * forward.turnaround
+
+    def test_deadline_equal_to_forward_completion_is_meetable(self, pipeline):
+        """The forward schedule is itself a witness that its completion
+        time is a feasible deadline."""
+        graph, scenario = pipeline
+        forward = schedule_ressched(graph, scenario)
+        res = schedule_deadline(
+            graph, scenario, forward.completion * 1.001, "DL_BD_CPA"
+        )
+        assert res.feasible
+
+    def test_rc_cpu_hours_never_above_aggressive_when_loose(self, pipeline):
+        graph, scenario = pipeline
+        forward = schedule_ressched(graph, scenario)
+        loose = scenario.now + 3 * forward.turnaround
+        rc = schedule_deadline(graph, scenario, loose, "DL_RCBD_CPAR-lambda")
+        ag = schedule_deadline(graph, scenario, loose, "DL_BD_ALL")
+        assert rc.feasible and ag.feasible
+        assert rc.cpu_hours < ag.cpu_hours
+
+
+class TestScheduleThenExecute:
+    def test_padded_plan_survives_noise(self, pipeline):
+        graph, scenario = pipeline
+        padded = pad_graph(graph, 1.6)
+        plan = schedule_ressched(padded, scenario)
+        result = execute_schedule(
+            plan, graph, scenario, UniformNoise(0.8, 1.5), make_rng(99)
+        )
+        assert result.total_kills == 0
+        assert result.realized_turnaround <= plan.turnaround + 1e-6
+
+    def test_unpadded_plan_costs_more_when_noisy(self, pipeline):
+        graph, scenario = pipeline
+        plan = schedule_ressched(graph, scenario)
+        result = execute_schedule(
+            plan, graph, scenario, UniformNoise(1.1, 1.5), make_rng(99)
+        )
+        assert result.total_kills > 0
+        assert result.cpu_hours_booked > plan.cpu_hours - 1e-9
+
+
+class TestCrossAlgorithmConsistency:
+    def test_every_algorithm_agrees_on_single_task(self):
+        """A 1-task application: every algorithm must book the identical
+        cheapest-completion reservation on an idle machine."""
+        from repro.workloads.reservations import ReservationScenario
+
+        graph = random_task_graph(DagGenParams(n=1), make_rng(5))
+        scenario = ReservationScenario(
+            name="one", capacity=8, now=0.0, reservations=(),
+            hist_avg_available=8.0,
+        )
+        turnarounds = set()
+        for bd in ("BD_ALL", "BD_CPA", "BD_CPAR"):
+            sched = schedule_ressched(
+                graph, scenario, ResSchedAlgorithm(bd=bd)
+            )
+            turnarounds.add(round(sched.turnaround, 6))
+        assert len(turnarounds) == 1
+
+    def test_tightest_deadline_hierarchy(self, pipeline):
+        """DL_BD_ALL's tightest deadline is never meaningfully tighter
+        than DL_BD_CPA's (huge allocations hurt task parallelism)."""
+        graph, scenario = pipeline
+        ctx = ProblemContext(graph, scenario)
+        all_ = tightest_deadline(graph, scenario, "DL_BD_ALL", context=ctx)
+        cpa = tightest_deadline(graph, scenario, "DL_BD_CPA", context=ctx)
+        assert all_.turnaround(scenario.now) >= 0.8 * cpa.turnaround(
+            scenario.now
+        )

@@ -1,0 +1,159 @@
+"""Tests for the speedup models (repro.model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import (
+    AmdahlModel,
+    DowneyModel,
+    GustafsonFixedWorkModel,
+)
+
+
+class TestAmdahlBasics:
+    def test_sequential_time_on_one_processor(self):
+        assert AmdahlModel(0.3).exec_time(1000.0, 1) == pytest.approx(1000.0)
+
+    def test_fully_parallel(self):
+        assert AmdahlModel(0.0).exec_time(1000.0, 10) == pytest.approx(100.0)
+
+    def test_fully_serial(self):
+        assert AmdahlModel(1.0).exec_time(1000.0, 10) == pytest.approx(1000.0)
+
+    def test_formula(self):
+        # T(m) = T * (alpha + (1 - alpha)/m)
+        m = AmdahlModel(0.2)
+        assert m.exec_time(100.0, 4) == pytest.approx(100.0 * (0.2 + 0.8 / 4))
+
+    def test_speedup_bounded_by_inverse_alpha(self):
+        m = AmdahlModel(0.1)
+        assert m.speedup(10_000) < 1 / 0.1
+
+    def test_exec_times_vector_matches_scalar(self):
+        m = AmdahlModel(0.15)
+        vec = m.exec_times(500.0, 8)
+        for i in range(8):
+            assert vec[i] == pytest.approx(m.exec_time(500.0, i + 1))
+
+    def test_work_grows_with_processors(self):
+        m = AmdahlModel(0.25)
+        works = [m.work(100.0, k) for k in (1, 2, 4, 8)]
+        assert works == sorted(works)
+        assert works[0] == pytest.approx(100.0)
+
+
+class TestAmdahlValidation:
+    @pytest.mark.parametrize("alpha", [-0.1, 1.1, float("nan")])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(ValueError):
+            AmdahlModel(alpha)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(0.5).exec_time(100.0, 0)
+
+    def test_rejects_nonpositive_seq_time(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(0.5).exec_time(0.0, 4)
+
+    def test_exec_times_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AmdahlModel(0.5).exec_times(100.0, 0)
+        with pytest.raises(ValueError):
+            AmdahlModel(0.5).exec_times(-1.0, 4)
+
+
+class TestAmdahlProperties:
+    @given(
+        alpha=st.floats(0.0, 1.0),
+        seq=st.floats(1.0, 1e6),
+        m=st.integers(1, 1000),
+    )
+    @settings(max_examples=200)
+    def test_time_non_increasing(self, alpha, seq, m):
+        model = AmdahlModel(alpha)
+        assert model.exec_time(seq, m + 1) <= model.exec_time(seq, m) + 1e-9
+
+    @given(
+        alpha=st.floats(0.0, 1.0),
+        seq=st.floats(1.0, 1e6),
+        m=st.integers(1, 1000),
+    )
+    @settings(max_examples=200)
+    def test_work_non_decreasing(self, alpha, seq, m):
+        model = AmdahlModel(alpha)
+        assert model.work(seq, m + 1) >= model.work(seq, m) - 1e-6
+
+    @given(alpha=st.floats(0.0, 1.0), m=st.integers(1, 500))
+    @settings(max_examples=200)
+    def test_speedup_at_least_one_at_most_m(self, alpha, m):
+        s = AmdahlModel(alpha).speedup(m)
+        assert 1.0 - 1e-12 <= s <= m + 1e-9
+
+
+class TestDowney:
+    def test_speedup_one_processor(self):
+        assert DowneyModel(10.0, 0.5).speedup(1) == pytest.approx(1.0)
+
+    def test_saturates_at_average_parallelism(self):
+        model = DowneyModel(8.0, 0.5)
+        assert model.speedup(10_000) == pytest.approx(8.0)
+
+    def test_low_sigma_near_linear_below_a(self):
+        model = DowneyModel(64.0, 0.0)
+        assert model.speedup(32) == pytest.approx(32.0, rel=1e-6)
+
+    @given(
+        a=st.floats(1.0, 128.0),
+        sigma=st.floats(0.0, 4.0),
+        m=st.integers(1, 512),
+    )
+    @settings(max_examples=200)
+    def test_bounded_and_monotone_in_m(self, a, sigma, m):
+        model = DowneyModel(a, sigma)
+        s1, s2 = model.speedup(m), model.speedup(m + 1)
+        assert 1.0 - 1e-9 <= s1 <= a + 1e-9
+        assert s2 >= s1 - 1e-9
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DowneyModel(0.5, 1.0)
+        with pytest.raises(ValueError):
+            DowneyModel(4.0, -1.0)
+
+
+class TestGustafsonFixedWork:
+    def test_no_overhead_is_linear(self):
+        m = GustafsonFixedWorkModel(0.0)
+        assert m.exec_time(1000.0, 10) == pytest.approx(100.0)
+
+    def test_overhead_creates_optimum(self):
+        m = GustafsonFixedWorkModel(10.0)
+        best = m.max_useful_processors(1000.0, 100)
+        # Optimum of T/m + c(m-1) is sqrt(T/c) = 10.
+        assert 8 <= best <= 12
+        assert m.exec_time(1000.0, best) <= m.exec_time(1000.0, best + 5)
+
+    def test_exec_times_vector(self):
+        m = GustafsonFixedWorkModel(1.0)
+        vec = m.exec_times(100.0, 5)
+        assert vec[0] == pytest.approx(100.0)
+        assert vec[4] == pytest.approx(100.0 / 5 + 4.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            GustafsonFixedWorkModel(-1.0)
+
+
+class TestVectorizedConsistency:
+    @given(alpha=st.floats(0.0, 1.0), seq=st.floats(1.0, 1e5))
+    @settings(max_examples=50)
+    def test_amdahl_vector_equals_scalar(self, alpha, seq):
+        model = AmdahlModel(alpha)
+        vec = model.exec_times(seq, 16)
+        scal = np.array([model.exec_time(seq, m) for m in range(1, 17)])
+        assert np.allclose(vec, scal)

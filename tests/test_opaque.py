@@ -1,0 +1,167 @@
+"""Tests for the opaque reservation interface and probing scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.calendar.system import (
+    OpaqueSystem,
+    TransparentSystem,
+    probe_earliest_start,
+)
+from repro.core import schedule_ressched
+from repro.core.opaque import schedule_ressched_opaque
+from repro.errors import CalendarError, GenerationError
+from repro.schedule import validate_schedule
+from repro.workloads.reservations import ReservationScenario
+
+
+def _busy_calendar():
+    return ResourceCalendar(
+        8,
+        [
+            Reservation(0.0, 10_000.0, 8),
+            Reservation(20_000.0, 30_000.0, 6),
+        ],
+    )
+
+
+class TestTransparentSystem:
+    def test_exposes_calendar(self):
+        cal = _busy_calendar()
+        system = TransparentSystem(cal)
+        assert system.capacity == 8
+        assert system.calendar is cal
+
+    def test_try_reserve_success(self):
+        system = TransparentSystem(_busy_calendar())
+        r = system.try_reserve(12_000.0, 1000.0, 8, label="x")
+        assert r is not None
+        assert r.label == "x"
+
+    def test_try_reserve_conflict(self):
+        system = TransparentSystem(_busy_calendar())
+        assert system.try_reserve(5000.0, 1000.0, 4) is None
+
+
+class TestOpaqueSystem:
+    def test_probes_counted(self):
+        system = OpaqueSystem(_busy_calendar())
+        assert system.probe(12_000.0, 100.0, 8)
+        assert not system.probe(5000.0, 100.0, 1)
+        assert system.probes == 2
+
+    def test_try_reserve_counts(self):
+        system = OpaqueSystem(_busy_calendar())
+        system.try_reserve(12_000.0, 100.0, 8)
+        assert system.probes == 1
+
+    def test_invalid_probe_is_false_not_raise(self):
+        system = OpaqueSystem(_busy_calendar())
+        assert not system.probe(0.0, 100.0, 99)
+
+
+class TestProbeEarliestStart:
+    def test_immediate_grant(self):
+        system = OpaqueSystem(ResourceCalendar(8))
+        start = probe_earliest_start(system, 100.0, 50.0, 4)
+        assert start == 100.0
+        assert system.probes == 1
+
+    def test_finds_window_after_block(self):
+        system = OpaqueSystem(_busy_calendar())
+        start = probe_earliest_start(system, 0.0, 1000.0, 8, max_probes=32)
+        assert start is not None
+        # Feasibility of the answer is the contract.
+        assert system.probe(start, 1000.0, 8)
+        assert start >= 10_000.0
+
+    def test_budget_exhaustion_returns_none(self):
+        # A wall that the probe steps cannot cross with 4 probes.
+        cal = ResourceCalendar(4, [Reservation(0.0, 1e9, 4)])
+        system = OpaqueSystem(cal)
+        start = probe_earliest_start(
+            system, 0.0, 10.0, 4, max_probes=4, initial_step=1.0,
+            step_growth=1.01,
+        )
+        assert start is None
+        assert system.probes <= 4
+
+    def test_probe_budget_respected(self):
+        system = OpaqueSystem(_busy_calendar())
+        probe_earliest_start(system, 0.0, 1000.0, 8, max_probes=10)
+        assert system.probes <= 10
+
+    def test_refinement_improves_start(self):
+        """With a generous budget the bisection pulls the grant earlier
+        than the raw forward-phase hit."""
+        cal = ResourceCalendar(4, [Reservation(0.0, 1000.0, 4)])
+        cheap = OpaqueSystem(cal.copy())
+        rich = OpaqueSystem(cal.copy())
+        coarse = probe_earliest_start(
+            cheap, 0.0, 100.0, 4, max_probes=6, refine_probes=0,
+            initial_step=300.0,
+        )
+        fine = probe_earliest_start(
+            rich, 0.0, 100.0, 4, max_probes=24, refine_probes=12,
+            initial_step=300.0,
+        )
+        assert coarse is not None and fine is not None
+        assert fine <= coarse
+
+    def test_rejects_bad_budget(self):
+        system = OpaqueSystem(ResourceCalendar(4))
+        with pytest.raises(CalendarError):
+            probe_earliest_start(system, 0.0, 10.0, 1, max_probes=0)
+
+
+class TestOpaqueScheduler:
+    @pytest.fixture
+    def scenario(self):
+        return ReservationScenario(
+            name="opaque",
+            capacity=16,
+            now=0.0,
+            reservations=(
+                Reservation(0.0, 20_000.0, 12),
+                Reservation(40_000.0, 90_000.0, 10),
+            ),
+            hist_avg_available=8.0,
+        )
+
+    def test_valid_schedule(self, medium_graph, scenario):
+        result = schedule_ressched_opaque(medium_graph, scenario)
+        validate_schedule(
+            result.schedule, scenario.capacity, scenario.reservations
+        )
+        assert result.probes_used > medium_graph.n  # at least one each
+        assert result.probes_per_task >= 1.0
+
+    def test_never_better_than_full_knowledge(self, medium_graph, scenario):
+        opaque = schedule_ressched_opaque(medium_graph, scenario)
+        transparent = schedule_ressched(medium_graph, scenario)
+        assert (
+            opaque.schedule.turnaround >= transparent.turnaround - 1e-6
+        )
+
+    def test_more_probes_do_not_hurt(self, medium_graph, scenario):
+        small = schedule_ressched_opaque(
+            medium_graph, scenario, probes_per_task=8
+        )
+        large = schedule_ressched_opaque(
+            medium_graph, scenario, probes_per_task=64
+        )
+        assert (
+            large.schedule.turnaround <= small.schedule.turnaround + 1e-6
+        )
+
+    def test_rejects_tiny_budget(self, medium_graph, scenario):
+        with pytest.raises(GenerationError):
+            schedule_ressched_opaque(
+                medium_graph, scenario, probes_per_task=2
+            )
+
+    def test_algorithm_label(self, medium_graph, scenario):
+        result = schedule_ressched_opaque(medium_graph, scenario)
+        assert result.schedule.algorithm == "OPAQUE_BD_CPAR"

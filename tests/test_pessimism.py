@@ -1,0 +1,41 @@
+"""Tests for the pessimistic-estimates study driver."""
+
+from __future__ import annotations
+
+from repro.experiments.pessimism import format_pessimism, run_pessimism_study
+
+
+class TestPessimismStudy:
+    def test_rows_match_factors(self):
+        rows = run_pessimism_study(
+            factors=(1.0, 2.0), n_instances=2, n_tasks=8
+        )
+        assert [r.pad_factor for r in rows] == [1.0, 2.0]
+        for r in rows:
+            assert r.planned_turnaround_h > 0
+            assert r.realized_turnaround_h > 0
+            assert 0 < r.booking_efficiency <= 1.0 + 1e-9
+            assert r.kills_per_app >= 0
+
+    def test_padding_grows_planned_turnaround(self):
+        rows = run_pessimism_study(
+            factors=(1.0, 2.5), n_instances=2, n_tasks=8
+        )
+        assert rows[1].planned_turnaround_h > rows[0].planned_turnaround_h
+
+    def test_padding_suppresses_kills(self):
+        rows = run_pessimism_study(
+            factors=(1.0, 2.5), n_instances=2, n_tasks=8, noise_sigma=0.3
+        )
+        assert rows[1].kills_per_app <= rows[0].kills_per_app
+
+    def test_deterministic(self):
+        a = run_pessimism_study(factors=(1.5,), n_instances=2, n_tasks=8)
+        b = run_pessimism_study(factors=(1.5,), n_instances=2, n_tasks=8)
+        assert a == b
+
+    def test_format(self):
+        rows = run_pessimism_study(factors=(1.0,), n_instances=1, n_tasks=6)
+        text = format_pessimism(rows)
+        assert "kills/app" in text
+        assert "1.00" in text

@@ -1,0 +1,272 @@
+"""Tests for reservation-scenario construction (repro.workloads.reservations)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.errors import GenerationError
+from repro.rng import make_rng
+from repro.units import DAY, HOUR
+from repro.workloads import (
+    build_reservation_scenario,
+    generate_log,
+    preset,
+    reservation_scenario_from_reservation_log,
+    tag_reservations,
+)
+from repro.workloads.presets import GRID5000
+from repro.workloads.reservations import (
+    RESHAPE_METHODS,
+    ReservationScenario,
+    pick_scheduling_time,
+    reservations_to_jobs,
+)
+
+
+@pytest.fixture(scope="module")
+def log():
+    params = preset("OSC_Cluster")
+    return generate_log(params, make_rng(101)), params
+
+
+class TestTagging:
+    def test_phi_zero_empty(self, log):
+        jobs, _ = log
+        assert tag_reservations(jobs, 0.0, make_rng(1)) == []
+
+    def test_phi_one_everything(self, log):
+        jobs, _ = log
+        assert len(tag_reservations(jobs, 1.0, make_rng(1))) == len(jobs)
+
+    def test_phi_fraction_approximate(self, log):
+        jobs, _ = log
+        tagged = tag_reservations(jobs, 0.2, make_rng(1))
+        frac = len(tagged) / len(jobs)
+        assert 0.14 < frac < 0.26
+
+    def test_rejects_bad_phi(self, log):
+        jobs, _ = log
+        with pytest.raises(GenerationError):
+            tag_reservations(jobs, 1.5, make_rng(1))
+
+    def test_deterministic(self, log):
+        jobs, _ = log
+        a = tag_reservations(jobs, 0.3, make_rng(5))
+        b = tag_reservations(jobs, 0.3, make_rng(5))
+        assert a == b
+
+
+class TestPickSchedulingTime:
+    def test_within_margins(self, log):
+        jobs, _ = log
+        t0 = min(j.submit for j in jobs)
+        t1 = max(j.end for j in jobs)
+        for seed in range(5):
+            now = pick_scheduling_time(jobs, make_rng(seed))
+            assert t0 + 14 * DAY <= now <= t1 - 14 * DAY
+
+    def test_rejects_empty_log(self):
+        with pytest.raises(GenerationError):
+            pick_scheduling_time([], make_rng(1))
+
+    def test_rejects_short_log(self, log):
+        jobs, _ = log
+        with pytest.raises(GenerationError, match="too short"):
+            pick_scheduling_time(jobs[:2], make_rng(1), start_margin=365 * DAY)
+
+
+class TestScenarioValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(GenerationError):
+            ReservationScenario(
+                name="x", capacity=0, now=0.0, reservations=(),
+                hist_avg_available=1.0,
+            )
+
+    def test_rejects_bad_hist(self):
+        with pytest.raises(GenerationError):
+            ReservationScenario(
+                name="x", capacity=4, now=0.0, reservations=(),
+                hist_avg_available=9.0,
+            )
+
+
+class TestBuildScenario:
+    @pytest.mark.parametrize("method", RESHAPE_METHODS)
+    def test_scenario_is_capacity_feasible(self, log, method):
+        jobs, params = log
+        rng = make_rng(11)
+        now = pick_scheduling_time(jobs, rng)
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.5, now=now, method=method, rng=rng
+        )
+        # calendar() constructs a strict calendar: raises if infeasible.
+        cal = sc.calendar()
+        assert cal.capacity == params.n_procs
+
+    @pytest.mark.parametrize("method", RESHAPE_METHODS)
+    def test_no_fully_past_reservations(self, log, method):
+        jobs, params = log
+        rng = make_rng(12)
+        now = pick_scheduling_time(jobs, rng)
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.5, now=now, method=method, rng=rng
+        )
+        for r in sc.reservations:
+            assert r.end > now
+
+    @pytest.mark.parametrize("method", ("linear", "expo"))
+    def test_linear_expo_respect_horizon(self, log, method):
+        jobs, params = log
+        rng = make_rng(13)
+        now = pick_scheduling_time(jobs, rng)
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.5, now=now, method=method, rng=rng
+        )
+        for r in sc.reservations:
+            if r.start >= now:  # ongoing reservations may end later
+                assert r.start < now + 7 * DAY
+
+    def test_real_keeps_only_submitted(self, log):
+        jobs, params = log
+        rng = make_rng(14)
+        now = pick_scheduling_time(jobs, rng)
+        tag_rng_state = make_rng(14)
+        _ = pick_scheduling_time(jobs, tag_rng_state)  # align streams
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.5, now=now, method="real", rng=rng
+        )
+        # Every future reservation must correspond to a job submitted by
+        # `now` (labels carry job ids).
+        by_id = {f"job{j.job_id}": j for j in jobs}
+        for r in sc.reservations:
+            if r.start >= now and r.label in by_id:
+                assert by_id[r.label].submit <= now
+
+    def test_decay_shape_linear_vs_expo(self, log):
+        """Reservations per future day should decrease over the horizon."""
+        jobs, params = log
+        counts = {}
+        for method in ("linear", "expo"):
+            per_day = np.zeros(7)
+            for seed in range(6):
+                rng = make_rng(100 + seed)
+                now = pick_scheduling_time(jobs, rng)
+                sc = build_reservation_scenario(
+                    jobs, params.n_procs, phi=0.5, now=now,
+                    method=method, rng=rng,
+                )
+                for r in sc.reservations:
+                    d = int((r.start - now) // DAY)
+                    if 0 <= d < 7:
+                        per_day[d] += 1
+            counts[method] = per_day
+        for method, per_day in counts.items():
+            early, late = per_day[:2].sum(), per_day[5:].sum()
+            assert early > late, f"{method}: {per_day}"
+
+    def test_hist_avg_available_in_range(self, log):
+        jobs, params = log
+        rng = make_rng(15)
+        now = pick_scheduling_time(jobs, rng)
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.2, now=now, method="expo", rng=rng
+        )
+        assert 1.0 <= sc.hist_avg_available <= params.n_procs
+        # With phi=0.2 on a ~38 % utilized machine most processors remain
+        # historically free.
+        assert sc.hist_avg_available > 0.7 * params.n_procs
+
+    def test_higher_phi_lowers_availability(self, log):
+        jobs, params = log
+        vals = []
+        for phi in (0.1, 0.9):
+            samples = []
+            for seed in range(4):
+                rng = make_rng(300 + seed)
+                now = pick_scheduling_time(jobs, rng)
+                sc = build_reservation_scenario(
+                    jobs, params.n_procs, phi=phi, now=now,
+                    method="expo", rng=rng,
+                )
+                samples.append(sc.hist_avg_available)
+            vals.append(np.mean(samples))
+        assert vals[1] < vals[0]
+
+    def test_rejects_unknown_method(self, log):
+        jobs, params = log
+        with pytest.raises(GenerationError, match="unknown reshape"):
+            build_reservation_scenario(
+                jobs, params.n_procs, phi=0.1, now=1e6,
+                method="bogus", rng=make_rng(1),
+            )
+
+    def test_default_name(self, log):
+        jobs, params = log
+        rng = make_rng(16)
+        now = pick_scheduling_time(jobs, rng)
+        sc = build_reservation_scenario(
+            jobs, params.n_procs, phi=0.1, now=now, method="expo", rng=rng
+        )
+        assert sc.name == "expo-phi0.1"
+
+
+class TestReservationLogScenario:
+    @pytest.fixture(scope="class")
+    def g5k(self):
+        return generate_log(GRID5000, make_rng(55))
+
+    def test_builds_feasible(self, g5k):
+        now = pick_scheduling_time(g5k, make_rng(2))
+        sc = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now
+        )
+        sc.calendar()  # strict: raises on infeasibility
+        assert sc.method == "asis"
+        assert math.isnan(sc.phi)
+
+    def test_horizon_truncates(self, g5k):
+        now = pick_scheduling_time(g5k, make_rng(2))
+        short = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now, horizon=2 * DAY, visible_only=False
+        )
+        longer = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now, horizon=20 * DAY, visible_only=False
+        )
+        assert short.n_reservations < longer.n_reservations
+        for r in short.reservations:
+            assert r.start < now + 2 * DAY
+
+    def test_visibility_filter(self, g5k):
+        now = pick_scheduling_time(g5k, make_rng(2))
+        visible = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now
+        )
+        everything = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now, visible_only=False
+        )
+        assert visible.n_reservations < everything.n_reservations
+        by_id = {f"job{j.job_id}": j for j in g5k}
+        for r in visible.reservations:
+            assert by_id[r.label].submit <= now
+
+    def test_history_reflects_load(self, g5k):
+        now = pick_scheduling_time(g5k, make_rng(2))
+        sc = reservation_scenario_from_reservation_log(
+            g5k, GRID5000.n_procs, now
+        )
+        # All jobs are reservations on a ~30 % utilized machine.
+        assert sc.hist_avg_available < 0.95 * GRID5000.n_procs
+
+
+class TestReservationsToJobs:
+    def test_roundtrip_fields(self):
+        rs = [Reservation(10.0, 30.0, 4), Reservation(50.0, 60.0, 2)]
+        jobs = reservations_to_jobs(rs)
+        assert [j.runtime for j in jobs] == [20.0, 10.0]
+        assert [j.nprocs for j in jobs] == [4, 2]
+        assert all(j.wait == 0.0 for j in jobs)

@@ -1,0 +1,55 @@
+"""Unit tests for the reservation-reshaping internals.
+
+The public behaviour is covered in test_reservations.py; these pin the
+decay arithmetic itself (paper §3.2.1: linear to zero at day 7, expo
+with ~5 % residue at day 7).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.reservations import _EXPO_TAU_DAYS, _reshape_counts
+
+
+class TestLinearDecay:
+    def test_day_zero_anchor(self):
+        assert _reshape_counts(7, 100, "linear")[0] == 100
+
+    def test_linear_profile(self):
+        counts = _reshape_counts(7, 70, "linear")
+        assert counts == [70, 60, 50, 40, 30, 20, 10]
+
+    def test_zero_beyond_week(self):
+        counts = _reshape_counts(10, 70, "linear")
+        assert counts[7:] == [0, 0, 0]
+
+    def test_monotone_nonincreasing(self):
+        counts = _reshape_counts(7, 33, "linear")
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestExpoDecay:
+    def test_day_zero_anchor(self):
+        assert _reshape_counts(7, 100, "expo")[0] == 100
+
+    def test_follows_exponential(self):
+        counts = _reshape_counts(7, 1000, "expo")
+        for d, c in enumerate(counts):
+            assert c == round(1000 * math.exp(-d / _EXPO_TAU_DAYS))
+
+    def test_small_residue_at_day_seven(self):
+        # tau is chosen so that day-7 retains ~5 % of day 0.
+        assert math.exp(-7 / _EXPO_TAU_DAYS) < 0.06
+
+    def test_monotone_nonincreasing(self):
+        counts = _reshape_counts(7, 500, "expo")
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestShapesDiffer:
+    def test_expo_front_loads_relative_to_linear(self):
+        """Expo keeps less mass in the mid-horizon than linear."""
+        lin = _reshape_counts(7, 100, "linear")
+        exp = _reshape_counts(7, 100, "expo")
+        assert sum(exp[2:5]) < sum(lin[2:5])

@@ -1,0 +1,103 @@
+"""Tests for repro.rng (deterministic stream management)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = rngmod.make_rng(7)
+        b = rngmod.make_rng(7)
+        assert a.uniform() == b.uniform()
+
+    def test_different_seed_different_stream(self):
+        a = rngmod.make_rng(7)
+        b = rngmod.make_rng(8)
+        assert a.uniform() != b.uniform()
+
+
+class TestSpawn:
+    def test_spawned_streams_are_deterministic(self):
+        a = rngmod.spawn(rngmod.make_rng(1))
+        b = rngmod.spawn(rngmod.make_rng(1))
+        assert a.uniform() == b.uniform()
+
+    def test_successive_spawns_differ(self):
+        root = rngmod.make_rng(1)
+        a, b = rngmod.spawn(root), rngmod.spawn(root)
+        assert a.uniform() != b.uniform()
+
+    def test_spawn_many_counts(self):
+        root = rngmod.make_rng(1)
+        assert len(rngmod.spawn_many(root, 5)) == 5
+
+    def test_spawn_many_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rngmod.spawn_many(rngmod.make_rng(1), -1)
+
+
+class TestDeriveRng:
+    def test_keyed_derivation_is_reproducible(self):
+        a = rngmod.derive_rng(42, "table4", 3)
+        b = rngmod.derive_rng(42, "table4", 3)
+        assert a.uniform() == b.uniform()
+
+    def test_different_keys_differ(self):
+        a = rngmod.derive_rng(42, "table4", 3)
+        b = rngmod.derive_rng(42, "table4", 4)
+        assert a.uniform() != b.uniform()
+
+    def test_order_independent(self):
+        """Deriving one key is unaffected by other derivations."""
+        a = rngmod.derive_rng(42, "x")
+        _ = rngmod.derive_rng(42, "y")
+        b = rngmod.derive_rng(42, "x")
+        assert a.uniform() == b.uniform()
+
+    def test_seed_matters(self):
+        a = rngmod.derive_rng(1, "x")
+        b = rngmod.derive_rng(2, "x")
+        assert a.uniform() != b.uniform()
+
+
+class TestUniformBetween:
+    def test_within_bounds(self):
+        g = rngmod.make_rng(3)
+        for _ in range(100):
+            v = rngmod.uniform_between(g, 2.0, 5.0)
+            assert 2.0 <= v < 5.0
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            rngmod.uniform_between(rngmod.make_rng(3), 5.0, 2.0)
+
+    def test_degenerate_interval(self):
+        assert rngmod.uniform_between(rngmod.make_rng(3), 2.0, 2.0) == 2.0
+
+
+class TestChoiceWeighted:
+    def test_respects_zero_weight(self):
+        g = rngmod.make_rng(3)
+        for _ in range(50):
+            assert rngmod.choice_weighted(g, ["a", "b"], [1.0, 0.0]) == "a"
+
+    def test_distribution_roughly_matches(self):
+        g = rngmod.make_rng(3)
+        draws = [rngmod.choice_weighted(g, [0, 1], [0.25, 0.75]) for _ in range(2000)]
+        assert 0.70 < np.mean(draws) < 0.80
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            rngmod.choice_weighted(rngmod.make_rng(3), [], [])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            rngmod.choice_weighted(rngmod.make_rng(3), [1, 2], [1.0])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            rngmod.choice_weighted(rngmod.make_rng(3), [1, 2], [1.0, -1.0])

@@ -1,0 +1,162 @@
+"""Tests for repro.schedule (placements, metrics, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calendar import Reservation
+from repro.dag import Task, TaskGraph
+from repro.errors import ScheduleValidationError
+from repro.model import AmdahlModel
+from repro.schedule import Schedule, TaskPlacement, validate_schedule
+from repro.units import HOUR
+
+
+@pytest.fixture
+def two_task_graph():
+    tasks = [
+        Task("a", 1000.0, AmdahlModel(0.0)),
+        Task("b", 2000.0, AmdahlModel(0.0)),
+    ]
+    return TaskGraph(tasks, [(0, 1)])
+
+
+def _schedule(graph, specs, now=0.0):
+    placements = tuple(
+        TaskPlacement(task=i, start=s, nprocs=m, duration=d)
+        for i, (s, m, d) in enumerate(specs)
+    )
+    return Schedule(graph=graph, now=now, placements=placements)
+
+
+class TestPlacement:
+    def test_finish_and_cpu_seconds(self):
+        pl = TaskPlacement(task=0, start=10.0, nprocs=4, duration=100.0)
+        assert pl.finish == 110.0
+        assert pl.cpu_seconds == 400.0
+
+    def test_as_reservation(self):
+        pl = TaskPlacement(task=3, start=10.0, nprocs=4, duration=100.0)
+        r = pl.as_reservation()
+        assert r == Reservation(10.0, 110.0, 4, "task3")
+
+
+class TestScheduleMetrics:
+    def test_turnaround_and_completion(self, two_task_graph):
+        s = _schedule(
+            two_task_graph,
+            [(100.0, 2, 500.0), (600.0, 4, 500.0)],
+            now=100.0,
+        )
+        assert s.completion == 1100.0
+        assert s.turnaround == 1000.0
+
+    def test_cpu_hours(self, two_task_graph):
+        s = _schedule(
+            two_task_graph, [(0.0, 2, 500.0), (500.0, 4, 500.0)]
+        )
+        assert s.cpu_hours == pytest.approx((2 * 500 + 4 * 500) / HOUR)
+
+    def test_allocations_and_lookups(self, two_task_graph):
+        s = _schedule(
+            two_task_graph, [(0.0, 2, 500.0), (500.0, 4, 500.0)]
+        )
+        assert s.allocations == (2, 4)
+        assert s.start_of(1) == 500.0
+        assert s.finish_of(0) == 500.0
+
+    def test_reservations_use_task_names(self, two_task_graph):
+        s = _schedule(
+            two_task_graph, [(0.0, 2, 500.0), (500.0, 4, 500.0)]
+        )
+        labels = [r.label for r in s.reservations()]
+        assert labels == ["a", "b"]
+
+
+class TestScheduleStructure:
+    def test_rejects_wrong_count(self, two_task_graph):
+        with pytest.raises(ScheduleValidationError, match="placements"):
+            Schedule(
+                graph=two_task_graph,
+                now=0.0,
+                placements=(TaskPlacement(0, 0.0, 1, 1000.0),),
+            )
+
+    def test_rejects_misindexed(self, two_task_graph):
+        with pytest.raises(ScheduleValidationError, match="indexed"):
+            Schedule(
+                graph=two_task_graph,
+                now=0.0,
+                placements=(
+                    TaskPlacement(1, 0.0, 1, 2000.0),
+                    TaskPlacement(0, 0.0, 1, 1000.0),
+                ),
+            )
+
+
+class TestValidation:
+    def _valid(self, graph):
+        # a on 2 procs: 500 s; b on 4 procs: 500 s, after a.
+        return _schedule(graph, [(0.0, 2, 500.0), (500.0, 4, 500.0)])
+
+    def test_accepts_valid(self, two_task_graph):
+        validate_schedule(self._valid(two_task_graph), capacity=8)
+
+    def test_rejects_start_before_now(self, two_task_graph):
+        s = _schedule(
+            two_task_graph,
+            [(0.0, 2, 500.0), (500.0, 4, 500.0)],
+            now=100.0,
+        )
+        with pytest.raises(ScheduleValidationError, match="before now"):
+            validate_schedule(s, capacity=8)
+
+    def test_rejects_wrong_duration(self, two_task_graph):
+        s = _schedule(two_task_graph, [(0.0, 2, 123.0), (500.0, 4, 500.0)])
+        with pytest.raises(ScheduleValidationError, match="execution time"):
+            validate_schedule(s, capacity=8)
+
+    def test_rejects_precedence_violation(self, two_task_graph):
+        s = _schedule(two_task_graph, [(0.0, 2, 500.0), (250.0, 4, 500.0)])
+        with pytest.raises(ScheduleValidationError, match="precedence"):
+            validate_schedule(s, capacity=8)
+
+    def test_rejects_capacity_violation(self, two_task_graph):
+        # Concurrent tasks exceeding the machine (each fits individually).
+        s = _schedule(two_task_graph, [(0.0, 2, 500.0), (500.0, 4, 500.0)])
+        tight = _schedule(
+            two_task_graph, [(0.0, 4, 250.0), (250.0, 4, 500.0)]
+        )
+        validate_schedule(tight, capacity=8)
+        competing = [Reservation(250.0, 750.0, 5)]
+        with pytest.raises(ScheduleValidationError, match="capacity"):
+            validate_schedule(tight, capacity=8, competing=competing)
+        del s
+
+    def test_rejects_conflict_with_competing(self, two_task_graph):
+        s = self._valid(two_task_graph)
+        competing = [Reservation(400.0, 800.0, 5)]
+        with pytest.raises(ScheduleValidationError, match="capacity"):
+            validate_schedule(s, capacity=8, competing=competing)
+
+    def test_accepts_with_fitting_competing(self, two_task_graph):
+        s = self._valid(two_task_graph)
+        competing = [Reservation(0.0, 1000.0, 4)]
+        validate_schedule(s, capacity=8, competing=competing)
+
+    def test_deadline_check(self, two_task_graph):
+        s = self._valid(two_task_graph)
+        validate_schedule(s, capacity=8, deadline=1000.0)
+        with pytest.raises(ScheduleValidationError, match="deadline"):
+            validate_schedule(s, capacity=8, deadline=999.0)
+
+    def test_rejects_zero_procs_range(self, two_task_graph):
+        s = _schedule(two_task_graph, [(0.0, 2, 500.0), (500.0, 16, 125.0)])
+        with pytest.raises(ScheduleValidationError, match="processors"):
+            validate_schedule(s, capacity=8)
+
+    def test_back_to_back_tasks_allowed(self, two_task_graph):
+        # b starts exactly when a finishes: half-open windows must not
+        # count as overlap even at full machine width.
+        s = _schedule(two_task_graph, [(0.0, 8, 125.0), (125.0, 8, 250.0)])
+        validate_schedule(s, capacity=8)

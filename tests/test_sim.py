@@ -1,0 +1,190 @@
+"""Tests for the execution simulator (repro.sim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import Reservation
+from repro.core import ResSchedAlgorithm, schedule_ressched
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import GenerationError
+from repro.rng import make_rng
+from repro.sim import (
+    ExactRuntime,
+    LognormalNoise,
+    UniformNoise,
+    execute_schedule,
+    pad_graph,
+)
+from repro.workloads.reservations import ReservationScenario
+
+
+def _scenario(capacity=16, reservations=(), hist=None):
+    return ReservationScenario(
+        name="sim-test",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(reservations),
+        hist_avg_available=float(hist if hist is not None else capacity),
+    )
+
+
+class TestNoiseModels:
+    def test_exact_is_one(self, rng):
+        assert ExactRuntime().factor(rng) == 1.0
+        assert ExactRuntime().actual(100.0, rng) == 100.0
+
+    def test_uniform_bounds(self, rng):
+        model = UniformNoise(0.5, 1.5)
+        for _ in range(200):
+            assert 0.5 <= model.factor(rng) <= 1.5
+
+    def test_uniform_validation(self):
+        with pytest.raises(ValueError):
+            UniformNoise(0.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformNoise(1.5, 1.0)
+
+    def test_lognormal_median_one(self, rng):
+        model = LognormalNoise(0.5)
+        draws = [model.factor(rng) for _ in range(2000)]
+        assert 0.9 < float(np.median(draws)) < 1.1
+
+    def test_lognormal_zero_sigma(self, rng):
+        assert LognormalNoise(0.0).factor(rng) == 1.0
+
+    def test_lognormal_validation(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(-0.1)
+
+
+class TestPadGraph:
+    def test_scales_all_exec_times(self, medium_graph):
+        padded = pad_graph(medium_graph, 1.5)
+        for orig, new in zip(medium_graph.tasks, padded.tasks):
+            for m in (1, 4, 16):
+                assert new.exec_time(m) == pytest.approx(
+                    1.5 * orig.exec_time(m)
+                )
+
+    def test_preserves_structure(self, medium_graph):
+        padded = pad_graph(medium_graph, 2.0)
+        assert padded.edges == medium_graph.edges
+
+    def test_rejects_nonpositive(self, medium_graph):
+        with pytest.raises(GenerationError):
+            pad_graph(medium_graph, 0.0)
+
+
+class TestExactExecution:
+    def test_plan_holds_exactly(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(schedule, medium_graph, sc)
+        assert result.total_kills == 0
+        assert result.realized_turnaround == pytest.approx(
+            result.planned_turnaround
+        )
+        assert result.slowdown == pytest.approx(1.0)
+        assert result.booking_efficiency == pytest.approx(1.0)
+
+    def test_outcomes_indexed_by_task(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(schedule, medium_graph, sc)
+        assert [o.task for o in result.outcomes] == list(
+            range(medium_graph.n)
+        )
+        for o in result.outcomes:
+            assert o.attempts == 1
+
+
+class TestPaddedExecution:
+    def test_padding_prevents_kills_under_mild_noise(self, medium_graph):
+        sc = _scenario()
+        padded = pad_graph(medium_graph, 2.0)
+        schedule = schedule_ressched(padded, sc)
+        result = execute_schedule(
+            schedule, medium_graph, sc, UniformNoise(0.8, 1.6), make_rng(1)
+        )
+        assert result.total_kills == 0
+        # Booked windows are 2x-ish the actual durations.
+        assert result.booking_efficiency < 0.9
+
+    def test_optimism_causes_kills(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(
+            schedule, medium_graph, sc, UniformNoise(1.3, 1.6), make_rng(1)
+        )
+        assert result.total_kills > 0
+        assert result.realized_turnaround > result.planned_turnaround
+        # Every killed window is paid for.
+        assert result.cpu_hours_booked > result.cpu_hours_used
+
+    def test_early_finish_does_not_speed_up(self, medium_graph):
+        """Actual < estimated: finishes can only move earlier within
+        each booked window, so realized <= planned but efficiency < 1."""
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(
+            schedule, medium_graph, sc, UniformNoise(0.5, 0.6), make_rng(1)
+        )
+        assert result.total_kills == 0
+        assert result.realized_turnaround <= result.planned_turnaround
+        assert result.booking_efficiency < 0.7
+
+    def test_rebooking_respects_competing_reservations(self, medium_graph):
+        block = Reservation(0.0, 50_000.0, 8)
+        sc = _scenario(reservations=[block])
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(
+            schedule, medium_graph, sc, UniformNoise(1.4, 1.8), make_rng(2)
+        )
+        assert result.total_kills > 0
+        assert result.realized_turnaround > 0
+
+
+class TestValidation:
+    def test_rejects_structural_mismatch(self, medium_graph, small_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        with pytest.raises(GenerationError, match="structurally"):
+            execute_schedule(schedule, small_graph, sc)
+
+    def test_noisy_model_needs_rng(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        with pytest.raises(GenerationError, match="rng"):
+            execute_schedule(schedule, medium_graph, sc, UniformNoise(0.9, 1.1))
+
+
+class TestExecutionProperties:
+    @given(
+        seed=st.integers(0, 100),
+        sigma=st.floats(0.0, 0.6),
+        pad=st.floats(1.0, 2.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants(self, seed, sigma, pad):
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=10), rng)
+        sc = _scenario(capacity=12, hist=10.0)
+        schedule = schedule_ressched(
+            pad_graph(graph, pad), sc, ResSchedAlgorithm()
+        )
+        result = execute_schedule(
+            schedule, graph, sc, LognormalNoise(sigma), make_rng(seed + 1)
+        )
+        # Precedence holds in realized times.
+        finish = {o.task: o.finish for o in result.outcomes}
+        start = {o.task: o.start for o in result.outcomes}
+        for u, v in graph.edges:
+            assert start[v] >= finish[u] - 1e-6
+        # Accounting invariants.
+        assert result.cpu_hours_booked >= result.cpu_hours_used - 1e-9
+        assert result.realized_turnaround > 0
+        assert result.total_kills >= 0

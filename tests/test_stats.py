@@ -1,0 +1,116 @@
+"""Tests for workload statistics (repro.workloads.stats)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calendar import Reservation
+from repro.errors import WorkloadError
+from repro.rng import make_rng
+from repro.units import DAY, HOUR
+from repro.workloads import (
+    Job,
+    generate_log,
+    log_statistics,
+    preset,
+)
+from repro.workloads.stats import (
+    reserved_processor_series,
+    schedule_correlation,
+)
+
+
+def _jobs(runtimes, waits=None):
+    waits = waits if waits is not None else [0.0] * len(runtimes)
+    return [
+        Job(job_id=i + 1, submit=i * 100.0, wait=w, runtime=r, nprocs=2)
+        for i, (r, w) in enumerate(zip(runtimes, waits))
+    ]
+
+
+class TestLogStatistics:
+    def test_means(self):
+        stats = log_statistics(_jobs([100.0, 300.0], [10.0, 30.0]))
+        assert stats.avg_exec_time == pytest.approx(200.0)
+        assert stats.avg_time_to_exec == pytest.approx(20.0)
+        assert stats.n_jobs == 2
+
+    def test_cv_zero_for_constant(self):
+        stats = log_statistics(_jobs([100.0, 100.0, 100.0]))
+        assert stats.cv_exec_time == 0.0
+
+    def test_cv_positive_for_varied(self):
+        stats = log_statistics(_jobs([10.0, 1000.0]))
+        assert stats.cv_exec_time > 0.5
+
+    def test_window_cv_smaller_than_per_job_cv(self):
+        """The paper's small CVs come from window averaging."""
+        params = preset("OSC_Cluster")
+        jobs = generate_log(params, make_rng(9))
+        stats = log_statistics(jobs, window=20 * DAY)
+        assert stats.window_cv_exec_time < stats.cv_exec_time
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            log_statistics([])
+
+    def test_zero_wait_cv(self):
+        stats = log_statistics(_jobs([100.0, 200.0]))
+        assert stats.cv_time_to_exec == 0.0
+
+
+class TestReservedSeries:
+    def test_counts_reserved_processors(self):
+        rs = [Reservation(0.0, 2 * HOUR, 4), Reservation(HOUR, 3 * HOUR, 2)]
+        series = reserved_processor_series(rs, 8, 0.0, 4 * HOUR, dt=HOUR)
+        assert list(series) == [4.0, 6.0, 2.0, 0.0]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(WorkloadError):
+            reserved_processor_series([], 8, 10.0, 10.0)
+
+    def test_empty_schedule_all_zero(self):
+        series = reserved_processor_series([], 8, 0.0, DAY)
+        assert np.all(series == 0)
+
+
+class TestScheduleCorrelation:
+    def test_identical_schedules_perfectly_correlated(self):
+        rs = [
+            Reservation(0.0, 5 * HOUR, 4),
+            Reservation(10 * HOUR, 20 * HOUR, 6),
+            Reservation(30 * HOUR, 40 * HOUR, 2),
+        ]
+        c = schedule_correlation(rs, 8, rs, 8, 0.0, 0.0, horizon=2 * DAY)
+        assert c == pytest.approx(1.0)
+
+    def test_scale_invariance_across_capacities(self):
+        rs_a = [Reservation(0.0, 5 * HOUR, 4)]
+        rs_b = [Reservation(0.0, 5 * HOUR, 8)]  # same shape, 2x machine
+        c = schedule_correlation(rs_a, 8, rs_b, 16, 0.0, 0.0, horizon=DAY)
+        assert c == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        rs_a = [Reservation(0.0, 12 * HOUR, 4)]
+        rs_b = [Reservation(12 * HOUR, 24 * HOUR, 4)]
+        c = schedule_correlation(rs_a, 8, rs_b, 8, 0.0, 0.0, horizon=DAY)
+        assert c < 0
+
+    def test_nan_for_constant_series(self):
+        c = schedule_correlation(
+            [], 8, [Reservation(0.0, HOUR, 1)], 8, 0.0, 0.0, horizon=DAY
+        )
+        assert math.isnan(c)
+
+    def test_offset_windows(self):
+        """Correlation compares windows starting at each schedule's own
+        reference instant."""
+        rs = [Reservation(100 * HOUR, 105 * HOUR, 4)]
+        shifted = [r.shifted(50 * HOUR) for r in rs]
+        c = schedule_correlation(
+            rs, 8, shifted, 8, 99 * HOUR, 149 * HOUR, horizon=DAY
+        )
+        assert c == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Tests for the SWF parser/writer (repro.workloads.swf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import Job, parse_swf, write_swf
+
+
+def _record(
+    job_id=1, submit=100, wait=5, runtime=60, procs=4, partition=-1, status=1
+):
+    fields = [-1] * 18
+    fields[0] = job_id
+    fields[1] = submit
+    fields[2] = wait
+    fields[3] = runtime
+    fields[4] = procs
+    fields[10] = status
+    fields[15] = partition
+    return " ".join(str(f) for f in fields)
+
+
+class TestJob:
+    def test_derived_times(self):
+        j = Job(job_id=1, submit=100.0, wait=20.0, runtime=60.0, nprocs=4)
+        assert j.start == 120.0
+        assert j.end == 180.0
+        assert j.cpu_seconds == 240.0
+
+    def test_rejects_negative_wait(self):
+        with pytest.raises(WorkloadError):
+            Job(job_id=1, submit=0.0, wait=-1.0, runtime=10.0, nprocs=1)
+
+    def test_rejects_zero_runtime(self):
+        with pytest.raises(WorkloadError):
+            Job(job_id=1, submit=0.0, wait=0.0, runtime=0.0, nprocs=1)
+
+    def test_rejects_zero_procs(self):
+        with pytest.raises(WorkloadError):
+            Job(job_id=1, submit=0.0, wait=0.0, runtime=10.0, nprocs=0)
+
+
+class TestParse:
+    def test_parses_basic_record(self):
+        jobs = parse_swf([_record()])
+        assert len(jobs) == 1
+        assert jobs[0].job_id == 1
+        assert jobs[0].submit == 100.0
+        assert jobs[0].nprocs == 4
+
+    def test_skips_comments_and_blanks(self):
+        lines = ["; UnixStartTime: 0", "", _record(), "   "]
+        assert len(parse_swf(lines)) == 1
+
+    def test_partition_filter(self):
+        lines = [
+            _record(job_id=1, partition=3),
+            _record(job_id=2, partition=1),
+        ]
+        jobs = parse_swf(lines, partition=3)
+        assert [j.job_id for j in jobs] == [1]
+
+    def test_skip_invalid_drops_cancelled(self):
+        lines = [_record(job_id=1), _record(job_id=2, runtime=-1)]
+        jobs = parse_swf(lines)
+        assert [j.job_id for j in jobs] == [1]
+
+    def test_strict_mode_raises_on_invalid(self):
+        with pytest.raises(WorkloadError, match="invalid job"):
+            parse_swf([_record(runtime=-1)], skip_invalid=False)
+
+    def test_rejects_wrong_field_count(self):
+        with pytest.raises(WorkloadError, match="expected 18"):
+            parse_swf(["1 2 3"])
+
+    def test_rejects_non_numeric(self):
+        bad = _record().replace("100", "abc", 1)
+        with pytest.raises(WorkloadError, match="non-numeric"):
+            parse_swf([bad])
+
+
+class TestWriteRoundTrip:
+    def test_roundtrip(self):
+        jobs = [
+            Job(job_id=1, submit=0.0, wait=10.0, runtime=30.0, nprocs=2),
+            Job(job_id=2, submit=5.0, wait=0.0, runtime=60.0, nprocs=8, partition=3),
+        ]
+        lines = list(write_swf(jobs, header="synthetic log\nsecond line"))
+        assert lines[0].startswith(";")
+        back = parse_swf(lines)
+        assert len(back) == 2
+        assert back[0].submit == jobs[0].submit
+        assert back[1].partition == 3
+        assert back[1].nprocs == 8
+
+    def test_written_records_have_18_fields(self):
+        jobs = [Job(job_id=1, submit=0.0, wait=0.0, runtime=30.0, nprocs=2)]
+        line = [ln for ln in write_swf(jobs) if not ln.startswith(";")][0]
+        assert len(line.split()) == 18

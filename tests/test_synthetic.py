@@ -1,0 +1,214 @@
+"""Tests for the synthetic workload generator (repro.workloads.synthetic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GenerationError, WorkloadError
+from repro.rng import make_rng
+from repro.units import DAY, HOUR, MINUTE
+from repro.workloads import SyntheticLogParams, generate_log, place_jobs_fcfs, preset
+from repro.workloads.presets import ALL_PRESETS, BATCH_LOG_PRESETS, GRID5000
+from repro.workloads.synthetic import achieved_utilization
+
+
+class TestParams:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_procs": 0},
+            {"duration": 0.0},
+            {"target_utilization": 0.0},
+            {"target_utilization": 1.0},
+            {"mean_runtime": 0.0},
+            {"min_runtime": 0.0},
+            {"min_runtime": 100.0, "max_runtime": 10.0},
+            {"size_decay": 0.0},
+            {"max_size_fraction": 0.0},
+            {"daily_amplitude": 1.0},
+            {"booking_lead_mean": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        base = dict(name="x", n_procs=64)
+        base.update(kwargs)
+        with pytest.raises(GenerationError):
+            SyntheticLogParams(**base)
+
+    def test_size_support_powers_of_two(self):
+        p = SyntheticLogParams(name="x", n_procs=100, max_size_fraction=0.5)
+        support = p.size_support()
+        assert list(support) == [1, 2, 4, 8, 16, 32]
+
+    def test_mean_size_within_support(self):
+        p = SyntheticLogParams(name="x", n_procs=64)
+        support = p.size_support()
+        assert support.min() <= p.mean_size() <= support.max()
+
+    def test_arrival_rate_matches_load(self):
+        p = SyntheticLogParams(
+            name="x", n_procs=100, target_utilization=0.5, mean_runtime=3600.0
+        )
+        lam = p.arrival_rate()
+        assert lam * p.mean_runtime * p.mean_size() == pytest.approx(50.0)
+
+
+class TestPlaceJobsFcfs:
+    def test_no_contention_starts_at_desired(self):
+        starts = place_jobs_fcfs([0.0, 100.0], [10.0, 10.0], [1, 1], 4)
+        assert list(starts) == [0.0, 100.0]
+
+    def test_contention_delays(self):
+        starts = place_jobs_fcfs([0.0, 0.0], [10.0, 10.0], [4, 4], 4)
+        assert sorted(starts) == [0.0, 10.0]
+
+    def test_strict_fcfs_no_backfill(self):
+        # Big job blocks; the small job behind it must not start earlier
+        # than the big job even though it would fit.
+        starts = place_jobs_fcfs(
+            [0.0, 1.0, 2.0], [100.0, 50.0, 5.0], [3, 2, 1], 4
+        )
+        assert starts[1] == 100.0  # waits for the 3-proc job to end
+        assert starts[2] >= starts[1]
+
+    def test_capacity_never_exceeded(self):
+        rng = make_rng(0)
+        n = 300
+        desired = np.sort(rng.uniform(0, 1000, n))
+        runtimes = rng.uniform(1, 50, n)
+        sizes = rng.integers(1, 8, n)
+        starts = place_jobs_fcfs(desired, runtimes, sizes, 8)
+        events = sorted(
+            [(s, sz) for s, sz in zip(starts, sizes)]
+            + [(s + r, -sz) for s, r, sz in zip(starts, runtimes, sizes)],
+            key=lambda e: (e[0], -e[1] if e[1] < 0 else e[1]),
+        )
+        # Sweep with ends-before-starts at equal times.
+        running = 0
+        by_time: dict[float, int] = {}
+        for t, d in events:
+            by_time.setdefault(t, 0)
+            by_time[t] += d
+        for t in sorted(by_time):
+            running += by_time[t]
+            assert running <= 8
+
+    def test_rejects_oversized_job(self):
+        with pytest.raises(WorkloadError):
+            place_jobs_fcfs([0.0], [1.0], [9], 8)
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(WorkloadError):
+            place_jobs_fcfs([0.0, 1.0], [1.0], [1, 1], 8)
+
+    @given(seed=st.integers(0, 1000), p=st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_property_capacity_and_order(self, seed, p):
+        rng = make_rng(seed)
+        n = 60
+        desired = np.sort(rng.uniform(0, 500, n))
+        runtimes = rng.uniform(1, 40, n)
+        sizes = rng.integers(1, p + 1, n)
+        starts = place_jobs_fcfs(desired, runtimes, sizes, p)
+        # Starts never precede desired and are monotone (strict FCFS).
+        assert np.all(starts >= desired - 1e-9)
+        assert np.all(np.diff(starts) >= -1e-9)
+        # Peak concurrent usage <= p (checked at all start instants).
+        for i in range(n):
+            t = starts[i]
+            active = sum(
+                int(sizes[j])
+                for j in range(n)
+                if starts[j] <= t < starts[j] + runtimes[j]
+            )
+            assert active <= p
+
+
+class TestGenerateLog:
+    def test_deterministic(self):
+        p = preset("OSC_Cluster")
+        a = generate_log(p, make_rng(5))
+        b = generate_log(p, make_rng(5))
+        assert a == b
+
+    def test_jobs_sorted_by_submit(self):
+        jobs = generate_log(preset("OSC_Cluster"), make_rng(5))
+        submits = [j.submit for j in jobs]
+        assert submits == sorted(submits)
+
+    def test_runtime_bounds_respected(self):
+        p = preset("OSC_Cluster")
+        jobs = generate_log(p, make_rng(5))
+        for j in jobs:
+            assert p.min_runtime <= j.runtime <= p.max_runtime
+
+    def test_sizes_are_powers_of_two_within_cap(self):
+        p = preset("OSC_Cluster")
+        cap = int(p.n_procs * p.max_size_fraction)
+        for j in generate_log(p, make_rng(5)):
+            assert j.nprocs <= cap
+            assert j.nprocs & (j.nprocs - 1) == 0  # power of two
+
+    def test_utilization_near_target(self):
+        p = preset("CTC_SP2")
+        jobs = generate_log(p, make_rng(5))
+        u = achieved_utilization(jobs, p.n_procs)
+        assert abs(u - p.target_utilization) < 0.12
+
+    def test_mean_runtime_near_target(self):
+        p = preset("SDSC_BLUE")
+        jobs = generate_log(p, make_rng(5))
+        mean = np.mean([j.runtime for j in jobs])
+        # Lognormal clipping biases slightly; generous tolerance.
+        assert 0.6 * p.mean_runtime < mean < 1.5 * p.mean_runtime
+
+    def test_booking_lead_produces_waits(self):
+        jobs = generate_log(GRID5000, make_rng(5))
+        mean_wait = np.mean([j.wait for j in jobs])
+        assert 0.3 * GRID5000.booking_lead_mean < mean_wait
+
+    def test_utilization_of_empty(self):
+        assert achieved_utilization([], 16) == 0.0
+
+
+class TestPresets:
+    def test_all_four_batch_logs_present(self):
+        assert set(BATCH_LOG_PRESETS) == {
+            "CTC_SP2",
+            "OSC_Cluster",
+            "SDSC_BLUE",
+            "SDSC_DS",
+        }
+
+    def test_paper_platform_sizes(self):
+        assert BATCH_LOG_PRESETS["CTC_SP2"].n_procs == 430
+        assert BATCH_LOG_PRESETS["OSC_Cluster"].n_procs == 57
+        assert BATCH_LOG_PRESETS["SDSC_BLUE"].n_procs == 1152
+        assert BATCH_LOG_PRESETS["SDSC_DS"].n_procs == 224
+
+    def test_paper_utilizations(self):
+        assert BATCH_LOG_PRESETS["CTC_SP2"].target_utilization == pytest.approx(0.658)
+        assert BATCH_LOG_PRESETS["SDSC_DS"].target_utilization == pytest.approx(0.273)
+
+    def test_paper_mean_runtimes(self):
+        assert BATCH_LOG_PRESETS["OSC_Cluster"].mean_runtime == pytest.approx(
+            9.33 * HOUR
+        )
+        assert GRID5000.mean_runtime == pytest.approx(1.84 * HOUR)
+        assert GRID5000.booking_lead_mean == pytest.approx(3.24 * HOUR)
+
+    def test_preset_lookup_unknown(self):
+        with pytest.raises(WorkloadError, match="unknown workload preset"):
+            preset("NOPE")
+
+    def test_all_presets_indexable(self):
+        for name in ALL_PRESETS:
+            assert preset(name).name == name
+
+    def test_with_copies(self):
+        p = preset("CTC_SP2").with_(duration=10 * DAY)
+        assert p.duration == 10 * DAY
+        assert p.n_procs == 430

@@ -1,0 +1,210 @@
+"""Tests for repro.calendar.timeline (StepFunction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import StepFunction
+
+
+class TestConstruction:
+    def test_constant(self):
+        f = StepFunction.constant(5.0)
+        assert f(0.0) == 5.0
+        assert f(-1e9) == 5.0
+        assert f.n_segments == 0
+
+    def test_basic_steps(self):
+        f = StepFunction([0.0, 10.0], [1.0, 2.0], base=0.0)
+        assert f(-1.0) == 0.0
+        assert f(0.0) == 1.0
+        assert f(9.999) == 1.0
+        assert f(10.0) == 2.0
+        assert f(1e9) == 2.0
+
+    def test_rejects_unsorted_breakpoints(self):
+        with pytest.raises(ValueError):
+            StepFunction([1.0, 0.0], [1.0, 2.0])
+
+    def test_rejects_duplicate_breakpoints(self):
+        with pytest.raises(ValueError):
+            StepFunction([1.0, 1.0], [1.0, 2.0])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            StepFunction([1.0, 2.0], [1.0])
+
+    def test_arrays_read_only(self):
+        f = StepFunction([0.0], [1.0])
+        with pytest.raises(ValueError):
+            f.times[0] = 5.0
+
+
+class TestFromDeltas:
+    def test_empty_events(self):
+        f = StepFunction.from_deltas([], base=3.0)
+        assert f(123.0) == 3.0
+
+    def test_single_interval(self):
+        # +2 at t=1, -2 at t=5 models one 2-processor reservation.
+        f = StepFunction.from_deltas([(1.0, 2.0), (5.0, -2.0)], base=0.0)
+        assert f(0.0) == 0.0
+        assert f(1.0) == 2.0
+        assert f(4.999) == 2.0
+        assert f(5.0) == 0.0
+
+    def test_coincident_events_merge(self):
+        f = StepFunction.from_deltas([(1.0, 2.0), (1.0, 3.0)], base=0.0)
+        assert f.n_segments == 1
+        assert f(1.0) == 5.0
+
+    def test_cancelling_events_drop_breakpoint(self):
+        f = StepFunction.from_deltas([(1.0, 2.0), (1.0, -2.0)], base=7.0)
+        assert f.n_segments == 0
+        assert f(1.0) == 7.0
+
+    def test_unsorted_input(self):
+        f = StepFunction.from_deltas([(5.0, -1.0), (1.0, 1.0)], base=0.0)
+        assert f(2.0) == 1.0
+        assert f(6.0) == 0.0
+
+
+class TestSampling:
+    def test_sample_matches_call(self):
+        f = StepFunction([0.0, 3.0, 7.0], [1.0, 5.0, 2.0], base=-1.0)
+        ts = np.array([-2.0, 0.0, 2.9, 3.0, 6.9, 7.0, 100.0])
+        expected = np.array([f(t) for t in ts])
+        assert np.array_equal(f.sample(ts), expected)
+
+    def test_segment_bounds(self):
+        f = StepFunction([0.0, 3.0], [1.0, 5.0], base=0.0)
+        assert f.segment_bounds(-1) == (-np.inf, 0.0)
+        assert f.segment_bounds(0) == (0.0, 3.0)
+        assert f.segment_bounds(1) == (3.0, np.inf)
+
+    def test_segment_index(self):
+        f = StepFunction([0.0, 3.0], [1.0, 5.0], base=0.0)
+        assert f.segment_index(-0.5) == -1
+        assert f.segment_index(0.0) == 0
+        assert f.segment_index(3.0) == 1
+
+
+class TestAggregation:
+    def test_integral_flat(self):
+        f = StepFunction.constant(4.0)
+        assert f.integral(2.0, 5.0) == pytest.approx(12.0)
+
+    def test_integral_piecewise(self):
+        f = StepFunction([0.0, 10.0], [1.0, 3.0], base=0.0)
+        # [-5, 0): 0; [0, 10): 1; [10, 15): 3
+        assert f.integral(-5.0, 15.0) == pytest.approx(0 + 10 + 15)
+
+    def test_integral_empty_window(self):
+        f = StepFunction([0.0], [1.0])
+        assert f.integral(5.0, 5.0) == 0.0
+
+    def test_integral_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            StepFunction.constant(1.0).integral(5.0, 2.0)
+
+    def test_mean(self):
+        f = StepFunction([0.0], [10.0], base=0.0)
+        assert f.mean(-10.0, 10.0) == pytest.approx(5.0)
+
+    def test_min_over_within_segment(self):
+        f = StepFunction([0.0, 10.0], [5.0, 1.0], base=9.0)
+        assert f.min_over(2.0, 8.0) == 5.0
+
+    def test_min_over_spanning(self):
+        f = StepFunction([0.0, 10.0], [5.0, 1.0], base=9.0)
+        assert f.min_over(-5.0, 15.0) == 1.0
+
+    def test_min_over_excludes_right_endpoint(self):
+        f = StepFunction([0.0, 10.0], [5.0, 1.0], base=9.0)
+        # Window [0, 10) never sees the value 1 that starts at t=10.
+        assert f.min_over(0.0, 10.0) == 5.0
+
+
+class TestAlgebra:
+    def test_add_functions(self):
+        a = StepFunction([0.0], [1.0], base=0.0)
+        b = StepFunction([5.0], [10.0], base=2.0)
+        c = a + b
+        assert c(-1.0) == 2.0
+        assert c(1.0) == 3.0
+        assert c(6.0) == 11.0
+
+    def test_add_scalar(self):
+        f = StepFunction([0.0], [1.0], base=0.0) + 5.0
+        assert f(-1.0) == 5.0
+        assert f(1.0) == 6.0
+
+    def test_rsub(self):
+        f = 10.0 - StepFunction([0.0], [4.0], base=0.0)
+        assert f(-1.0) == 10.0
+        assert f(1.0) == 6.0
+
+    def test_neg(self):
+        f = -StepFunction([0.0], [4.0], base=1.0)
+        assert f(-1.0) == -1.0
+        assert f(1.0) == -4.0
+
+    def test_map(self):
+        f = StepFunction([0.0], [-4.0], base=-1.0).map(np.abs)
+        assert f(-1.0) == 1.0
+        assert f(1.0) == 4.0
+
+    def test_equality(self):
+        a = StepFunction([0.0], [1.0], base=0.0)
+        b = StepFunction([0.0], [1.0], base=0.0)
+        assert a == b
+        assert a != StepFunction([0.0], [2.0], base=0.0)
+
+
+@st.composite
+def step_events(draw):
+    n = draw(st.integers(1, 12))
+    events = []
+    for _ in range(n):
+        t = draw(st.floats(0.0, 100.0))
+        delta = draw(st.integers(-5, 5))
+        events.append((t, float(delta)))
+    return events
+
+
+class TestStepFunctionProperties:
+    @given(events=step_events())
+    @settings(max_examples=100)
+    def test_from_deltas_matches_naive(self, events):
+        f = StepFunction.from_deltas(events, base=0.0)
+        for t in [0.0, 25.0, 50.0, 99.9, 150.0]:
+            naive = sum(d for (et, d) in events if et <= t)
+            assert f(t) == pytest.approx(naive)
+
+    @given(events=step_events(), t0=st.floats(0, 50), width=st.floats(0.1, 60))
+    @settings(max_examples=100)
+    def test_min_over_matches_dense_sampling(self, events, t0, width):
+        f = StepFunction.from_deltas(events, base=0.0)
+        t1 = t0 + width
+        grid = np.concatenate(
+            [
+                np.linspace(t0, t1, 301, endpoint=False),
+                f.times[(f.times >= t0) & (f.times < t1)],
+            ]
+        )
+        assert f.min_over(t0, t1) <= f.sample(grid).min() + 1e-9
+        assert f.min_over(t0, t1) == pytest.approx(f.sample(grid).min())
+
+    @given(events=step_events(), t0=st.floats(0, 50), width=st.floats(0.1, 60))
+    @settings(max_examples=100)
+    def test_integral_matches_segment_sum(self, events, t0, width):
+        f = StepFunction.from_deltas(events, base=0.0)
+        t1 = t0 + width
+        pts = np.concatenate(
+            [[t0], f.times[(f.times > t0) & (f.times < t1)], [t1]]
+        )
+        manual = float(np.sum(f.sample(pts[:-1]) * np.diff(pts)))
+        assert f.integral(t0, t1) == pytest.approx(manual)

@@ -1,0 +1,72 @@
+"""Tests for repro.units."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_minute_is_sixty_seconds(self):
+        assert units.MINUTE == 60 * units.SECOND
+
+    def test_hour_is_sixty_minutes(self):
+        assert units.HOUR == 60 * units.MINUTE
+
+    def test_day_is_twenty_four_hours(self):
+        assert units.DAY == 24 * units.HOUR
+
+    def test_week_is_seven_days(self):
+        assert units.WEEK == 7 * units.DAY
+
+
+class TestConversions:
+    def test_seconds_to_hours(self):
+        assert units.seconds_to_hours(7200.0) == 2.0
+
+    def test_hours_to_seconds(self):
+        assert units.hours_to_seconds(1.5) == 5400.0
+
+    def test_roundtrip(self):
+        assert units.seconds_to_hours(units.hours_to_seconds(3.7)) == pytest.approx(3.7)
+
+
+class TestTimeComparisons:
+    def test_times_close_within_eps(self):
+        assert units.times_close(1.0, 1.0 + units.TIME_EPS / 2)
+
+    def test_times_close_rejects_beyond_eps(self):
+        assert not units.times_close(1.0, 1.0 + 10 * units.TIME_EPS)
+
+    def test_time_leq_allows_slack(self):
+        assert units.time_leq(1.0 + units.TIME_EPS / 2, 1.0)
+
+    def test_time_lt_requires_margin(self):
+        assert not units.time_lt(1.0 - units.TIME_EPS / 2, 1.0)
+        assert units.time_lt(0.5, 1.0)
+
+
+class TestFormatDuration:
+    def test_seconds_only(self):
+        assert units.format_duration(45.0) == "0m45s"
+
+    def test_minutes_and_seconds(self):
+        assert units.format_duration(90.0) == "1m30s"
+
+    def test_hours(self):
+        assert units.format_duration(3 * units.HOUR + 5 * units.MINUTE) == "3h5m0s"
+
+    def test_days(self):
+        assert units.format_duration(2 * units.DAY + 3 * units.HOUR) == "2d3h0m0s"
+
+    def test_negative(self):
+        assert units.format_duration(-90.0) == "-1m30s"
+
+    def test_infinite(self):
+        assert units.format_duration(math.inf) == "inf"
+
+    def test_rounds_fractional_seconds(self):
+        assert units.format_duration(59.6) == "1m0s"

@@ -1,0 +1,71 @@
+"""Tests for the ASCII renderers (repro.viz)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.core import schedule_ressched
+from repro.viz import ascii_availability, ascii_gantt
+from repro.workloads.reservations import ReservationScenario
+
+
+@pytest.fixture
+def schedule(medium_graph):
+    sc = ReservationScenario(
+        name="viz",
+        capacity=16,
+        now=0.0,
+        reservations=(Reservation(0.0, 5000.0, 8),),
+        hist_avg_available=10.0,
+    )
+    return schedule_ressched(medium_graph, sc)
+
+
+class TestGantt:
+    def test_one_row_per_task(self, schedule):
+        text = ascii_gantt(schedule)
+        lines = text.splitlines()
+        # header + n tasks + footer
+        assert len(lines) == schedule.graph.n + 2
+
+    def test_contains_task_names_and_procs(self, schedule):
+        text = ascii_gantt(schedule)
+        assert "t0" in text
+        assert "CPU-hours" in text
+
+    def test_bars_within_width(self, schedule):
+        width = 40
+        for line in ascii_gantt(schedule, width=width).splitlines()[1:-1]:
+            bar = line.split("|")[1]
+            assert len(bar) == width
+
+    def test_every_task_has_a_bar(self, schedule):
+        for line in ascii_gantt(schedule).splitlines()[1:-1]:
+            assert "#" in line
+
+
+class TestAvailability:
+    def test_shape(self):
+        cal = ResourceCalendar(8, [Reservation(0.0, 500.0, 4)])
+        text = ascii_availability(cal, 0.0, 1000.0, width=30, height=4)
+        lines = text.splitlines()
+        assert len(lines) == 4 + 2  # bands + axis + caption
+
+    def test_busy_period_blank_at_top(self):
+        cal = ResourceCalendar(8, [Reservation(0.0, 500.0, 8)])
+        text = ascii_availability(cal, 0.0, 1000.0, width=10, height=2)
+        top = text.splitlines()[0]
+        row = top.split("|")[1]
+        # First half fully reserved -> blank; second half free -> filled.
+        assert row[0] == " "
+        assert row[-1] == "█"
+
+    def test_rejects_bad_window(self):
+        cal = ResourceCalendar(8)
+        with pytest.raises(ValueError):
+            ascii_availability(cal, 10.0, 10.0)
+
+    def test_caption_mentions_capacity(self):
+        cal = ResourceCalendar(8)
+        assert "capacity 8" in ascii_availability(cal, 0.0, 100.0)

@@ -1,0 +1,23 @@
+"""Standalone runner for the hot-path regression benchmarks.
+
+Equivalent to ``repro bench``; writes ``BENCH_hotpath.json`` at the repo
+root by default so the numbers live next to the source they measure::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--quick] [--out PATH]
+
+See :mod:`repro.bench` for what is measured and how the seed baseline is
+reconstructed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--out" not in argv:
+        argv += ["--out", str(Path(__file__).resolve().parent.parent / "BENCH_hotpath.json")]
+    raise SystemExit(main(argv))

@@ -1,0 +1,511 @@
+"""Hot-path performance regression harness (``repro bench``).
+
+Times the four hot paths the incremental/vectorized machinery optimizes —
+calendar commit, placement query, CPA allocation, and one Table-4
+experiment cell — against a **seed baseline**: the original
+implementations this repository shipped with before the optimization
+pass.  The baseline is reconstructed in-process by (a) flipping the
+module-level switches that gate the incremental paths and (b)
+monkeypatching faithful re-implementations of the routines whose
+*algorithm* changed (the per-node NumPy-scalar level loops and the
+segment-walking placement scans below, kept verbatim from the seed
+commit).  Both sides of every comparison are asserted to produce
+identical results before their timings are reported.
+
+Timings use a warm-up pass plus min-of-N (the minimum is the standard
+noise-robust statistic for micro-benchmarks on a shared box).  Results
+are written as JSON (default ``BENCH_hotpath.json`` in the current
+directory) so CI can diff runs::
+
+    repro bench                 # full run, writes BENCH_hotpath.json
+    repro bench --quick         # reduced sizes, for CI smoke
+    repro bench --out perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+import repro.calendar.calendar as _calmod
+import repro.cpa.allocation as _allocmod
+from repro.calendar import Reservation, ResourceCalendar
+from repro.calendar.calendar import CalendarError
+from repro.cpa.allocation import cpa_allocation
+from repro.dag import DagGenParams, TaskGraph, random_task_graph
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.table4 import format_table4, run_table4
+from repro.rng import make_rng
+
+# ----------------------------------------------------------------------
+# Seed-baseline reference implementations
+# ----------------------------------------------------------------------
+# Verbatim ports of the seed commit's hot-path routines, used *only* to
+# measure the before/after ratio.  Do not call these outside the
+# benchmark: the live implementations are in repro.dag.graph and
+# repro.calendar.calendar.
+
+
+def _seed_bottom_levels(self, exec_times) -> np.ndarray:
+    w = np.asarray(exec_times, dtype=float)
+    if w.shape != (self.n,):
+        raise ValueError(
+            f"exec_times must have shape ({self.n},), got {w.shape}"
+        )
+    bl = np.zeros(self.n)
+    for i in reversed(self.topological_order):
+        succ_max = max((bl[j] for j in self._succs[i]), default=0.0)
+        bl[i] = w[i] + succ_max
+    return bl
+
+
+def _seed_top_levels(self, exec_times) -> np.ndarray:
+    w = np.asarray(exec_times, dtype=float)
+    if w.shape != (self.n,):
+        raise ValueError(
+            f"exec_times must have shape ({self.n},), got {w.shape}"
+        )
+    tl = np.zeros(self.n)
+    for i in self.topological_order:
+        pred_max = max((tl[j] + w[j] for j in self._preds[i]), default=0.0)
+        tl[i] = pred_max
+    return tl
+
+
+def _seed_earliest_start(self, earliest, duration, nprocs) -> float:
+    self._check_request(duration, nprocs)
+    prof = self.availability()
+    times, k = prof.times, prof.n_segments
+    s = float(earliest)
+    i = prof.segment_index(s)
+    while True:
+        window_end = s + duration
+        j = i
+        violated_at = None
+        while True:
+            lo, hi = prof.segment_bounds(j)
+            if prof.segment_value(j) < nprocs and lo < window_end:
+                violated_at = j
+                break
+            if hi >= window_end:
+                break
+            j += 1
+        if violated_at is None:
+            return s
+        j = violated_at
+        while j < k and prof.segment_value(j) < nprocs:
+            j += 1
+        if j >= k:
+            raise CalendarError(
+                "no feasible start found — availability never recovers "
+                f"to {nprocs} processors"
+            )
+        s = float(times[j])
+        i = j
+
+
+def _seed_latest_start(
+    self, latest_finish, duration, nprocs, *, earliest=-np.inf
+) -> float | None:
+    self._check_request(duration, nprocs)
+    prof = self.availability()
+    times = prof.times
+    window_end = float(latest_finish)
+    while True:
+        s = window_end - duration
+        if s < earliest:
+            return None
+        j = int(np.searchsorted(times, window_end, side="left")) - 1
+        violated_at = None
+        while True:
+            lo, hi = prof.segment_bounds(j)
+            if hi <= s:
+                break
+            if prof.segment_value(j) < nprocs:
+                violated_at = j
+                break
+            if j < 0:
+                break
+            j -= 1
+        if violated_at is None:
+            return s
+        lo, _ = prof.segment_bounds(violated_at)
+        if not np.isfinite(lo):
+            return None
+        window_end = float(lo)
+
+
+def _seed_earliest_starts_multi(
+    self, earliest, durations, *, m_offset=0
+) -> np.ndarray:
+    d = np.asarray(durations, dtype=float)
+    if d.ndim != 1 or d.size == 0:
+        raise CalendarError("durations must be a non-empty 1-D array")
+    if m_offset < 0:
+        raise CalendarError(f"m_offset must be >= 0, got {m_offset}")
+    if m_offset + d.size > self._capacity:
+        raise CalendarError(
+            f"durations imply up to {m_offset + d.size} processors but "
+            f"capacity is {self._capacity}"
+        )
+    if not np.all(d > 0):
+        raise CalendarError("all durations must be positive")
+    prof = self.availability()
+    k = prof.n_segments
+    m = np.arange(m_offset + 1, m_offset + d.size + 1)
+    cand = np.full(d.size, float(earliest))
+    result = np.full(d.size, np.nan)
+    done = np.zeros(d.size, dtype=bool)
+    j = prof.segment_index(earliest)
+    while True:
+        lo, hi = prof.segment_bounds(j)
+        v = prof.segment_value(j)
+        enough = m <= v
+        newly = ~done & enough & (cand + d <= hi)
+        result[newly] = cand[newly]
+        done |= newly
+        broken = ~done & ~enough
+        cand[broken] = hi
+        if done.all():
+            return result
+        if j >= k - 1:
+            raise CalendarError(
+                "availability profile ended before all requests were "
+                "placed — internal invariant violated"
+            )
+        j += 1
+
+
+@contextmanager
+def seed_baseline() -> Iterator[None]:
+    """Run the enclosed code against the seed commit's hot paths.
+
+    Flips the incremental switches off (full profile recompiles on every
+    commit, full level recomputes in CPA) and swaps in the seed's
+    per-node/segment-walking implementations.  Everything is restored on
+    exit, even on error.
+    """
+    saved_flags = (
+        _calmod.INCREMENTAL_COMMITS,
+        _calmod.VALIDATE_COMMITS,
+        _allocmod.INCREMENTAL_LEVELS,
+    )
+    saved_methods = (
+        TaskGraph.bottom_levels,
+        TaskGraph.top_levels,
+        ResourceCalendar.earliest_start,
+        ResourceCalendar.latest_start,
+        ResourceCalendar.earliest_starts_multi,
+    )
+    _calmod.INCREMENTAL_COMMITS = False
+    _calmod.VALIDATE_COMMITS = True
+    _allocmod.INCREMENTAL_LEVELS = False
+    TaskGraph.bottom_levels = _seed_bottom_levels
+    TaskGraph.top_levels = _seed_top_levels
+    ResourceCalendar.earliest_start = _seed_earliest_start
+    ResourceCalendar.latest_start = _seed_latest_start
+    ResourceCalendar.earliest_starts_multi = _seed_earliest_starts_multi
+    try:
+        yield
+    finally:
+        (
+            _calmod.INCREMENTAL_COMMITS,
+            _calmod.VALIDATE_COMMITS,
+            _allocmod.INCREMENTAL_LEVELS,
+        ) = saved_flags
+        (
+            TaskGraph.bottom_levels,
+            TaskGraph.top_levels,
+            ResourceCalendar.earliest_start,
+            ResourceCalendar.latest_start,
+            ResourceCalendar.earliest_starts_multi,
+        ) = saved_methods
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` calls (after one warm-up)."""
+    fn()  # warm-up: caches, lazy imports, pool forks
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _random_reservations(
+    n_res: int, capacity: int, seed: int = 7
+) -> list[Reservation]:
+    """A deterministic batch of non-overflowing small reservations."""
+    rng = make_rng(seed)
+    out = []
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, 50_000.0))
+        dur = float(rng.uniform(60.0, 3_600.0))
+        nprocs = int(rng.integers(1, max(2, capacity // 16)))
+        out.append(
+            Reservation(start=start, end=start + dur, nprocs=nprocs, label=f"r{i}")
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Individual benchmarks
+# ----------------------------------------------------------------------
+
+
+def bench_calendar_commit(*, n_res: int, repeats: int) -> dict[str, Any]:
+    """Committing ``n_res`` known-feasible reservations, one by one.
+
+    Seed path: strict ``reserve()`` — every add recompiles and
+    re-validates the whole profile from the event list (O(R) work per
+    commit, O(R^2) total).  Current path: ``reserve_known_feasible()`` —
+    one O(R) splice per commit into the already-compiled profile.
+    """
+    capacity = 128
+    batch = _random_reservations(n_res, capacity)
+
+    def seed_path() -> ResourceCalendar:
+        cal = ResourceCalendar(capacity, incremental=False)
+        for r in batch:
+            cal.reserve(r.start, r.end - r.start, r.nprocs, label=r.label)
+        cal.availability()
+        return cal
+
+    def fast_path() -> ResourceCalendar:
+        cal = ResourceCalendar(capacity, incremental=True)
+        cal.availability()  # pre-compile, as schedulers do before committing
+        for r in batch:
+            cal.reserve_known_feasible(
+                r.start, r.end - r.start, r.nprocs, label=r.label
+            )
+        return cal
+
+    seed_s, seed_cal = _best_of(seed_path, repeats)
+    fast_s, fast_cal = _best_of(fast_path, repeats)
+    if seed_cal.availability() != fast_cal.availability():
+        raise AssertionError("calendar-commit paths disagree on the profile")
+    return {
+        "n_reservations": n_res,
+        "seed_s": seed_s,
+        "incremental_s": fast_s,
+        "speedup": seed_s / fast_s,
+    }
+
+
+def bench_placement_query(*, n_res: int, n_queries: int, repeats: int) -> dict[str, Any]:
+    """``earliest_starts_multi`` full-machine sweeps on a busy calendar.
+
+    Seed path walks the availability profile segment by segment with
+    Python-level bookkeeping; the current path is one 2-D NumPy sweep.
+    """
+    capacity = 64
+    cal = ResourceCalendar(capacity, incremental=True)
+    for r in _random_reservations(n_res, capacity, seed=11):
+        cal.add(r)
+    cal.availability()
+    rng = make_rng(23)
+    queries = [
+        (
+            float(rng.uniform(0.0, 60_000.0)),
+            np.asarray(rng.uniform(120.0, 7_200.0, size=capacity)),
+        )
+        for _ in range(n_queries)
+    ]
+
+    def seed_path() -> list[np.ndarray]:
+        return [
+            _seed_earliest_starts_multi(cal, earliest, d)
+            for earliest, d in queries
+        ]
+
+    def fast_path() -> list[np.ndarray]:
+        return [cal.earliest_starts_multi(earliest, d) for earliest, d in queries]
+
+    seed_s, seed_res = _best_of(seed_path, repeats)
+    fast_s, fast_res = _best_of(fast_path, repeats)
+    for a, b in zip(seed_res, fast_res):
+        if not np.array_equal(a, b):
+            raise AssertionError("placement-query paths disagree")
+    return {
+        "n_reservations": n_res,
+        "n_queries": n_queries,
+        "seed_s": seed_s,
+        "vectorized_s": fast_s,
+        "speedup": seed_s / fast_s,
+    }
+
+
+def bench_cpa_allocation(*, n_tasks: int, q: int, repeats: int) -> dict[str, Any]:
+    """One CPA allocation run: full level recomputes vs incremental.
+
+    The seed path additionally pays the per-node NumPy-scalar level
+    loops (restored via :func:`seed_baseline`).
+    """
+    graph = random_task_graph(DagGenParams(n=n_tasks), make_rng(42))
+
+    def seed_path():
+        with seed_baseline():
+            return cpa_allocation(graph, q, incremental=False)
+
+    def fast_path():
+        return cpa_allocation(graph, q, incremental=True)
+
+    full_s, seed_res = _best_of(seed_path, repeats)
+    inc_s, fast_res = _best_of(fast_path, repeats)
+    if seed_res != fast_res:
+        raise AssertionError("CPA allocation paths disagree")
+    return {
+        "n_tasks": n_tasks,
+        "q": q,
+        "full_s": full_s,
+        "incremental_s": inc_s,
+        "speedup": full_s / inc_s,
+    }
+
+
+def bench_table4_cell(
+    *, dag_instances: int, n_workers: int, repeats: int
+) -> dict[str, Any]:
+    """One Table-4 cell, end to end: seed serial vs current parallel.
+
+    The cell (OSC_Cluster, phi=0.2, expo reshaping) runs the full
+    pipeline — log replay, reservation scenario, CPA, forward
+    scheduling — per instance.  The baseline is the seed hot paths run
+    serially; the contender is the current code at ``n_workers``
+    processes.  Both must format to the identical table.
+    """
+    scale = ExperimentScale(
+        logs=("OSC_Cluster",),
+        phis=(0.2,),
+        methods=("expo",),
+        app_scenarios=2,
+        dag_instances=dag_instances,
+        start_times=1,
+        taggings=1,
+    )
+
+    def seed_serial():
+        with seed_baseline():
+            return run_table4(scale)
+
+    def parallel():
+        return run_table4(replace(scale, n_workers=n_workers))
+
+    # Interleave the two measurements so background-load spikes on a
+    # shared box hit both sides symmetrically instead of biasing one.
+    seed_res = seed_serial()  # warm-up
+    par_res = parallel()  # warm-up (forks the worker pool)
+    seed_s = par_s = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        seed_res = seed_serial()
+        seed_s = min(seed_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        par_res = parallel()
+        par_s = min(par_s, time.perf_counter() - t0)
+    if format_table4(seed_res) != format_table4(par_res):
+        raise AssertionError("table-4 cell paths disagree on the table")
+    return {
+        "dag_instances": dag_instances,
+        "n_workers": n_workers,
+        "seed_serial_s": seed_s,
+        "parallel_s": par_s,
+        "speedup": seed_s / par_s,
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
+    """Run every benchmark and return the report dict."""
+    if quick:
+        sizes: dict[str, dict[str, int]] = {
+            "calendar_commit": {"n_res": 120, "repeats": 2},
+            "placement_query": {"n_res": 80, "n_queries": 20, "repeats": 2},
+            "cpa_allocation": {"n_tasks": 60, "q": 32, "repeats": 2},
+            "table4_cell": {"dag_instances": 2, "n_workers": 2, "repeats": 1},
+        }
+    else:
+        sizes = {
+            "calendar_commit": {"n_res": 400, "repeats": 3},
+            "placement_query": {"n_res": 250, "n_queries": 40, "repeats": 3},
+            "cpa_allocation": {"n_tasks": 150, "q": 64, "repeats": 3},
+            "table4_cell": {"dag_instances": 6, "n_workers": 4, "repeats": 5},
+        }
+    report: dict[str, Any] = {
+        "quick": quick,
+        "n_cpus": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    print(f"repro bench ({'quick' if quick else 'full'}), "
+          f"{report['n_cpus']} CPU(s) visible", flush=True)
+    report["calendar_commit"] = bench_calendar_commit(**sizes["calendar_commit"])
+    _echo("calendar_commit", report["calendar_commit"],
+          "seed_s", "incremental_s")
+    report["placement_query"] = bench_placement_query(**sizes["placement_query"])
+    _echo("placement_query", report["placement_query"],
+          "seed_s", "vectorized_s")
+    report["cpa_allocation"] = bench_cpa_allocation(**sizes["cpa_allocation"])
+    _echo("cpa_allocation", report["cpa_allocation"],
+          "full_s", "incremental_s")
+    report["table4_cell"] = bench_table4_cell(**sizes["table4_cell"])
+    _echo("table4_cell", report["table4_cell"],
+          "seed_serial_s", "parallel_s")
+    return report
+
+
+def _echo(name: str, entry: dict[str, Any], before: str, after: str) -> None:
+    print(
+        f"  {name:<18} {entry[before]:8.4f}s -> {entry[after]:8.4f}s   "
+        f"{entry['speedup']:5.2f}x",
+        flush=True,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="hot-path performance regression benchmarks",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_hotpath.json"),
+        help="output JSON path (default: ./BENCH_hotpath.json)",
+    )
+    args = parser.parse_args(argv)
+    # Fail on an unwritable --out before spending minutes benchmarking.
+    try:
+        args.out.touch()
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    report = run_benchmarks(quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -14,14 +14,26 @@ questions every scheduler in this library asks:
   processors" P'.
 
 The availability profile ``capacity − occupancy`` is compiled lazily into
-a :class:`StepFunction` and cached until the next :meth:`add`.  Both
-placement queries walk the profile's segments, which makes them
-``O(segments)`` worst case and typically much cheaper thanks to
-``searchsorted`` entry.
+a :class:`StepFunction` and then maintained **incrementally**: committing
+a reservation splices two breakpoints into the compiled profile
+(:meth:`StepFunction.with_interval_delta`, one O(segments) array copy)
+instead of invalidating it and paying a full O(R log R) recompile on the
+next query.  Placement queries are NumPy computations over the profile's
+``times``/``values`` arrays.
+
+Schedulers committing placements that came out of this calendar's own
+placement queries should use :meth:`reserve_known_feasible`, which skips
+the strict capacity re-validation (the query already proved the window
+free).  Externally supplied reservations go through :meth:`add`/:meth:`reserve`
+and keep the full check.  Setting the environment variable
+``REPRO_VALIDATE_COMMITS=1`` (or :data:`VALIDATE_COMMITS`) re-enables
+full validation everywhere — the debug mode for chasing an infeasible
+schedule back to the commit that caused it.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -30,6 +42,19 @@ from repro.calendar.reservation import Reservation
 from repro.calendar.timeline import StepFunction
 from repro.errors import CalendarError
 from repro.units import TIME_EPS
+
+#: Default for new calendars: maintain the availability profile
+#: incrementally on :meth:`ResourceCalendar.add` (the fast path).  The
+#: benchmark harness flips this off to measure the seed's
+#: invalidate-and-recompile behaviour.
+INCREMENTAL_COMMITS: bool = True
+
+#: Debug flag: when True, :meth:`reserve_known_feasible` behaves exactly
+#: like :meth:`reserve` (full strict validation of every commit).
+VALIDATE_COMMITS: bool = os.environ.get("REPRO_VALIDATE_COMMITS", "") not in (
+    "",
+    "0",
+)
 
 
 class ResourceCalendar:
@@ -43,6 +68,10 @@ class ResourceCalendar:
             noisy workload data use this; scheduler-owned calendars keep
             the default strict behaviour so over-subscription bugs surface
             immediately.
+        incremental: Maintain the compiled availability profile
+            incrementally on :meth:`add` (O(segments) splice) instead of
+            invalidating it.  ``None`` (default) follows the module-level
+            :data:`INCREMENTAL_COMMITS` switch.
     """
 
     def __init__(
@@ -51,11 +80,15 @@ class ResourceCalendar:
         reservations: Iterable[Reservation] = (),
         *,
         clamp: bool = False,
+        incremental: bool | None = None,
     ):
         if capacity < 1:
             raise CalendarError(f"capacity must be >= 1, got {capacity}")
         self._capacity = int(capacity)
         self._clamp = bool(clamp)
+        self._incremental = (
+            INCREMENTAL_COMMITS if incremental is None else bool(incremental)
+        )
         self._reservations: list[Reservation] = []
         self._profile: StepFunction | None = None
         for r in reservations:
@@ -90,6 +123,11 @@ class ResourceCalendar:
     def add(self, reservation: Reservation) -> None:
         """Register a reservation.
 
+        When the availability profile is already compiled (and the
+        calendar is in incremental mode) the reservation is spliced into
+        it in O(segments); the strict capacity check then reads the
+        spliced profile's minimum instead of recompiling from scratch.
+
         Raises:
             CalendarError: if the reservation alone exceeds capacity, or —
                 in strict mode — if total occupancy would exceed capacity
@@ -100,6 +138,21 @@ class ResourceCalendar:
                 f"reservation needs {reservation.nprocs} processors but the "
                 f"platform has only {self._capacity}"
             )
+        if self._incremental and self._profile is not None:
+            spliced = self._profile.with_interval_delta(
+                reservation.start, reservation.end, -float(reservation.nprocs)
+            )
+            try:
+                validated = self._validated(spliced)
+            except CalendarError:
+                # Nothing was mutated: a failed add leaves the calendar
+                # unchanged.
+                raise CalendarError(
+                    f"adding reservation {reservation} would exceed capacity"
+                ) from None
+            self._reservations.append(reservation)
+            self._profile = validated
+            return
         self._reservations.append(reservation)
         self._profile = None
         if not self._clamp:
@@ -116,9 +169,45 @@ class ResourceCalendar:
                     f"adding reservation {reservation} would exceed capacity"
                 ) from None
 
+    def reserve_known_feasible(
+        self, start: float, duration: float, nprocs: int, label: str = ""
+    ) -> Reservation:
+        """Commit a placement this calendar's own placement queries
+        returned, skipping the strict capacity re-validation.
+
+        The placement queries only report windows with ``nprocs``
+        processors free, so re-checking on commit is redundant work; this
+        fast path splices the reservation straight into the compiled
+        profile.  Sub-tolerance negative residue (a backward scheduler's
+        ``(end − d) + d`` landing one ulp past ``end``) is clamped exactly
+        as the full validation would.  Under :data:`VALIDATE_COMMITS`
+        this delegates to :meth:`reserve` (full validation) instead.
+
+        Only hand this method placements derived from this calendar's
+        *current* state; externally supplied reservations must go through
+        :meth:`add`.
+        """
+        if VALIDATE_COMMITS:
+            return self.reserve(start, duration, nprocs, label=label)
+        r = Reservation(
+            start=start, end=start + duration, nprocs=nprocs, label=label
+        )
+        prof = self.availability()
+        spliced = prof.with_interval_delta(r.start, r.end, -float(r.nprocs))
+        if spliced.values.size and spliced.values.min() < 0:
+            # Feasible placements can only go negative by floating-point
+            # residue; clamp it like the strict path does so the profile
+            # stays bitwise identical to a full recompile.
+            spliced = spliced.map(lambda v: np.maximum(v, 0.0)).canonical()
+        self._reservations.append(r)
+        self._profile = spliced
+        return r
+
     def copy(self) -> "ResourceCalendar":
         """Independent copy (used for tentative scheduling)."""
-        dup = ResourceCalendar(self._capacity, clamp=self._clamp)
+        dup = ResourceCalendar(
+            self._capacity, clamp=self._clamp, incremental=self._incremental
+        )
         dup._reservations = list(self._reservations)
         dup._profile = self._profile
         return dup
@@ -126,6 +215,36 @@ class ResourceCalendar:
     # ------------------------------------------------------------------
     # Profile
     # ------------------------------------------------------------------
+
+    def _validated(self, profile: StepFunction) -> StepFunction:
+        """Apply the capacity policy to a freshly built or spliced profile.
+
+        Clamping calendars pin negative availability at zero.  Strict
+        calendars raise on any real violation; negative availability on a
+        segment no longer than the time tolerance is floating-point
+        residue — schedulers compute starts as ``boundary - duration``,
+        and ``start + duration`` can land one ulp past the boundary;
+        durations are minutes to hours, so sub-microsecond overlaps are
+        physically meaningless and get clamped instead.
+        """
+        if self._clamp:
+            if profile.values.size and profile.values.min() < 0:
+                # Canonicalize after clamping so the spliced and
+                # recompiled profiles stay representation-identical.
+                return profile.map(lambda v: np.maximum(v, 0.0)).canonical()
+            return profile
+        if profile.values.size and profile.values.min() < 0:
+            neg = profile.values < 0
+            seg_len = np.append(np.diff(profile.times), np.inf)
+            if bool(np.any(neg & (seg_len > TIME_EPS))):
+                raise CalendarError(
+                    "reservations exceed platform capacity "
+                    f"(availability reaches {profile.values.min():.0f}); "
+                    "construct the calendar with clamp=True to tolerate "
+                    "this"
+                )
+            profile = profile.map(lambda v: np.maximum(v, 0.0)).canonical()
+        return profile
 
     def availability(self) -> StepFunction:
         """The compiled availability profile (free processors over time)."""
@@ -135,27 +254,7 @@ class ResourceCalendar:
                 events.append((r.start, -float(r.nprocs)))
                 events.append((r.end, float(r.nprocs)))
             profile = StepFunction.from_deltas(events, base=float(self._capacity))
-            if self._clamp:
-                profile = profile.map(lambda v: np.maximum(v, 0.0))
-            elif profile.values.size and profile.values.min() < 0:
-                # Negative availability on a segment longer than the time
-                # tolerance is a genuine violation.  Shorter segments are
-                # floating-point residue — schedulers compute starts as
-                # `boundary - duration`, and `start + duration` can land
-                # one ulp past the boundary; durations are minutes to
-                # hours, so sub-microsecond overlaps are physically
-                # meaningless and get clamped instead.
-                neg = profile.values < 0
-                seg_len = np.append(np.diff(profile.times), np.inf)
-                if bool(np.any(neg & (seg_len > TIME_EPS))):
-                    raise CalendarError(
-                        "reservations exceed platform capacity "
-                        f"(availability reaches {profile.values.min():.0f}); "
-                        "construct the calendar with clamp=True to tolerate "
-                        "this"
-                    )
-                profile = profile.map(lambda v: np.maximum(v, 0.0))
-            self._profile = profile
+            self._profile = self._validated(profile)
         return self._profile
 
     def available_at(self, t: float) -> int:
@@ -193,6 +292,28 @@ class ResourceCalendar:
                 f"{self._capacity}"
             )
 
+    def _free_runs(self, nprocs: int) -> tuple[np.ndarray, np.ndarray]:
+        """Maximal intervals with ``>= nprocs`` processors free.
+
+        Returns ``(run_starts, run_ends)``: each run spans
+        ``[run_starts[i], run_ends[i])``; the first may start at −inf
+        (free before the first breakpoint) and the last always ends at
+        +inf (the machine is all-free past the last reservation).  One
+        O(segments) NumPy pass, no Python loop over segments.
+        """
+        prof = self.availability()
+        # ok[j] — does segment j−1 (−1 = the base segment) satisfy the
+        # request?  Padded with False on both sides so run boundaries are
+        # plain sign changes.
+        ok = np.empty(prof.values.size + 3, dtype=bool)
+        ok[0] = ok[-1] = False
+        ok[1] = prof.base >= nprocs
+        np.greater_equal(prof.values, nprocs, out=ok[2:-1])
+        bounds = np.concatenate(([-np.inf], prof.times, [np.inf]))
+        starts = np.flatnonzero(ok[1:-1] & ~ok[:-2])
+        ends = np.flatnonzero(ok[1:-1] & ~ok[2:]) + 1
+        return bounds[starts], bounds[ends]
+
     def earliest_start(
         self, earliest: float, duration: float, nprocs: int
     ) -> float:
@@ -204,41 +325,19 @@ class ResourceCalendar:
         the final all-free segment).
         """
         self._check_request(duration, nprocs)
-        prof = self.availability()
-        times, k = prof.times, prof.n_segments
-
-        s = float(earliest)
-        i = prof.segment_index(s)
-        while True:
-            window_end = s + duration
-            # Scan segments covering [s, window_end) for a violation.
-            j = i
-            violated_at: int | None = None
-            while True:
-                lo, hi = prof.segment_bounds(j)
-                if prof.segment_value(j) < nprocs and lo < window_end:
-                    violated_at = j
-                    break
-                if hi >= window_end:
-                    break
-                j += 1
-            if violated_at is None:
-                return s
-            # Restart after the violating run: first segment with enough
-            # processors at or beyond the violation.
-            j = violated_at
-            while j < k and prof.segment_value(j) < nprocs:
-                j += 1
-            if j >= k:
-                # Past the last breakpoint availability equals the final
-                # value; reaching here means the final segment itself was
-                # violating, which cannot happen since it is all-free.
-                raise CalendarError(
-                    "no feasible start found — availability never recovers "
-                    f"to {nprocs} processors"
-                )
-            s = float(times[j])
-            i = j
+        run_starts, run_ends = self._free_runs(nprocs)
+        # The window must fit inside one free run: start no earlier than
+        # the run (or `earliest`) and end by the run's end.
+        cand = np.maximum(run_starts, float(earliest))
+        feasible = np.flatnonzero(cand + duration <= run_ends)
+        if feasible.size == 0:
+            # The final all-free segment extends to +inf, so this cannot
+            # happen for a validated request.
+            raise CalendarError(
+                "no feasible start found — availability never recovers "
+                f"to {nprocs} processors"
+            )
+        return float(cand[feasible[0]])
 
     def latest_start(
         self,
@@ -256,38 +355,18 @@ class ResourceCalendar:
         outcome for backward scheduling).
         """
         self._check_request(duration, nprocs)
-        prof = self.availability()
-        times = prof.times
-
-        # Track the window's *end* (always latest_finish or an exact
-        # breakpoint) rather than recomputing it as start + duration:
-        # `(end - d) + d` can round one ulp past `end`, which would
-        # re-detect the same violation forever.
-        window_end = float(latest_finish)
-        while True:
-            s = window_end - duration
-            if s < earliest:
-                return None
-            # Find the *last* violating segment intersecting [s, window_end).
-            j = int(np.searchsorted(times, window_end, side="left")) - 1
-            violated_at: int | None = None
-            while True:
-                lo, hi = prof.segment_bounds(j)
-                if hi <= s:
-                    break
-                if prof.segment_value(j) < nprocs:
-                    violated_at = j
-                    break
-                if j < 0:
-                    break
-                j -= 1
-            if violated_at is None:
-                return s
-            # The window must finish by the violating segment's start.
-            lo, _ = prof.segment_bounds(violated_at)
-            if not np.isfinite(lo):
-                return None
-            window_end = float(lo)
+        run_starts, run_ends = self._free_runs(nprocs)
+        # Latest start inside each run: finish at the run's end or the
+        # deadline, whichever is sooner.  Computed as `end − duration`
+        # (the end is always latest_finish or an exact breakpoint) so a
+        # caller's `start + duration` round-trips exactly.
+        cand = np.minimum(run_ends, float(latest_finish)) - duration
+        feasible = np.flatnonzero((cand >= run_starts) & (cand >= earliest))
+        if feasible.size == 0:
+            return None
+        # Run ends are increasing, so candidates are non-decreasing: the
+        # last feasible run holds the latest start.
+        return float(cand[feasible[-1]])
 
     def earliest_starts_multi(
         self,
@@ -331,35 +410,40 @@ class ResourceCalendar:
             raise CalendarError("all durations must be positive")
 
         prof = self.availability()
-        k = prof.n_segments
         m = np.arange(m_offset + 1, m_offset + d.size + 1)
-        cand = np.full(d.size, float(earliest))
-        result = np.full(d.size, np.nan)
-        done = np.zeros(d.size, dtype=bool)
 
-        j = prof.segment_index(earliest)
-        while True:
-            lo, hi = prof.segment_bounds(j)
-            v = prof.segment_value(j)
-            enough = m <= v
-            # Invariant: availability >= m everywhere on [cand[m], lo], so
-            # a window fits as soon as it also ends within this segment.
-            newly = ~done & enough & (cand + d <= hi)
-            result[newly] = cand[newly]
-            done |= newly
-            broken = ~done & ~enough
-            cand[broken] = hi
-            if done.all():
-                return result
-            if j >= k - 1:
-                # The final segment is all-free (value == capacity >= any
-                # requested count) and extends to +inf, so everything
-                # resolves there; reaching past it is impossible.
-                raise CalendarError(
-                    "availability profile ended before all requests were "
-                    "placed — internal invariant violated"
-                )
-            j += 1
+        # One 2-D sweep instead of a segment-by-segment walk: for every
+        # count, compute the maximal free runs (consecutive segments with
+        # availability >= m) of the profile suffix at/after `earliest`,
+        # then take the first run each window fits in.  A run straddling
+        # `earliest` keeps its tail: its clipped start bound maximizes to
+        # `earliest` below, exactly as the full-profile runs would.
+        j0 = int(np.searchsorted(prof.times, earliest, side="right"))
+        segvals = np.concatenate(([prof.base], prof.values))[j0:]
+        segbounds = np.concatenate(([-np.inf], prof.times, [np.inf]))[j0:]
+        n_seg = segvals.size
+        ok = np.zeros((d.size, n_seg + 2), dtype=bool)
+        np.greater_equal(segvals[None, :], m[:, None], out=ok[:, 1:-1])
+        inner = ok[:, 1:-1]
+        # Row-major nonzero: the i-th rise and i-th fall delimit the same
+        # run, and runs appear grouped by count and ordered in time.
+        r_rows, r_cols = np.nonzero(inner & ~ok[:, :-2])
+        f_rows, f_cols = np.nonzero(inner & ~ok[:, 2:])
+        cand = np.maximum(segbounds[r_cols], float(earliest))
+        feasible = cand + d[r_rows] <= segbounds[f_cols + 1]
+        rows_f = r_rows[feasible]
+        urows, first = np.unique(rows_f, return_index=True)
+        if urows.size != d.size:
+            # The final segment is all-free (value == capacity >= any
+            # requested count) and extends to +inf, so every count
+            # resolves; anything else is an internal invariant violation.
+            raise CalendarError(
+                "availability profile ended before all requests were "
+                "placed — internal invariant violated"
+            )
+        result = np.empty(d.size)
+        result[urows] = cand[feasible][first]
+        return result
 
     def latest_starts_multi(
         self,

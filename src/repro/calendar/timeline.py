@@ -60,6 +60,24 @@ class StepFunction:
         return cls(np.empty(0), np.empty(0), base=value)
 
     @classmethod
+    def _make(
+        cls, times: np.ndarray, values: np.ndarray, base: float
+    ) -> "StepFunction":
+        """Internal: wrap arrays already known to be valid and canonical.
+
+        Skips the monotonicity re-check of ``__init__`` — used on hot
+        paths (the incremental splice) whose outputs are sorted and
+        canonical by construction.
+        """
+        f = cls.__new__(cls)
+        f.times = times
+        f.values = values
+        f.base = base
+        times.setflags(write=False)
+        values.setflags(write=False)
+        return f
+
+    @classmethod
     def from_deltas(
         cls, events: Iterable[tuple[float, float]], base: float = 0.0
     ) -> "StepFunction":
@@ -87,6 +105,86 @@ class StepFunction:
         if not keep.any():
             return cls.constant(base)
         return cls(uniq[keep], values[keep], base=base)
+
+    def with_interval_delta(
+        self, start: float, end: float, delta: float
+    ) -> "StepFunction":
+        """Copy of this function with ``delta`` added on ``[start, end)``.
+
+        This is the incremental-commit primitive: registering a
+        reservation of ``n`` processors is ``with_interval_delta(start,
+        end, -n)`` on the availability profile.  The two new breakpoints
+        are spliced into the existing sorted arrays via ``searchsorted``
+        — one O(k) copy, no re-sort, no event-list rebuild — and the
+        result is re-canonicalized (no zero-jump breakpoints), so it is
+        bit-identical to recompiling the profile from scratch.
+        """
+        if not (np.isfinite(start) and np.isfinite(end)):
+            raise ValueError(
+                f"interval bounds must be finite, got [{start}, {end})"
+            )
+        if not end > start:
+            raise ValueError(
+                f"interval must have positive length, got [{start}, {end})"
+            )
+        if delta == 0.0:
+            return self
+        t, v = self.times, self.values
+        # Positions of the interval endpoints in the breakpoint array.
+        i0 = int(np.searchsorted(t, start, side="left"))
+        i1 = int(np.searchsorted(t, end, side="left"))
+        need_s = not (i0 < t.size and t[i0] == start)
+        need_e = not (i1 < t.size and t[i1] == end)
+        # Value holding just before each endpoint (what an inserted
+        # breakpoint starts from / reverts to).
+        val_before_start = self.base if i0 == 0 else float(v[i0 - 1])
+        val_before_end = self.base if i1 == 0 else float(v[i1 - 1])
+        ins_s = np.array([start]) if need_s else np.empty(0)
+        ins_e = np.array([end]) if need_e else np.empty(0)
+        new_t = np.concatenate([t[:i0], ins_s, t[i0:i1], ins_e, t[i1:]])
+        new_v = np.concatenate(
+            [
+                v[:i0],
+                np.array([val_before_start]) if need_s else np.empty(0),
+                v[i0:i1],
+                np.array([val_before_end]) if need_e else np.empty(0),
+                v[i1:],
+            ]
+        )
+        # Segments covering [start, end): from the `start` breakpoint
+        # (position i0) up to the `end` breakpoint (position i1 + need_s).
+        new_v[i0 : i1 + (1 if need_s else 0)] += delta
+        # Re-canonicalize: drop breakpoints whose value equals the one
+        # before them (the base for the first), e.g. when the delta
+        # happens to cancel an existing jump at an endpoint.
+        keep = np.empty(new_t.size, dtype=bool)
+        keep[0] = new_v[0] != self.base
+        keep[1:] = new_v[1:] != new_v[:-1]
+        if not keep.any():
+            return StepFunction.constant(self.base)
+        # Splice output is sorted and canonical by construction: skip the
+        # constructor's monotonicity re-check.
+        return StepFunction._make(new_t[keep], new_v[keep], self.base)
+
+    def canonical(self) -> "StepFunction":
+        """This function with zero-jump breakpoints dropped.
+
+        Returns ``self`` when already canonical.  Needed after
+        value-space operations like clamping, which can collapse adjacent
+        segments onto the same value; keeping profiles canonical makes
+        the incremental-splice and full-recompile paths produce
+        *identical* representations, not just equal functions.
+        """
+        if self.values.size == 0:
+            return self
+        keep = np.empty(self.times.size, dtype=bool)
+        keep[0] = self.values[0] != self.base
+        keep[1:] = self.values[1:] != self.values[:-1]
+        if keep.all():
+            return self
+        if not keep.any():
+            return StepFunction.constant(self.base)
+        return StepFunction._make(self.times[keep], self.values[keep], self.base)
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -158,13 +256,19 @@ class StepFunction:
         """Minimum value attained on ``[t0, t1)``."""
         if t1 <= t0:
             raise ValueError(f"min_over needs t1 > t0, got [{t0}, {t1})")
+        if self.values.size == 0:
+            return self.base
         i0 = self.segment_index(t0)
         # Last touched segment: the one containing instants just before t1,
         # i.e. after the last breakpoint strictly below t1.
         i1 = int(np.searchsorted(self.times, t1, side="left")) - 1
         if i1 < i0:
             i1 = i0
-        return float(min(self.segment_value(i) for i in range(i0, i1 + 1)))
+        lo = max(i0, 0)
+        m = float(self.values[lo : i1 + 1].min()) if i1 >= lo else np.inf
+        if i0 < 0:
+            m = min(m, self.base)
+        return float(m)
 
     # ------------------------------------------------------------------
     # Algebra

@@ -150,6 +150,25 @@ def _cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Deferred import: the bench module drags in the experiment drivers,
+    # which the lightweight commands should not pay for.
+    import json
+
+    from repro.bench import run_benchmarks
+
+    # Fail on an unwritable --out before spending minutes benchmarking.
+    try:
+        args.out.touch()
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 2
+    report = run_benchmarks(quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -216,6 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline as hours after the scheduling instant",
     )
     p.set_defaults(func=_cmd_deadline)
+
+    p = sub.add_parser(
+        "bench", help="hot-path performance regression benchmarks"
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for CI smoke runs",
+    )
+    p.add_argument(
+        "--out", type=Path, default=Path("BENCH_hotpath.json"),
+        help="output JSON path (default: ./BENCH_hotpath.json)",
+    )
+    p.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -212,7 +212,9 @@ def _schedule_backward(
 
         m, start = chosen
         dur = ctx.exec_time(i, m)
-        cal.reserve(start, dur, m, label=graph.task(i).name)
+        # Placements come from this calendar's own latest/earliest
+        # queries; skip the redundant strict re-validation on commit.
+        cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
         placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
         unscheduled.discard(i)
 

@@ -125,7 +125,9 @@ def schedule_ressched(
             # Last minimum: the most processors among ties.
             j = int(completions.size - 1 - np.argmin(completions[::-1]))
         m, start, dur = j + 1, float(starts[j]), float(durations[j])
-        cal.reserve(start, dur, m, label=graph.task(i).name)
+        # The placement came out of this calendar's own query, so commit
+        # via the fast path (no strict capacity re-validation).
+        cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
         placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
 
     return Schedule(

@@ -39,6 +39,13 @@ from repro.errors import GenerationError
 #: Relative slack when testing whether a task lies on the critical path.
 _CP_RTOL = 1e-9
 
+#: Default for :func:`cpa_allocation`'s ``incremental`` flag: refresh
+#: bottom/top levels from the one task whose execution time changed each
+#: iteration instead of recomputing the whole DAG.  Bit-identical to the
+#: full recompute (equivalence-tested); the benchmark harness flips this
+#: off to measure the seed behaviour.
+INCREMENTAL_LEVELS: bool = True
+
 
 @dataclass(frozen=True)
 class CpaAllocation:
@@ -85,6 +92,7 @@ def cpa_allocation(
     *,
     stopping: str = "stringent",
     max_iterations: int | None = None,
+    incremental: bool | None = None,
 ) -> CpaAllocation:
     """Run the CPA allocation phase for a ``q``-processor platform.
 
@@ -96,6 +104,11 @@ def cpa_allocation(
             (area criterion plus per-level allocation caps, the default).
         max_iterations: Safety cap on increments; defaults to the true
             upper bound ``n * (q - 1)``.
+        incremental: Update bottom/top levels from the single task whose
+            execution time changed each iteration (affected-cone cost)
+            instead of recomputing the whole DAG.  ``None`` (default)
+            follows :data:`INCREMENTAL_LEVELS`; both settings produce
+            bit-identical allocations.
 
     Returns:
         The final allocation and its diagnostics.
@@ -107,49 +120,69 @@ def cpa_allocation(
             f"stopping must be 'classic' or 'stringent', got {stopping!r}"
         )
 
+    if incremental is None:
+        incremental = INCREMENTAL_LEVELS
+
     n = graph.n
     caps = allocation_caps(graph, q, stopping)
-    # Per-task execution-time tables: exec_table[i][m - 1] = T_i(m).
-    exec_table = [graph.task(i).exec_times(q) for i in range(n)]
+    # Per-task execution-time table as one matrix: exec_table[i, m-1] = T_i(m).
+    exec_table = np.vstack([graph.task(i).exec_times(q) for i in range(n)])
     alloc = np.ones(n, dtype=int)
-    exec_t = np.array([exec_table[i][0] for i in range(n)])
+    exec_t = exec_table[:, 0].copy()
     cap = max_iterations if max_iterations is not None else n * max(q - 1, 0)
+    rows = np.arange(n)
+    # alloc == caps ⇒ "next" would index past the cap; clip the column
+    # index (the capped row is masked out of the candidate scan anyway).
+    max_col = exec_table.shape[1] - 1
 
+    # bl/tl/exec live as plain lists on the hot path (the worklist updates
+    # are scalar-indexing-bound); exec_t stays an ndarray in lockstep for
+    # the vectorized candidate scan.  float64 bits are identical either way.
+    bl = graph.bottom_levels(exec_t).tolist()
+    tl = graph.top_levels(exec_t).tolist()
+    exec_l = exec_t.tolist()
+    src_list = list(graph.sources)
     iterations = 0
-    while True:
-        bl = graph.bottom_levels(exec_t)
-        tl = graph.top_levels(exec_t)
-        tcp = float(max(bl[i] for i in graph.sources))
-        area = float((alloc * exec_t).sum()) / q
-        if tcp <= area or iterations >= cap:
-            break
+    # One errstate guard for the whole loop (zero-duration tasks divide
+    # by zero in the gain expression; the np.where discards those slots).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        while True:
+            # tcp/area are current on every exit from this loop (only the
+            # grow step below invalidates them, and it refreshes bl/tl),
+            # so the returned diagnostics reuse the final iteration's
+            # values.
+            tcp = max(map(bl.__getitem__, src_list))
+            area = float((alloc * exec_t).sum()) / q
+            if tcp <= area or iterations >= cap:
+                break
 
-        # Tasks on a critical path: top level + bottom level spans T_CP.
-        tol = _CP_RTOL * tcp
-        best_task = -1
-        best_gain = 0.0
-        for i in range(n):
-            if alloc[i] >= caps[i]:
-                continue
-            if tl[i] + bl[i] < tcp - tol:
-                continue
-            current = exec_t[i]
-            nxt = exec_table[i][alloc[i]]  # T_i(alloc + 1)
-            gain = (current - nxt) / current if current > 0 else 0.0
-            if gain > best_gain:
-                best_gain = gain
-                best_task = i
-        if best_task < 0 or best_gain <= 0.0:
-            # Every critical task is capped (or gains nothing): the
-            # critical path cannot be shortened further.
-            break
-        alloc[best_task] += 1
-        exec_t[best_task] = exec_table[best_task][alloc[best_task] - 1]
-        iterations += 1
+            # One vectorized scan for the best candidate: on a critical
+            # path (top level + bottom level spans T_CP), not capped, and
+            # with the largest relative gain from one extra processor.
+            nxt = exec_table[rows, np.minimum(alloc, max_col)]
+            gain = np.where(exec_t > 0, (exec_t - nxt) / exec_t, 0.0)
+            off_cp = np.asarray(tl) + np.asarray(bl) < tcp - _CP_RTOL * tcp
+            gain[(alloc >= caps) | off_cp] = -np.inf
+            best_task = int(np.argmax(gain))  # first max, as the paper's scan
+            if gain[best_task] <= 0.0:
+                # Every critical task is capped (or gains nothing): the
+                # critical path cannot be shortened further.
+                break
+            alloc[best_task] += 1
+            grown = float(exec_table[best_task, alloc[best_task] - 1])
+            exec_t[best_task] = grown
+            exec_l[best_task] = grown
+            if incremental:
+                # Only best_task's execution time changed: refresh the
+                # affected ancestors (bottom levels) and descendants (top
+                # levels) instead of the whole DAG.
+                graph.update_bottom_levels(bl, exec_l, best_task)
+                graph.update_top_levels(tl, exec_l, best_task)
+            else:
+                bl = graph.bottom_levels(exec_t).tolist()
+                tl = graph.top_levels(exec_t).tolist()
+            iterations += 1
 
-    bl = graph.bottom_levels(exec_t)
-    tcp = float(max(bl[i] for i in graph.sources))
-    area = float((alloc * exec_t).sum()) / q
     return CpaAllocation(
         allocations=tuple(int(a) for a in alloc),
         exec_times=tuple(float(t) for t in exec_t),

@@ -233,11 +233,16 @@ class TaskGraph:
             raise ValueError(
                 f"exec_times must have shape ({self.n},), got {w.shape}"
             )
-        bl = np.zeros(self.n)
+        # Plain-list arithmetic: Python-float scalar indexing is several
+        # times faster than np.float64 indexing, and bit-identical (both
+        # are IEEE double ops).
+        wl = w.tolist()
+        bl = [0.0] * self.n
+        bl_get = bl.__getitem__
         for i in reversed(self.topological_order):
-            succ_max = max((bl[j] for j in self._succs[i]), default=0.0)
-            bl[i] = w[i] + succ_max
-        return bl
+            succs = self._succs[i]
+            bl[i] = wl[i] + max(map(bl_get, succs)) if succs else wl[i]
+        return np.asarray(bl)
 
     def top_levels(self, exec_times: Sequence[float] | np.ndarray) -> np.ndarray:
         """Top level of each task: longest path weight from any source to
@@ -248,10 +253,135 @@ class TaskGraph:
             raise ValueError(
                 f"exec_times must have shape ({self.n},), got {w.shape}"
             )
-        tl = np.zeros(self.n)
+        wl = w.tolist()
+        tl = [0.0] * self.n
         for i in self.topological_order:
-            pred_max = max((tl[j] + w[j] for j in self._preds[i]), default=0.0)
-            tl[i] = pred_max
+            preds = self._preds[i]
+            tl[i] = max([tl[j] + wl[j] for j in preds]) if preds else 0.0
+        return np.asarray(tl)
+
+    @cached_property
+    def _topo_positions(self) -> tuple[int, ...]:
+        """Position of each task in :attr:`topological_order`."""
+        pos = [0] * self.n
+        for k, i in enumerate(self.topological_order):
+            pos[i] = k
+        return tuple(pos)
+
+    def update_bottom_levels(
+        self,
+        bl: "list[float] | np.ndarray",
+        exec_times: Sequence[float] | np.ndarray,
+        changed: int,
+    ) -> "list[float] | np.ndarray":
+        """Refresh ``bl`` in place after ``exec_times[changed]`` changed.
+
+        Only ``changed`` and the ancestors whose longest path actually
+        runs through it are recomputed — the iterative-allocation hot
+        path (CPA grows one task per iteration) pays for the affected
+        cone instead of the whole DAG.  Dirty nodes are swept in reverse
+        topological order (preds always have smaller positions, so each
+        node is processed at most once with its successors final), and a
+        predecessor is marked dirty only when an O(1) boundary test says
+        its value can move: after ``bl[i]`` drops from ``old``,
+        ``p`` is affected only if ``i`` attained its max, i.e.
+        ``bl[p] == w[p] + old`` (bit-exact — the same float op that
+        produced ``bl[p]``); after a rise to ``new``, only if
+        ``w[p] + new > bl[p]``.  The result is bit-identical to a full
+        :meth:`bottom_levels` recompute.  ``bl`` may be a plain list
+        (fast scalar indexing on the hot path) or an ndarray.
+        """
+        w = exec_times
+        pos = self._topo_positions
+        order = self.topological_order
+        succs_all, preds_all = self._succs, self._preds
+        bl_get = bl.__getitem__
+        dirty = bytearray(self.n)
+        dirty[changed] = 1
+        pending = 1
+        for k in range(pos[changed], -1, -1):
+            i = order[k]
+            if not dirty[i]:
+                continue
+            dirty[i] = 0
+            pending -= 1
+            succs = succs_all[i]
+            new = w[i] + max(map(bl_get, succs)) if succs else w[i]
+            old = bl[i]
+            if new != old:
+                bl[i] = new
+                if new < old:
+                    for p in preds_all[i]:
+                        if bl[p] == w[p] + old and not dirty[p]:
+                            dirty[p] = 1
+                            pending += 1
+                else:
+                    for p in preds_all[i]:
+                        if w[p] + new > bl[p] and not dirty[p]:
+                            dirty[p] = 1
+                            pending += 1
+            if not pending:
+                break
+        return bl
+
+    def update_top_levels(
+        self,
+        tl: "list[float] | np.ndarray",
+        exec_times: Sequence[float] | np.ndarray,
+        changed: int,
+    ) -> "list[float] | np.ndarray":
+        """Refresh ``tl`` in place after ``exec_times[changed]`` changed.
+
+        Mirror image of :meth:`update_bottom_levels`: a task's top level
+        excludes its own weight, so the change propagates to descendants
+        of ``changed`` (not ``changed`` itself), in topological order.
+        ``changed``'s direct successors are always re-scanned (their
+        contribution ``tl[changed] + w[changed]`` moved with the weight);
+        deeper propagation uses the O(1) boundary filters on the
+        contribution ``tl[i] + w[i]``.
+        """
+        w = exec_times
+        pos = self._topo_positions
+        order = self.topological_order
+        succs_all, preds_all = self._succs, self._preds
+        first = succs_all[changed]
+        if not first:
+            return tl
+        n = self.n
+        dirty = bytearray(n)
+        pending = 0
+        kmin = n
+        for j in first:
+            dirty[j] = 1
+            pending += 1
+            if pos[j] < kmin:
+                kmin = pos[j]
+        for k in range(kmin, n):
+            i = order[k]
+            if not dirty[i]:
+                continue
+            dirty[i] = 0
+            pending -= 1
+            preds = preds_all[i]
+            new = max([tl[j] + w[j] for j in preds]) if preds else 0.0
+            old = tl[i]
+            if new != old:
+                tl[i] = new
+                wi = w[i]
+                if new < old:
+                    contrib_old = old + wi
+                    for s in succs_all[i]:
+                        if tl[s] == contrib_old and not dirty[s]:
+                            dirty[s] = 1
+                            pending += 1
+                else:
+                    contrib_new = new + wi
+                    for s in succs_all[i]:
+                        if contrib_new > tl[s] and not dirty[s]:
+                            dirty[s] = 1
+                            pending += 1
+            if not pending:
+                break
         return tl
 
     def critical_path(

@@ -1,0 +1,150 @@
+"""Deterministic parallel execution of instance streams.
+
+The table drivers all share one shape of work: enumerate a fully
+deterministic instance stream (:mod:`repro.experiments.runner`) and run
+an independent, instance-local computation on each element.  This module
+fans that shape out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+while keeping the results **bitwise identical at any worker count**:
+
+* The stream is never pickled.  Each worker receives only the stream
+  *factory*, its arguments (an :class:`ExperimentScale` is a small frozen
+  dataclass), a chunk id, and the chunk count; it regenerates the stream
+  locally and processes the instances whose global index ``idx`` satisfies
+  ``idx % n_chunks == chunk``.  Streams derive every random object from
+  the scale's seed and a structural key, so regeneration is exact.
+* Workers return ``(idx, scenario_key, result)`` triples; the parent
+  merges all chunks **sorted by global index** before accumulating, so
+  float accumulation order — and therefore every summary statistic — is
+  identical to the serial run.
+* Logs are materialized inside each worker as a pure function of
+  ``(log_name, seed)`` (:func:`repro.experiments.runner._cached_log`), so
+  no multi-megabyte job tuples cross the process boundary.
+
+``n_workers=1`` bypasses the pool entirely and runs inline.
+"""
+
+from __future__ import annotations
+
+import atexit
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import GenerationError
+from repro.experiments.runner import InstanceStream
+
+#: An instance-level computation: ``work(inst, **kwargs) -> result``.
+#: Must be a module-level function (workers import it by reference).
+InstanceWork = Callable[..., Any]
+
+#: A stream factory: ``factory(*args) -> Iterator[InstanceStream]``.
+StreamFactory = Callable[..., Iterator[InstanceStream]]
+
+
+#: Long-lived pools, keyed by worker count.  Worker startup (fork plus
+#: copy-on-write page-table setup for a NumPy-sized parent) costs tens of
+#: milliseconds per worker, so table drivers called repeatedly — the
+#: benchmark harness, sweeps over scales — share one pool per count
+#: instead of re-forking every call.  Workers hold a fork-time snapshot
+#: of module globals; flip module-level switches (e.g.
+#: ``repro.calendar.calendar.INCREMENTAL_COMMITS``) before the first
+#: parallel call, or call :func:`shutdown_pools` to force fresh workers.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _pool(n_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(n_workers)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        _POOLS[n_workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down all cached worker pools (new calls fork fresh workers)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown()
+
+
+atexit.register(shutdown_pools)
+
+
+def _run_chunk(
+    work: InstanceWork,
+    factory: StreamFactory,
+    factory_args: tuple,
+    chunk: int,
+    n_chunks: int,
+    kwargs: dict[str, Any],
+) -> list[tuple[int, str, Any]]:
+    """Worker body: regenerate the stream, process one residue class."""
+    out: list[tuple[int, str, Any]] = []
+    for idx, inst in enumerate(factory(*factory_args)):
+        if idx % n_chunks == chunk:
+            out.append((idx, inst.scenario_key, work(inst, **kwargs)))
+    return out
+
+
+def map_stream(
+    work: InstanceWork,
+    factory: StreamFactory,
+    factory_args: tuple,
+    *,
+    n_workers: int = 1,
+    work_kwargs: dict[str, Any] | None = None,
+) -> list[tuple[str, Any]]:
+    """Apply ``work`` to every instance of a stream, possibly in parallel.
+
+    Args:
+        work: Instance-level computation (module-level function).
+        factory: Stream factory (module-level function); called as
+            ``factory(*factory_args)`` in every worker.
+        factory_args: Arguments for the factory; must pickle.
+        n_workers: Process count.  1 (default) runs inline with no pool.
+        work_kwargs: Extra keyword arguments for ``work``; must pickle.
+
+    Returns:
+        ``(scenario_key, result)`` pairs in global stream order —
+        independent of ``n_workers``.
+    """
+    if n_workers < 1:
+        raise GenerationError(f"n_workers must be >= 1, got {n_workers}")
+    kwargs = work_kwargs or {}
+    if n_workers == 1:
+        return [
+            (inst.scenario_key, work(inst, **kwargs))
+            for inst in factory(*factory_args)
+        ]
+    pool = _pool(n_workers)
+    futures = [
+        pool.submit(
+            _run_chunk, work, factory, factory_args, chunk, n_workers, kwargs
+        )
+        for chunk in range(n_workers)
+    ]
+    try:
+        triples = [t for f in futures for t in f.result()]
+    except BrokenProcessPool:
+        # A dead worker poisons the whole pool; drop it so the next call
+        # forks a fresh one instead of failing forever.
+        _POOLS.pop(n_workers, None)
+        raise
+    triples.sort(key=lambda t: t[0])
+    return [(key, result) for _, key, result in triples]
+
+
+def map_instances(
+    work: InstanceWork,
+    instances: Iterable[InstanceStream],
+    *,
+    work_kwargs: dict[str, Any] | None = None,
+) -> list[tuple[str, Any]]:
+    """Serial counterpart of :func:`map_stream` for an in-hand iterable.
+
+    Table drivers accepting an arbitrary ``Iterable[InstanceStream]``
+    (which may not be regenerable in a worker) use this inline path; the
+    scale-driven entry points use :func:`map_stream`.
+    """
+    kwargs = work_kwargs or {}
+    return [(inst.scenario_key, work(inst, **kwargs)) for inst in instances]

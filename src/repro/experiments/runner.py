@@ -40,6 +40,13 @@ class InstanceStream:
 
 @lru_cache(maxsize=16)
 def _cached_log(log_name: str, seed: int) -> tuple[Job, ...]:
+    """Materialize one workload log, memoized per process.
+
+    A pure function of ``(log_name, seed)``: every process — the parent
+    or a :mod:`repro.experiments.parallel` pool worker — regenerates the
+    identical log locally, so job tuples are never pickled across the
+    process boundary and the cache needs no cross-process coordination.
+    """
     params = preset(log_name)
     rng = derive_rng(seed, "log", log_name)
     return tuple(generate_log(params, rng))

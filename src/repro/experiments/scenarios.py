@@ -82,6 +82,9 @@ class ExperimentScale:
         start_times: Scheduling instants per reservation spec [10].
         taggings: Random taggings per start time [5].
         seed: Root seed; every instance derives a keyed stream from it.
+        n_workers: Worker processes for the table drivers.  Results are
+            bitwise identical at any value (see
+            :mod:`repro.experiments.parallel`); 1 runs inline.
     """
 
     logs: tuple[str, ...] = ("CTC_SP2", "SDSC_BLUE")
@@ -92,12 +95,15 @@ class ExperimentScale:
     start_times: int = 2
     taggings: int = 1
     seed: int = 20080623  # HPDC 2008's opening day
+    n_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.dag_instances < 1 or self.start_times < 1 or self.taggings < 1:
             raise GenerationError("instance counts must all be >= 1")
         if self.app_scenarios is not None and self.app_scenarios < 1:
             raise GenerationError("app_scenarios must be >= 1 or None")
+        if self.n_workers < 1:
+            raise GenerationError("n_workers must be >= 1")
 
     def selected_app_scenarios(self) -> list[AppScenario]:
         """The application scenarios this scale covers (even subsample)."""

@@ -13,6 +13,7 @@ from typing import Iterable
 
 from repro.core import ProblemContext, ResSchedAlgorithm, schedule_ressched
 from repro.core.metrics import ComparisonTable
+from repro.experiments.parallel import map_instances, map_stream
 from repro.experiments.runner import InstanceStream, iter_problem_instances
 from repro.experiments.scenarios import ExperimentScale
 
@@ -28,6 +29,43 @@ class Table4Result:
     cpu_hours: ComparisonTable
 
 
+def _bd_instance(
+    inst: InstanceStream,
+    *,
+    bd_methods: tuple[str, ...],
+    bl: str,
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-instance work: both metrics for every BD method.
+
+    Module-level so process-pool workers can import it by reference.
+    """
+    ctx = ProblemContext(inst.graph, inst.scenario)
+    tat: dict[str, float] = {}
+    cpu: dict[str, float] = {}
+    for bd in bd_methods:
+        sched = schedule_ressched(
+            inst.graph,
+            inst.scenario,
+            ResSchedAlgorithm(bl=bl, bd=bd),
+            context=ctx,
+        )
+        tat[bd] = sched.turnaround
+        cpu[bd] = sched.cpu_hours
+    return tat, cpu
+
+
+def _accumulate_bd(
+    pairs: list[tuple[str, tuple[dict[str, float], dict[str, float]]]],
+) -> Table4Result:
+    """Fold per-instance results (in global stream order) into tables."""
+    turnaround = ComparisonTable(metric="turn-around time")
+    cpu_hours = ComparisonTable(metric="CPU-hours")
+    for key, (tat, cpu) in pairs:
+        turnaround.add(key, tat)
+        cpu_hours.add(key, cpu)
+    return Table4Result(turnaround=turnaround, cpu_hours=cpu_hours)
+
+
 def compare_bd_methods(
     instances: Iterable[InstanceStream],
     *,
@@ -36,29 +74,26 @@ def compare_bd_methods(
 ) -> Table4Result:
     """Run each BD method over a stream of instances and accumulate the
     paper's summary statistics (shared by Tables 4 and 5)."""
-    turnaround = ComparisonTable(metric="turn-around time")
-    cpu_hours = ComparisonTable(metric="CPU-hours")
-    for inst in instances:
-        ctx = ProblemContext(inst.graph, inst.scenario)
-        tat: dict[str, float] = {}
-        cpu: dict[str, float] = {}
-        for bd in bd_methods:
-            sched = schedule_ressched(
-                inst.graph,
-                inst.scenario,
-                ResSchedAlgorithm(bl=bl, bd=bd),
-                context=ctx,
-            )
-            tat[bd] = sched.turnaround
-            cpu[bd] = sched.cpu_hours
-        turnaround.add(inst.scenario_key, tat)
-        cpu_hours.add(inst.scenario_key, cpu)
-    return Table4Result(turnaround=turnaround, cpu_hours=cpu_hours)
+    return _accumulate_bd(
+        map_instances(
+            _bd_instance,
+            instances,
+            work_kwargs={"bd_methods": bd_methods, "bl": bl},
+        )
+    )
 
 
 def run_table4(scale: ExperimentScale) -> Table4Result:
-    """Table 4: the synthetic-log grid."""
-    return compare_bd_methods(iter_problem_instances(scale))
+    """Table 4: the synthetic-log grid (``scale.n_workers`` processes)."""
+    return _accumulate_bd(
+        map_stream(
+            _bd_instance,
+            iter_problem_instances,
+            (scale,),
+            n_workers=scale.n_workers,
+            work_kwargs={"bd_methods": TABLE4_BD_METHODS, "bl": "BL_CPAR"},
+        )
+    )
 
 
 def format_table4(result: Table4Result, *, title: str = "Table 4") -> str:

@@ -6,14 +6,29 @@ the (synthetic) Grid'5000 reservation log at random start times.
 
 from __future__ import annotations
 
+from repro.experiments.parallel import map_stream
 from repro.experiments.runner import iter_grid5000_instances
 from repro.experiments.scenarios import ExperimentScale
-from repro.experiments.table4 import Table4Result, compare_bd_methods, format_table4
+from repro.experiments.table4 import (
+    TABLE4_BD_METHODS,
+    Table4Result,
+    _accumulate_bd,
+    _bd_instance,
+    format_table4,
+)
 
 
 def run_table5(scale: ExperimentScale) -> Table4Result:
-    """Table 5: the Grid'5000 instance stream."""
-    return compare_bd_methods(iter_grid5000_instances(scale))
+    """Table 5: the Grid'5000 stream (``scale.n_workers`` processes)."""
+    return _accumulate_bd(
+        map_stream(
+            _bd_instance,
+            iter_grid5000_instances,
+            (scale,),
+            n_workers=scale.n_workers,
+            work_kwargs={"bd_methods": TABLE4_BD_METHODS, "bl": "BL_CPAR"},
+        )
+    )
 
 
 def format_table5(result: Table4Result) -> str:

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core import ProblemContext, schedule_deadline, tightest_deadline
 from repro.core.metrics import ComparisonTable
 from repro.errors import InfeasibleError
+from repro.experiments.parallel import map_instances, map_stream
 from repro.experiments.runner import (
     InstanceStream,
     iter_grid5000_instances,
@@ -47,6 +48,55 @@ class DeadlineComparison:
     loose_cpu_hours: ComparisonTable
 
 
+def _deadline_instance(
+    inst: InstanceStream,
+    *,
+    algorithms: tuple[str, ...],
+) -> tuple[dict[str, float], dict[str, float] | None]:
+    """Per-instance work: tightest deadlines plus loose-deadline costs.
+
+    Module-level so process-pool workers can import it by reference.
+    Returns ``(tight, cpu)``; ``cpu`` is None when no algorithm found any
+    feasible deadline (the loose-deadline phase is then undefined).
+    """
+    ctx = ProblemContext(inst.graph, inst.scenario)
+    now = inst.scenario.now
+
+    tight: dict[str, float] = {}
+    for alg in algorithms:
+        try:
+            td = tightest_deadline(inst.graph, inst.scenario, alg, context=ctx)
+            tight[alg] = td.turnaround(now)
+        except InfeasibleError:
+            tight[alg] = float("nan")
+
+    finite = [v for v in tight.values() if np.isfinite(v)]
+    if not finite:
+        return tight, None
+    loose_deadline = now + LOOSE_FACTOR * max(finite)
+    cpu: dict[str, float] = {}
+    for alg in algorithms:
+        res = schedule_deadline(
+            inst.graph, inst.scenario, loose_deadline, alg, context=ctx
+        )
+        cpu[alg] = res.cpu_hours
+    return tight, cpu
+
+
+def _accumulate_deadline(
+    column: str,
+    pairs: list[tuple[str, tuple[dict[str, float], dict[str, float] | None]]],
+) -> DeadlineComparison:
+    """Fold per-instance results (in global stream order) into tables."""
+    tightest = ComparisonTable(metric="tightest deadline (turnaround)")
+    loose = ComparisonTable(metric="CPU-hours at loose deadline")
+    for key, (tight, cpu) in pairs:
+        tightest.add(key, tight)
+        if cpu is not None:
+            loose.add(key, cpu)
+    return DeadlineComparison(column=column, tightest=tightest, loose_cpu_hours=loose)
+
+
 def compare_deadline_algorithms(
     column: str,
     instances: Iterable[InstanceStream],
@@ -54,35 +104,12 @@ def compare_deadline_algorithms(
     algorithms: tuple[str, ...] = TABLE6_ALGORITHMS,
 ) -> DeadlineComparison:
     """Run the Table 6 protocol over one instance stream."""
-    tightest = ComparisonTable(metric="tightest deadline (turnaround)")
-    loose = ComparisonTable(metric="CPU-hours at loose deadline")
-    for inst in instances:
-        ctx = ProblemContext(inst.graph, inst.scenario)
-        now = inst.scenario.now
-
-        tight: dict[str, float] = {}
-        for alg in algorithms:
-            try:
-                td = tightest_deadline(
-                    inst.graph, inst.scenario, alg, context=ctx
-                )
-                tight[alg] = td.turnaround(now)
-            except InfeasibleError:
-                tight[alg] = float("nan")
-        tightest.add(inst.scenario_key, tight)
-
-        finite = [v for v in tight.values() if np.isfinite(v)]
-        if not finite:
-            continue
-        loose_deadline = now + LOOSE_FACTOR * max(finite)
-        cpu: dict[str, float] = {}
-        for alg in algorithms:
-            res = schedule_deadline(
-                inst.graph, inst.scenario, loose_deadline, alg, context=ctx
-            )
-            cpu[alg] = res.cpu_hours
-        loose.add(inst.scenario_key, cpu)
-    return DeadlineComparison(column=column, tightest=tightest, loose_cpu_hours=loose)
+    return _accumulate_deadline(
+        column,
+        map_instances(
+            _deadline_instance, instances, work_kwargs={"algorithms": algorithms}
+        ),
+    )
 
 
 def run_table6(
@@ -95,23 +122,34 @@ def run_table6(
 
     The paper restricts the synthetic columns to SDSC_BLUE because the
     tightest-deadline search is expensive; pass a different ``log`` to
-    explore the others.
+    explore the others.  Each column fans out over ``scale.n_workers``
+    processes.
     """
     columns: list[DeadlineComparison] = []
     for phi in scale.phis:
         sub = replace(scale, logs=(log,), phis=(phi,))
         columns.append(
-            compare_deadline_algorithms(
+            _accumulate_deadline(
                 f"phi={phi}",
-                iter_problem_instances(sub),
-                algorithms=algorithms,
+                map_stream(
+                    _deadline_instance,
+                    iter_problem_instances,
+                    (sub,),
+                    n_workers=scale.n_workers,
+                    work_kwargs={"algorithms": algorithms},
+                ),
             )
         )
     columns.append(
-        compare_deadline_algorithms(
+        _accumulate_deadline(
             "Grid5000",
-            iter_grid5000_instances(scale),
-            algorithms=algorithms,
+            map_stream(
+                _deadline_instance,
+                iter_grid5000_instances,
+                (scale,),
+                n_workers=scale.n_workers,
+                work_kwargs={"algorithms": algorithms},
+            ),
         )
     )
     return columns

@@ -12,9 +12,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.experiments.parallel import map_stream
 from repro.experiments.runner import iter_grid5000_instances
 from repro.experiments.scenarios import ExperimentScale
-from repro.experiments.table6 import DeadlineComparison, compare_deadline_algorithms
+from repro.experiments.table6 import (
+    DeadlineComparison,
+    _accumulate_deadline,
+    _deadline_instance,
+)
 
 #: Table 7's four competitors, in paper row order.
 TABLE7_ALGORITHMS = (
@@ -40,11 +45,17 @@ def run_table7(
     *,
     algorithms: tuple[str, ...] = TABLE7_ALGORITHMS,
 ) -> Table7Result:
-    """Run the Table 7 protocol on the Grid'5000 instance stream."""
-    comparison = compare_deadline_algorithms(
+    """Run the Table 7 protocol on the Grid'5000 instance stream
+    (``scale.n_workers`` processes)."""
+    comparison = _accumulate_deadline(
         "Grid5000",
-        iter_grid5000_instances(scale),
-        algorithms=algorithms,
+        map_stream(
+            _deadline_instance,
+            iter_grid5000_instances,
+            (scale,),
+            n_workers=scale.n_workers,
+            work_kwargs={"algorithms": algorithms},
+        ),
     )
     saved: dict[str, list[float]] = {a: [] for a in algorithms if a != "DL_BD_CPA"}
     for per_alg in comparison.loose_cpu_hours._per_scenario_vals.values():

@@ -1,0 +1,307 @@
+"""Equivalence tests for the incremental / vectorized hot paths.
+
+The optimization pass (incremental profile splices, 2-D placement
+sweeps, incremental CPA levels, parallel table drivers) is only
+admissible because every fast path is *bit-identical* to the
+straightforward computation it replaces.  This file is that contract:
+
+* ``earliest_starts_multi`` / ``latest_starts_multi`` agree with their
+  scalar counterparts for **every** processor count (property-based).
+* ``StepFunction.with_interval_delta`` equals an event-list rebuild, and
+  incremental calendar commits equal full recompiles.
+* ``update_bottom_levels`` / ``update_top_levels`` match full recomputes
+  through arbitrary sequences of up/down weight changes.
+* ``cpa_allocation(incremental=True)`` equals the full-recompute run.
+* The parallel table drivers return bitwise-identical tables at any
+  worker count.
+* The bench harness's seed baseline is self-checking and reversible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.calendar.calendar as calmod
+import repro.cpa.allocation as allocmod
+from repro.bench import bench_calendar_commit, seed_baseline
+from repro.calendar import Reservation, ResourceCalendar, StepFunction
+from repro.cli import build_parser
+from repro.cpa.allocation import cpa_allocation
+from repro.dag import DagGenParams, TaskGraph, random_task_graph
+from repro.errors import GenerationError
+from repro.experiments.parallel import map_stream
+from repro.experiments.scenarios import ExperimentScale
+from repro.experiments.table4 import format_table4, run_table4
+from repro.rng import make_rng
+
+# ----------------------------------------------------------------------
+# Shared strategies
+# ----------------------------------------------------------------------
+
+CAPACITY = 12
+
+#: A busy-but-feasible calendar: clamped, so any reservation mix is legal
+#: and the availability profile still never goes negative.
+reservation_lists = st.lists(
+    st.tuples(
+        st.integers(0, 200),          # start
+        st.integers(1, 40),           # duration
+        st.integers(1, CAPACITY),     # nprocs
+    ),
+    min_size=0,
+    max_size=25,
+)
+
+
+def _calendar(spec) -> ResourceCalendar:
+    cal = ResourceCalendar(CAPACITY, clamp=True)
+    for start, dur, nprocs in spec:
+        cal.add(Reservation(float(start), float(start + dur), nprocs))
+    return cal
+
+
+durations_vec = st.lists(
+    st.integers(1, 60), min_size=CAPACITY, max_size=CAPACITY
+).map(lambda xs: np.asarray(xs, dtype=float))
+
+
+# ----------------------------------------------------------------------
+# Scalar vs multi placement queries
+# ----------------------------------------------------------------------
+
+
+class TestScalarMultiEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(spec=reservation_lists, earliest=st.integers(-10, 250), d=durations_vec)
+    def test_earliest_starts_multi_matches_scalar(self, spec, earliest, d):
+        cal = _calendar(spec)
+        multi = cal.earliest_starts_multi(float(earliest), d)
+        for m in range(1, CAPACITY + 1):
+            scalar = cal.earliest_start(float(earliest), float(d[m - 1]), m)
+            assert multi[m - 1] == scalar, f"count {m} diverges"
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        spec=reservation_lists,
+        earliest=st.integers(-10, 250),
+        d=durations_vec,
+        m_offset=st.integers(0, CAPACITY - 1),
+    )
+    def test_earliest_multi_with_offset(self, spec, earliest, d, m_offset):
+        cal = _calendar(spec)
+        d = d[: CAPACITY - m_offset]
+        multi = cal.earliest_starts_multi(float(earliest), d, m_offset=m_offset)
+        for j in range(d.size):
+            m = m_offset + j + 1
+            assert multi[j] == cal.earliest_start(float(earliest), float(d[j]), m)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        spec=reservation_lists,
+        finish=st.integers(0, 300),
+        d=durations_vec,
+        earliest=st.integers(-50, 250) | st.none(),
+    )
+    def test_latest_starts_multi_matches_scalar(self, spec, finish, d, earliest):
+        cal = _calendar(spec)
+        lo = -np.inf if earliest is None else float(earliest)
+        multi = cal.latest_starts_multi(float(finish), d, earliest=lo)
+        for m in range(1, CAPACITY + 1):
+            scalar = cal.latest_start(float(finish), float(d[m - 1]), m, earliest=lo)
+            if scalar is None:
+                assert np.isnan(multi[m - 1]), f"count {m}: multi found a start"
+            else:
+                assert multi[m - 1] == scalar, f"count {m} diverges"
+
+
+# ----------------------------------------------------------------------
+# Incremental profile maintenance
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalProfile:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        spec=reservation_lists,
+        start=st.integers(-20, 260),
+        dur=st.integers(1, 50),
+        delta=st.integers(-6, 6).filter(lambda x: x != 0),
+    )
+    def test_with_interval_delta_equals_rebuild(self, spec, start, dur, delta):
+        base_events = [(float(s), -float(n)) for s, d, n in spec] + [
+            (float(s + d), float(n)) for s, d, n in spec
+        ]
+        prof = StepFunction.from_deltas(base_events, base=CAPACITY)
+        spliced = prof.with_interval_delta(float(start), float(start + dur), float(delta))
+        rebuilt = StepFunction.from_deltas(
+            base_events
+            + [(float(start), float(delta)), (float(start + dur), -float(delta))],
+            base=CAPACITY,
+        )
+        assert spliced == rebuilt
+        # Bitwise, not just value-wise.
+        assert spliced.times.tobytes() == rebuilt.times.tobytes()
+        assert spliced.values.tobytes() == rebuilt.values.tobytes()
+
+    def test_with_interval_delta_zero_is_identity(self):
+        prof = StepFunction.from_deltas([(1.0, -2.0), (3.0, 2.0)], base=8.0)
+        assert prof.with_interval_delta(0.0, 5.0, 0.0) is prof
+
+    def test_with_interval_delta_rejects_bad_interval(self):
+        prof = StepFunction.constant(4.0)
+        with pytest.raises(ValueError):
+            prof.with_interval_delta(3.0, 3.0, -1.0)
+        with pytest.raises(ValueError):
+            prof.with_interval_delta(0.0, np.inf, -1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=reservation_lists)
+    def test_incremental_commits_equal_full_recompile(self, spec):
+        inc = ResourceCalendar(CAPACITY, clamp=True, incremental=True)
+        full = ResourceCalendar(CAPACITY, clamp=True, incremental=False)
+        inc.availability()  # pre-compile so every add goes through the splice
+        for start, dur, nprocs in spec:
+            r = Reservation(float(start), float(start + dur), nprocs)
+            inc.add(r)
+            full.add(r)
+            assert inc.availability() == full.availability()
+
+
+# ----------------------------------------------------------------------
+# Incremental DAG levels
+# ----------------------------------------------------------------------
+
+
+class TestIncrementalLevels:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_update_levels_matches_full_recompute(self, seed):
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=60), rng)
+        w = list(rng.uniform(0.5, 100.0, size=graph.n))
+        bl = graph.bottom_levels(w).tolist()
+        tl = graph.top_levels(w).tolist()
+        for _ in range(120):
+            i = int(rng.integers(0, graph.n))
+            # Alternate growth and shrinkage so both worklist directions
+            # (level decrease and increase) are exercised.
+            w[i] = float(w[i] * rng.choice([0.3, 0.9, 1.2, 4.0]))
+            graph.update_bottom_levels(bl, w, i)
+            graph.update_top_levels(tl, w, i)
+            assert bl == graph.bottom_levels(w).tolist()
+            assert tl == graph.top_levels(w).tolist()
+
+    def test_update_on_unchanged_weight_is_noop(self):
+        graph = random_task_graph(DagGenParams(n=20), make_rng(7))
+        w = [1.0] * graph.n
+        bl = graph.bottom_levels(w).tolist()
+        before = list(bl)
+        graph.update_bottom_levels(bl, w, 0)
+        assert bl == before
+
+
+# ----------------------------------------------------------------------
+# CPA incremental equivalence
+# ----------------------------------------------------------------------
+
+
+class TestCpaIncremental:
+    @pytest.mark.parametrize("seed", [0, 11, 23])
+    @pytest.mark.parametrize("q", [4, 32])
+    @pytest.mark.parametrize("stopping", ["classic", "stringent"])
+    def test_incremental_matches_full(self, seed, q, stopping):
+        graph = random_task_graph(DagGenParams(n=40), make_rng(seed))
+        fast = cpa_allocation(graph, q, stopping=stopping, incremental=True)
+        full = cpa_allocation(graph, q, stopping=stopping, incremental=False)
+        # Frozen-dataclass equality covers allocations, exec times, T_CP,
+        # T_A, and the iteration count — all must be bit-identical.
+        assert fast == full
+
+    def test_module_flag_is_default(self):
+        graph = random_task_graph(DagGenParams(n=15), make_rng(3))
+        old = allocmod.INCREMENTAL_LEVELS
+        try:
+            allocmod.INCREMENTAL_LEVELS = False
+            default = cpa_allocation(graph, 8)
+        finally:
+            allocmod.INCREMENTAL_LEVELS = old
+        assert default == cpa_allocation(graph, 8, incremental=True)
+
+
+# ----------------------------------------------------------------------
+# Parallel experiment drivers
+# ----------------------------------------------------------------------
+
+_TINY_SCALE = ExperimentScale(
+    logs=("OSC_Cluster",),
+    phis=(0.2,),
+    methods=("expo",),
+    app_scenarios=1,
+    dag_instances=2,
+    start_times=1,
+    taggings=1,
+)
+
+
+class TestParallelDeterminism:
+    def test_table4_identical_at_any_worker_count(self):
+        serial = run_table4(_TINY_SCALE)
+        from dataclasses import replace
+
+        par = run_table4(replace(_TINY_SCALE, n_workers=2))
+        assert format_table4(serial) == format_table4(par)
+
+    def test_map_stream_rejects_bad_worker_count(self):
+        with pytest.raises(GenerationError):
+            map_stream(len, iter, (), n_workers=0)
+
+    def test_scale_rejects_bad_worker_count(self):
+        with pytest.raises(GenerationError):
+            ExperimentScale(n_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Bench harness
+# ----------------------------------------------------------------------
+
+
+class TestBenchHarness:
+    def test_calendar_commit_bench_self_checks(self):
+        # The bench asserts profile equality between paths internally.
+        entry = bench_calendar_commit(n_res=40, repeats=1)
+        assert entry["speedup"] > 0
+        assert entry["seed_s"] > 0 and entry["incremental_s"] > 0
+
+    def test_seed_baseline_restores_everything(self):
+        flags = (
+            calmod.INCREMENTAL_COMMITS,
+            calmod.VALIDATE_COMMITS,
+            allocmod.INCREMENTAL_LEVELS,
+        )
+        methods = (
+            TaskGraph.bottom_levels,
+            ResourceCalendar.earliest_starts_multi,
+        )
+        with seed_baseline():
+            assert calmod.INCREMENTAL_COMMITS is False
+            assert allocmod.INCREMENTAL_LEVELS is False
+            assert TaskGraph.bottom_levels is not methods[0]
+        assert flags == (
+            calmod.INCREMENTAL_COMMITS,
+            calmod.VALIDATE_COMMITS,
+            allocmod.INCREMENTAL_LEVELS,
+        )
+        assert TaskGraph.bottom_levels is methods[0]
+        assert ResourceCalendar.earliest_starts_multi is methods[1]
+
+    def test_seed_baseline_produces_identical_schedules(self):
+        with seed_baseline():
+            seed_run = run_table4(_TINY_SCALE)
+        assert format_table4(seed_run) == format_table4(run_table4(_TINY_SCALE))
+
+    def test_cli_has_bench_subcommand(self):
+        args = build_parser().parse_args(["bench", "--quick"])
+        assert args.quick is True
+        assert args.out.name == "BENCH_hotpath.json"

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Gate a BENCH_hotpath.json report against regression thresholds.
+
+CI runs ``repro bench --quick`` on whatever runner it lands on, so
+absolute seconds are not comparable across runs; what must hold
+everywhere is that the optimized paths still *beat* their seed
+counterparts.  This script checks the speedup of every section against a
+floor, and — when the committed baseline was produced at the same sizes
+(same ``quick`` flag) — that no section's speedup collapsed relative to
+it.
+
+Exit status: 0 when every check passes, 1 otherwise (messages on
+stderr).  Dependency-free on purpose: it runs before anything is
+installed beyond the test requirements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Minimum acceptable speedup per bench section.  The kernel sections
+#: must never fall below parity with the seed implementation; the
+#: table4_cell section measures end-to-end parallel scaling, which on a
+#: throttled 2-core CI runner can dip below 1 from pool overhead alone,
+#: so it only has to clear half of parity.
+SPEEDUP_FLOORS = {
+    "calendar_commit": 1.0,
+    "placement_query": 1.0,
+    "cpa_allocation": 1.0,
+    "table4_cell": 0.5,
+}
+
+#: When comparing against a same-size baseline, each section may lose at
+#: most this fraction of its baseline speedup (runner-to-runner noise on
+#: microsecond sections is real; a genuine regression loses far more).
+MAX_RELATIVE_LOSS = 0.5
+
+
+def check(report: dict, baseline: dict | None) -> list[str]:
+    """All failed checks, as human-readable messages."""
+    failures: list[str] = []
+    for section, floor in SPEEDUP_FLOORS.items():
+        if section not in report:
+            failures.append(f"{section}: missing from report")
+            continue
+        speedup = float(report[section]["speedup"])
+        if speedup < floor:
+            failures.append(
+                f"{section}: speedup {speedup:.2f} below floor {floor:.2f}"
+            )
+        if baseline is None or section not in baseline:
+            continue
+        if baseline.get("quick") != report.get("quick"):
+            continue  # different sizes — speedups are not comparable
+        base = float(baseline[section]["speedup"])
+        allowed = (1.0 - MAX_RELATIVE_LOSS) * base
+        if speedup < allowed:
+            failures.append(
+                f"{section}: speedup {speedup:.2f} lost more than "
+                f"{MAX_RELATIVE_LOSS:.0%} of baseline {base:.2f}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="fresh bench JSON to gate")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed bench JSON to compare speedups against",
+    )
+    args = parser.parse_args(argv)
+    report = json.loads(args.report.read_text())
+    baseline = (
+        json.loads(args.baseline.read_text()) if args.baseline else None
+    )
+    failures = check(report, baseline)
+    for f in failures:
+        print(f"FAIL {f}", file=sys.stderr)
+    if not failures:
+        for section in SPEEDUP_FLOORS:
+            if section in report:
+                print(f"ok {section}: speedup "
+                      f"{float(report[section]['speedup']):.2f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

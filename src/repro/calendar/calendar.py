@@ -41,6 +41,7 @@ import numpy as np
 from repro.calendar.reservation import Reservation
 from repro.calendar.timeline import StepFunction
 from repro.errors import CalendarError
+from repro.obs import core as _obs
 from repro.units import TIME_EPS
 
 #: Default for new calendars: maintain the availability profile
@@ -139,6 +140,7 @@ class ResourceCalendar:
                 f"platform has only {self._capacity}"
             )
         if self._incremental and self._profile is not None:
+            _obs.incr("calendar.add.splice")
             spliced = self._profile.with_interval_delta(
                 reservation.start, reservation.end, -float(reservation.nprocs)
             )
@@ -153,6 +155,7 @@ class ResourceCalendar:
             self._reservations.append(reservation)
             self._profile = validated
             return
+        _obs.incr("calendar.add.rebuild")
         self._reservations.append(reservation)
         self._profile = None
         if not self._clamp:
@@ -188,7 +191,18 @@ class ResourceCalendar:
         :meth:`add`.
         """
         if VALIDATE_COMMITS:
+            _obs.incr("calendar.commit.validated")
             return self.reserve(start, duration, nprocs, label=label)
+        if _obs.ENABLED:
+            with _obs.span("calendar.commit"):
+                _obs.incr("calendar.commit.splice")
+                return self._splice_commit(start, duration, nprocs, label)
+        return self._splice_commit(start, duration, nprocs, label)
+
+    def _splice_commit(
+        self, start: float, duration: float, nprocs: int, label: str
+    ) -> Reservation:
+        """The :meth:`reserve_known_feasible` fast path proper."""
         r = Reservation(
             start=start, end=start + duration, nprocs=nprocs, label=label
         )
@@ -227,6 +241,7 @@ class ResourceCalendar:
         durations are minutes to hours, so sub-microsecond overlaps are
         physically meaningless and get clamped instead.
         """
+        _obs.incr("calendar.validate")
         if self._clamp:
             if profile.values.size and profile.values.min() < 0:
                 # Canonicalize after clamping so the spliced and
@@ -324,6 +339,7 @@ class ResourceCalendar:
         free (clamped calendars included, because clamping never lowers
         the final all-free segment).
         """
+        _obs.incr("calendar.query.earliest")
         self._check_request(duration, nprocs)
         run_starts, run_ends = self._free_runs(nprocs)
         # The window must fit inside one free run: start no earlier than
@@ -354,6 +370,7 @@ class ResourceCalendar:
         Returns None when no such start exists (the deadline-infeasible
         outcome for backward scheduling).
         """
+        _obs.incr("calendar.query.latest")
         self._check_request(duration, nprocs)
         run_starts, run_ends = self._free_runs(nprocs)
         # Latest start inside each run: finish at the run's end or the
@@ -396,6 +413,17 @@ class ResourceCalendar:
             Array ``starts`` with ``starts[j]`` the earliest start for
             ``m_offset + j + 1`` processors.
         """
+        if _obs.ENABLED:
+            with _obs.span("calendar.query.earliest_multi"):
+                return self._earliest_starts_multi(earliest, durations, m_offset)
+        return self._earliest_starts_multi(earliest, durations, m_offset)
+
+    def _earliest_starts_multi(
+        self,
+        earliest: float,
+        durations: Sequence[float] | np.ndarray,
+        m_offset: int,
+    ) -> np.ndarray:
         d = np.asarray(durations, dtype=float)
         if d.ndim != 1 or d.size == 0:
             raise CalendarError("durations must be a non-empty 1-D array")
@@ -422,6 +450,10 @@ class ResourceCalendar:
         segvals = np.concatenate(([prof.base], prof.values))[j0:]
         segbounds = np.concatenate(([-np.inf], prof.times, [np.inf]))[j0:]
         n_seg = segvals.size
+        if _obs.ENABLED:
+            _obs.incr("calendar.query.earliest_multi")
+            _obs.observe("calendar.scan.segments", n_seg)
+            _obs.observe("calendar.probe.counts", d.size)
         ok = np.zeros((d.size, n_seg + 2), dtype=bool)
         np.greater_equal(segvals[None, :], m[:, None], out=ok[:, 1:-1])
         inner = ok[:, 1:-1]
@@ -458,6 +490,17 @@ class ResourceCalendar:
         ``s >= earliest`` with ``s + durations[j] <= latest_finish`` and the
         processors free throughout — or NaN when infeasible.
         """
+        if _obs.ENABLED:
+            with _obs.span("calendar.query.latest_multi"):
+                return self._latest_starts_multi(latest_finish, durations, earliest)
+        return self._latest_starts_multi(latest_finish, durations, earliest)
+
+    def _latest_starts_multi(
+        self,
+        latest_finish: float,
+        durations: Sequence[float] | np.ndarray,
+        earliest: float,
+    ) -> np.ndarray:
         d = np.asarray(durations, dtype=float)
         if d.ndim != 1 or d.size == 0:
             raise CalendarError("durations must be a non-empty 1-D array")
@@ -472,6 +515,9 @@ class ResourceCalendar:
         prof = self.availability()
         times = prof.times
         m = np.arange(1, d.size + 1)
+        if _obs.ENABLED:
+            _obs.incr("calendar.query.latest_multi")
+            _obs.observe("calendar.probe.counts", d.size)
         cand = np.full(d.size, float(latest_finish))  # candidate finish
         result = np.full(d.size, np.nan)
         resolved = np.zeros(d.size, dtype=bool)

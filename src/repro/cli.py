@@ -10,6 +10,9 @@ Installed as the ``repro`` console script::
         --phi 0.2 --method expo --gantt
     repro deadline --dag app.json --log cluster.swf --preset SDSC_BLUE \
         --phi 0.2 --method expo --deadline-hours 24
+    repro trace --dag app.json --preset SDSC_BLUE --out run.trace.jsonl
+    repro stats --dag app.json --preset SDSC_BLUE
+    repro report --cell table4 --out run_report.json
 
 Every command is deterministic under ``--seed``.
 """
@@ -150,6 +153,74 @@ def _cmd_deadline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented_schedule(args: argparse.Namespace, *, keep_events: bool):
+    """Shared body of ``trace`` and ``stats``: one instrumented run.
+
+    Runs the RESSCHED heuristic, and additionally the deadline procedure
+    when ``--deadline-hours`` is given, with instrumentation
+    force-enabled (no ``REPRO_OBS`` needed), returning the collector.
+    """
+    from repro import obs
+
+    graph, scenario = _load_scenario(args)
+    algorithm = _parse_ressched_algorithm(args.algorithm)
+    with obs.instrumented(keep_events=keep_events) as col:
+        schedule = schedule_ressched(graph, scenario, algorithm)
+        if args.deadline_hours is not None:
+            deadline = scenario.now + args.deadline_hours * HOUR
+            schedule_deadline(graph, scenario, deadline, args.dl_algorithm)
+    return schedule, col
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    schedule, col = _run_instrumented_schedule(args, keep_events=True)
+    n = obs.write_trace(args.out, col, meta={"algorithm": args.algorithm})
+    print(f"wrote {n} trace records to {args.out}")
+    print(f"turn-around   {schedule.turnaround / HOUR:.2f} h")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _, col = _run_instrumented_schedule(args, keep_events=False)
+    print(obs.format_collector(col))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    # Deferred import: the experiment drivers are heavy.
+    from repro import obs
+    from repro.experiments import ExperimentScale, run_table4
+    from repro.experiments.reporting import run_instrumented
+    from repro.experiments.table4 import format_table4
+
+    from dataclasses import replace
+
+    cells = {"table4": run_table4}
+    scale = replace(
+        ExperimentScale.smoke(), seed=args.seed, n_workers=args.workers
+    )
+    result, report = run_instrumented(
+        args.cell, cells[args.cell], scale, scale=scale
+    )
+    text = report.to_json()  # validates against RUN_REPORT_SCHEMA
+    args.out.write_text(text + "\n")
+    print(f"wrote run report to {args.out}")
+    if args.trace_out:
+        n = obs.write_trace(
+            args.trace_out, report.collector, meta={"cell": args.cell}
+        )
+        print(f"wrote {n} trace records to {args.trace_out}")
+    if args.cell == "table4":
+        print(format_table4(result))
+    print()
+    print(obs.format_collector(report.collector))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     # Deferred import: the bench module drags in the experiment drivers,
     # which the lightweight commands should not pay for.
@@ -235,6 +306,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="deadline as hours after the scheduling instant",
     )
     p.set_defaults(func=_cmd_deadline)
+
+    def add_obs_common(p: argparse.ArgumentParser) -> None:
+        add_common(p)
+        p.add_argument("--algorithm", type=str, default="BL_CPAR_BD_CPAR")
+        p.add_argument(
+            "--deadline-hours", type=float, default=None,
+            dest="deadline_hours",
+            help="also run the deadline procedure with this deadline",
+        )
+        p.add_argument(
+            "--dl-algorithm", choices=sorted(DEADLINE_ALGORITHMS),
+            default="DL_RCBD_CPAR-lambda", dest="dl_algorithm",
+            help="deadline algorithm when --deadline-hours is given",
+        )
+
+    p = sub.add_parser(
+        "trace", help="export a JSONL trace of one instrumented run"
+    )
+    add_obs_common(p)
+    p.add_argument(
+        "--out", type=str, default="run.trace.jsonl",
+        help="output JSONL path (default: ./run.trace.jsonl)",
+    )
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "stats", help="print counters/spans of one instrumented run"
+    )
+    add_obs_common(p)
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "report",
+        help="run one instrumented experiment cell, emit a RunReport JSON",
+    )
+    p.add_argument(
+        "--cell", choices=("table4",), default="table4",
+        help="which experiment cell to run (smoke scale)",
+    )
+    p.add_argument(
+        "--out", type=Path, default=Path("run_report.json"),
+        help="RunReport JSON path (default: ./run_report.json)",
+    )
+    p.add_argument(
+        "--trace-out", type=str, default=None, dest="trace_out",
+        help="also write the aggregate JSONL trace here",
+    )
+    p.add_argument("--seed", type=int, default=20080623)
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
         "bench", help="hot-path performance regression benchmarks"

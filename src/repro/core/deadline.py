@@ -38,6 +38,7 @@ from repro.core.context import ProblemContext
 from repro.cpa import cpa_map
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
+from repro.obs import core as _obs
 from repro.schedule import Schedule, TaskPlacement
 from repro.units import TIME_EPS
 from repro.workloads.reservations import ReservationScenario
@@ -127,17 +128,19 @@ def _successor_deadline(
 
 def _pick_latest(
     cal, durations: np.ndarray, dl_i: float, now: float
-) -> tuple[int, float] | None:
+) -> tuple[int, float, np.ndarray] | None:
     """Aggressive rule: the <count, start> pair with the latest start.
 
-    Returns ``(m, start)`` or None when no count fits before ``dl_i``.
+    Returns ``(m, start, starts)`` — the winning pair plus the full
+    per-count latest-start array (NaN = infeasible; provenance records
+    read the losers off it) — or None when no count fits before ``dl_i``.
     Ties go to fewer processors (``nanargmax`` returns the first max).
     """
     starts = cal.latest_starts_multi(dl_i, durations, earliest=now)
     if np.isnan(starts).all():
         return None
     j = int(np.nanargmax(starts))
-    return j + 1, float(starts[j])
+    return j + 1, float(starts[j]), starts
 
 
 def _schedule_backward(
@@ -169,19 +172,31 @@ def _schedule_backward(
         bounds = allocation_bounds(ctx, spec.fallback_bound)
 
     unscheduled = set(range(graph.n))
+    prov: list[dict] | None = [] if _obs.ENABLED else None
+    if prov is not None:
+        _obs.incr("deadline.backward_passes")
     for i in order:
         dl_i = _successor_deadline(graph, i, deadline, placements)
         chosen: tuple[int, float] | None = None
+        rule = "aggressive"
+        s_i = threshold = None
+        rc_probes: list[dict] | None = None
 
         if spec.kind != "aggressive":
             assert guideline_alloc is not None
             # Guideline: CPA-map the remaining subgraph from "now" on an
             # idle q-processor cluster and read off this task's start.
-            sub, old_to_new = graph.subgraph(unscheduled)
-            sub_alloc = [0] * sub.n
-            for old, new in old_to_new.items():
-                sub_alloc[new] = guideline_alloc[old]
-            guide = cpa_map(sub, sub_alloc, guideline_q, start_time=now)
+            # This per-decision remapping is exactly why the paper's
+            # resource-conservative algorithms cost 10-90x more than the
+            # aggressive ones (Tables 9/10); the span makes it visible.
+            with _obs.span("deadline.guideline_remap"):
+                sub, old_to_new = graph.subgraph(unscheduled)
+                sub_alloc = [0] * sub.n
+                for old, new in old_to_new.items():
+                    sub_alloc[new] = guideline_alloc[old]
+                guide = cpa_map(sub, sub_alloc, guideline_q, start_time=now)
+            if prov is not None:
+                _obs.incr("deadline.guideline_remaps")
             s_i = guide.start_of(old_to_new[i])
             threshold = s_i + lam * (dl_i - s_i)
 
@@ -196,22 +211,70 @@ def _schedule_backward(
                     max(now, threshold), d, m_offset=base
                 )
                 ok = starts + d <= dl_i + TIME_EPS
+                if prov is not None:
+                    _obs.incr("deadline.probe_windows")
+                    _obs.incr("deadline.placement_probes", int(d.size))
+                    rc_probes = rc_probes or []
+                    rc_probes.extend(
+                        {
+                            "m": base + k + 1,
+                            "start": float(starts[k]),
+                            "feasible": bool(ok[k]),
+                        }
+                        for k in range(int(d.size))
+                    )
                 if ok.any():
                     j = int(np.argmax(ok))  # first feasible = fewest procs
                     chosen = (base + j + 1, float(starts[j]))
+                    rule = "rc_window"
                     break
+            if chosen is None:
+                rule = "rc_fallback"
 
         if chosen is None:
             # Aggressive rule — either the algorithm is aggressive, or the
             # resource-conservative choice found nothing after the
             # guideline threshold.
+            if prov is not None and rule == "rc_fallback":
+                _obs.incr("deadline.fallback_aggressive")
             b = int(bounds[i])
-            chosen = _pick_latest(cal, ctx.exec_tables[i][:b], dl_i, now)
-            if chosen is None:
+            picked = _pick_latest(cal, ctx.exec_tables[i][:b], dl_i, now)
+            if picked is None:
+                if prov is not None:
+                    _obs.incr("deadline.infeasible_tasks")
                 return None
+            m_pick, start_pick, agg_starts = picked
+            chosen = (m_pick, start_pick)
+            if prov is not None:
+                _obs.incr("deadline.placement_probes", int(agg_starts.size))
+                rc_probes = (rc_probes or []) + [
+                    {
+                        "m": k + 1,
+                        "start": float(agg_starts[k]),
+                        "feasible": bool(np.isfinite(agg_starts[k])),
+                    }
+                    for k in range(int(agg_starts.size))
+                ]
 
         m, start = chosen
         dur = ctx.exec_time(i, m)
+        if prov is not None:
+            rec = {
+                "task": int(i),
+                "name": graph.task(i).name,
+                "algorithm": spec.name,
+                "rule": rule,
+                "deadline": float(dl_i),
+                "lam": float(lam),
+                "chosen": {"m": int(m), "start": float(start),
+                           "finish": float(start + dur)},
+                "candidates": rc_probes or [],
+            }
+            if s_i is not None:
+                rec["guideline_start"] = float(s_i)
+                rec["threshold"] = float(threshold)
+            _obs.decision(rec)
+            prov.append(rec)
         # Placements come from this calendar's own latest/earliest
         # queries; skip the redundant strict re-validation on commit.
         cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
@@ -223,6 +286,7 @@ def _schedule_backward(
         now=now,
         placements=tuple(placements),  # type: ignore[arg-type]
         algorithm=spec.name,
+        provenance=tuple(prov) if prov is not None else None,
     )
 
 
@@ -272,33 +336,34 @@ def schedule_deadline(
             "provided context wraps a different graph or scenario"
         )
 
-    if spec.kind == "hybrid":
-        lam = min(max(lam_start, 0.0), 1.0)
-        while True:
-            schedule = _schedule_backward(ctx, deadline, spec, lam)
-            if schedule is not None:
-                return DeadlineResult(
-                    feasible=True,
-                    schedule=schedule,
-                    algorithm=spec.name,
-                    deadline=deadline,
-                    lam=lam,
-                )
-            if lam >= 1.0:
-                return DeadlineResult(
-                    feasible=False,
-                    schedule=None,
-                    algorithm=spec.name,
-                    deadline=deadline,
-                )
-            lam = min(1.0, lam + spec.lam_step)
+    with _obs.span(f"deadline.{spec.name}"):
+        if spec.kind == "hybrid":
+            lam = min(max(lam_start, 0.0), 1.0)
+            while True:
+                schedule = _schedule_backward(ctx, deadline, spec, lam)
+                if schedule is not None:
+                    return DeadlineResult(
+                        feasible=True,
+                        schedule=schedule,
+                        algorithm=spec.name,
+                        deadline=deadline,
+                        lam=lam,
+                    )
+                if lam >= 1.0:
+                    return DeadlineResult(
+                        feasible=False,
+                        schedule=None,
+                        algorithm=spec.name,
+                        deadline=deadline,
+                    )
+                lam = min(1.0, lam + spec.lam_step)
 
-    lam = 0.0  # plain RC runs at its most conservative setting
-    schedule = _schedule_backward(ctx, deadline, spec, lam)
-    return DeadlineResult(
-        feasible=schedule is not None,
-        schedule=schedule,
-        algorithm=spec.name,
-        deadline=deadline,
-        lam=None,
-    )
+        lam = 0.0  # plain RC runs at its most conservative setting
+        schedule = _schedule_backward(ctx, deadline, spec, lam)
+        return DeadlineResult(
+            feasible=schedule is not None,
+            schedule=schedule,
+            algorithm=spec.name,
+            deadline=deadline,
+            lam=None,
+        )

@@ -26,6 +26,7 @@ from repro.core.bounds import BD_METHODS_EXTENDED, allocation_bounds
 from repro.core.context import ProblemContext
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
+from repro.obs import core as _obs
 from repro.schedule import Schedule, TaskPlacement
 from repro.workloads.reservations import ReservationScenario
 
@@ -107,32 +108,91 @@ def schedule_ressched(
     now = scenario.now
 
     placements: list[TaskPlacement | None] = [None] * graph.n
-    for i in order:
-        ready = now
-        for pred in graph.predecessors(i):
-            placement = placements[pred]
-            assert placement is not None, "bottom-level order broke precedence"
-            ready = max(ready, placement.finish)
+    prov: list[dict] | None = [] if _obs.ENABLED else None
+    with _obs.span(f"ressched.{algorithm.name}"):
+        for i in order:
+            ready = now
+            for pred in graph.predecessors(i):
+                placement = placements[pred]
+                assert placement is not None, "bottom-level order broke precedence"
+                ready = max(ready, placement.finish)
 
-        durations = ctx.exec_tables[i][: int(bounds[i])]
-        starts = cal.earliest_starts_multi(ready, durations)
-        completions = starts + durations
-        if tie_break == "fewest":
-            # argmin returns the first minimum: the fewest processors
-            # among exact completion ties.
-            j = int(np.argmin(completions))
-        else:
-            # Last minimum: the most processors among ties.
-            j = int(completions.size - 1 - np.argmin(completions[::-1]))
-        m, start, dur = j + 1, float(starts[j]), float(durations[j])
-        # The placement came out of this calendar's own query, so commit
-        # via the fast path (no strict capacity re-validation).
-        cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
-        placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
+            durations = ctx.exec_tables[i][: int(bounds[i])]
+            starts = cal.earliest_starts_multi(ready, durations)
+            completions = starts + durations
+            if tie_break == "fewest":
+                # argmin returns the first minimum: the fewest processors
+                # among exact completion ties.
+                j = int(np.argmin(completions))
+            else:
+                # Last minimum: the most processors among ties.
+                j = int(completions.size - 1 - np.argmin(completions[::-1]))
+            m, start, dur = j + 1, float(starts[j]), float(durations[j])
+            if prov is not None:
+                _obs.incr("ressched.tasks")
+                _obs.incr("ressched.placement_probes", int(durations.size))
+                _obs.observe("ressched.candidates_per_task", durations.size)
+                rec = _ressched_decision(
+                    algorithm.name, graph, i, ready, starts, completions, j
+                )
+                _obs.decision(rec)
+                prov.append(rec)
+            # The placement came out of this calendar's own query, so commit
+            # via the fast path (no strict capacity re-validation).
+            cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
+            placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
 
     return Schedule(
         graph=graph,
         now=now,
         placements=tuple(placements),  # type: ignore[arg-type]
         algorithm=algorithm.name,
+        provenance=tuple(prov) if prov is not None else None,
     )
+
+
+def _ressched_decision(
+    algorithm: str,
+    graph: TaskGraph,
+    i: int,
+    ready: float,
+    starts: np.ndarray,
+    completions: np.ndarray,
+    j: int,
+) -> dict:
+    """The decision-provenance record of one forward placement.
+
+    Every candidate processor count carries why it lost: a strictly
+    later completion, or an exact completion tie resolved by the
+    tie-break direction.  JSON-ready (plain Python scalars only).
+    """
+    best = float(completions[j])
+    candidates = []
+    for k in range(int(completions.size)):
+        if k == j:
+            reason = "chosen"
+        elif float(completions[k]) > best:
+            reason = "later_completion"
+        else:
+            reason = "tie_more_procs" if k > j else "tie_fewer_procs"
+        candidates.append(
+            {
+                "m": k + 1,
+                "start": float(starts[k]),
+                "finish": float(completions[k]),
+                "reason": reason,
+            }
+        )
+    return {
+        "task": int(i),
+        "name": graph.task(i).name,
+        "algorithm": algorithm,
+        "rule": "earliest_completion",
+        "ready": float(ready),
+        "chosen": {
+            "m": j + 1,
+            "start": float(starts[j]),
+            "finish": best,
+        },
+        "candidates": candidates,
+    }

@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
+from repro.obs import core as _obs
 
 #: Relative slack when testing whether a task lies on the critical path.
 _CP_RTOL = 1e-9
@@ -120,6 +121,24 @@ def cpa_allocation(
             f"stopping must be 'classic' or 'stringent', got {stopping!r}"
         )
 
+    if _obs.ENABLED:
+        with _obs.span("cpa.allocation"):
+            result = _cpa_allocation(graph, q, stopping, max_iterations, incremental)
+        _obs.incr("cpa.allocation_runs")
+        _obs.incr("cpa.iterations", result.iterations)
+        _obs.observe("cpa.iterations_per_run", result.iterations)
+        return result
+    return _cpa_allocation(graph, q, stopping, max_iterations, incremental)
+
+
+def _cpa_allocation(
+    graph: TaskGraph,
+    q: int,
+    stopping: str,
+    max_iterations: int | None,
+    incremental: bool | None,
+) -> CpaAllocation:
+    """The refinement loop proper (validated arguments)."""
     if incremental is None:
         incremental = INCREMENTAL_LEVELS
 

@@ -27,6 +27,7 @@ from repro.cpa.cluster import IdleCluster
 from repro.cpa.allocation import cpa_allocation
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
+from repro.obs import core as _obs
 from repro.schedule import Schedule, TaskPlacement
 
 
@@ -58,6 +59,9 @@ def cpa_map(
     alloc = [int(m) for m in allocations]
     if any(not 1 <= m <= q for m in alloc):
         raise GenerationError(f"allocations must lie in 1..{q}")
+    if _obs.ENABLED:
+        _obs.incr("cpa.map_calls")
+        _obs.observe("cpa.map_tasks", graph.n)
 
     exec_t = np.array(
         [graph.task(i).exec_time(alloc[i]) for i in range(graph.n)]

@@ -19,6 +19,7 @@ from repro.experiments.table6 import run_table6
 from repro.experiments.table7 import run_table7
 from repro.experiments.timing import run_timing_by_n, run_timing_by_density
 from repro.experiments.pessimism import run_pessimism_study
+from repro.experiments.reporting import run_instrumented
 
 __all__ = [
     "AppScenario",
@@ -37,4 +38,5 @@ __all__ = [
     "run_timing_by_n",
     "run_timing_by_density",
     "run_pessimism_study",
+    "run_instrumented",
 ]

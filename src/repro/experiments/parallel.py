@@ -19,8 +19,21 @@ while keeping the results **bitwise identical at any worker count**:
 * Logs are materialized inside each worker as a pure function of
   ``(log_name, seed)`` (:func:`repro.experiments.runner._cached_log`), so
   no multi-megabyte job tuples cross the process boundary.
+* When :mod:`repro.obs` instrumentation is enabled, each instance's
+  counters/histograms/spans are collected into a **per-instance**
+  collector (in the worker) and merged into the parent's ambient
+  collector **sorted by global index**.  Integer aggregates (counters,
+  bucket counts, span counts) are associative and the float sums see the
+  identical fold order, so the merged instrumentation — like the results
+  themselves — is bitwise-stable at any worker count.  Records emitted
+  while *generating* the stream (scenario calendars compile during
+  iteration) are discarded on every path: each worker regenerates the
+  whole stream, so keeping them would double-count by ``n_workers``;
+  the serial path drops them too so serial and parallel aggregates
+  match exactly.
 
-``n_workers=1`` bypasses the pool entirely and runs inline.
+``n_workers=1`` bypasses the pool entirely and runs inline (but still
+collects per instance, so serial and parallel aggregates match exactly).
 """
 
 from __future__ import annotations
@@ -32,6 +45,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.errors import GenerationError
 from repro.experiments.runner import InstanceStream
+from repro.obs import core as _obs
 
 #: An instance-level computation: ``work(inst, **kwargs) -> result``.
 #: Must be a module-level function (workers import it by reference).
@@ -70,6 +84,23 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
+def _collected_call(
+    work: InstanceWork, inst: InstanceStream, kwargs: dict[str, Any]
+) -> tuple[Any, dict[str, Any] | None]:
+    """Run ``work`` on one instance, capturing its instrumentation.
+
+    Returns ``(result, obs_snapshot)``; the snapshot is None when
+    instrumentation is disabled.  Collecting per instance (rather than
+    per worker) is what makes the aggregates independent of how
+    instances are sliced into chunks.
+    """
+    if not _obs.ENABLED:
+        return work(inst, **kwargs), None
+    with _obs.collecting() as col:
+        result = work(inst, **kwargs)
+    return result, col.to_dict()
+
+
 def _run_chunk(
     work: InstanceWork,
     factory: StreamFactory,
@@ -77,12 +108,22 @@ def _run_chunk(
     chunk: int,
     n_chunks: int,
     kwargs: dict[str, Any],
-) -> list[tuple[int, str, Any]]:
+    obs_enabled: bool,
+) -> list[tuple[int, str, Any, dict[str, Any] | None]]:
     """Worker body: regenerate the stream, process one residue class."""
-    out: list[tuple[int, str, Any]] = []
-    for idx, inst in enumerate(factory(*factory_args)):
-        if idx % n_chunks == chunk:
-            out.append((idx, inst.scenario_key, work(inst, **kwargs)))
+    # Pool workers hold a fork-time snapshot of module globals; align the
+    # instrumentation switch with the parent explicitly so enabling obs
+    # after the pool forked still collects (and vice versa).
+    _obs.ENABLED = obs_enabled
+    out: list[tuple[int, str, Any, dict[str, Any] | None]] = []
+    # The chunk-level collector swallows stream-generation records (every
+    # worker regenerates the full stream, so they must not be shipped) and
+    # keeps long-lived pool workers from accumulating ambient state.
+    with _obs.collecting():
+        for idx, inst in enumerate(factory(*factory_args)):
+            if idx % n_chunks == chunk:
+                result, snap = _collected_call(work, inst, kwargs)
+                out.append((idx, inst.scenario_key, result, snap))
     return out
 
 
@@ -112,26 +153,40 @@ def map_stream(
         raise GenerationError(f"n_workers must be >= 1, got {n_workers}")
     kwargs = work_kwargs or {}
     if n_workers == 1:
-        return [
-            (inst.scenario_key, work(inst, **kwargs))
-            for inst in factory(*factory_args)
-        ]
+        out: list[tuple[str, Any]] = []
+        ambient = _obs.current()
+        # Discard stream-generation records here too, exactly as the
+        # workers do, so serial and parallel aggregates are identical.
+        with _obs.collecting():
+            for inst in factory(*factory_args):
+                result, snap = _collected_call(work, inst, kwargs)
+                if snap is not None:
+                    ambient.merge(snap)
+                out.append((inst.scenario_key, result))
+        return out
     pool = _pool(n_workers)
     futures = [
         pool.submit(
-            _run_chunk, work, factory, factory_args, chunk, n_workers, kwargs
+            _run_chunk, work, factory, factory_args, chunk, n_workers,
+            kwargs, _obs.ENABLED,
         )
         for chunk in range(n_workers)
     ]
     try:
-        triples = [t for f in futures for t in f.result()]
+        quads = [t for f in futures for t in f.result()]
     except BrokenProcessPool:
         # A dead worker poisons the whole pool; drop it so the next call
         # forks a fresh one instead of failing forever.
         _POOLS.pop(n_workers, None)
         raise
-    triples.sort(key=lambda t: t[0])
-    return [(key, result) for _, key, result in triples]
+    quads.sort(key=lambda t: t[0])
+    # Fold instrumentation in global index order — the same order the
+    # serial path records in, so the merged collector is identical.
+    ambient = _obs.current()
+    for _, _, _, snap in quads:
+        if snap is not None:
+            ambient.merge(snap)
+    return [(key, result) for _, key, result, _ in quads]
 
 
 def map_instances(
@@ -147,4 +202,10 @@ def map_instances(
     scale-driven entry points use :func:`map_stream`.
     """
     kwargs = work_kwargs or {}
-    return [(inst.scenario_key, work(inst, **kwargs)) for inst in instances]
+    out: list[tuple[str, Any]] = []
+    for inst in instances:
+        result, snap = _collected_call(work, inst, kwargs)
+        if snap is not None:
+            _obs.current().merge(snap)
+        out.append((inst.scenario_key, result))
+    return out

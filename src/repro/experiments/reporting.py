@@ -1,0 +1,65 @@
+"""Instrumented experiment runs and their :class:`RunReport` artifacts.
+
+The experiment drivers (:mod:`repro.experiments.table4` and friends) are
+plain functions of an :class:`ExperimentScale`; this module wraps any of
+them with instrumentation force-enabled and packages the collected
+counters, histograms, span timings, and decision provenance into a
+validated :class:`~repro.obs.RunReport` — the JSON artifact CI uploads
+for every instrumented cell run.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import asdict
+from typing import Any, Callable
+
+from repro.experiments.scenarios import ExperimentScale
+from repro.obs import RunReport, instrumented, stopwatch
+
+
+def run_instrumented(
+    name: str,
+    fn: Callable[..., Any],
+    *args: Any,
+    scale: ExperimentScale | None = None,
+    meta: dict[str, Any] | None = None,
+    max_decisions: int = 4096,
+    **kwargs: Any,
+) -> tuple[Any, RunReport]:
+    """Run ``fn(*args, **kwargs)`` instrumented; return its result and
+    the :class:`RunReport`.
+
+    Instrumentation is force-enabled for the duration (no ``REPRO_OBS``
+    required) and collected into a fresh collector, so the report covers
+    exactly this run — ambient collection outside is untouched.  The
+    report's wall time is the same ``time.perf_counter`` measurement the
+    ``run.<name>`` span records.
+
+    Args:
+        name: Report name (e.g. ``"table4"``).
+        fn: The driver to run.
+        *args: Positional arguments for ``fn``.
+        scale: When given, recorded in the report metadata (as a plain
+            dict) so the artifact says what grid produced it.
+        meta: Extra metadata merged into the report.
+        max_decisions: Decision-provenance retention cap; overflow is
+            counted in ``decisions_dropped``, never silently lost.
+        **kwargs: Keyword arguments for ``fn``.
+
+    Returns:
+        ``(result, report)`` where ``report.to_json()`` is already
+        schema-valid.
+    """
+    run_meta: dict[str, Any] = {"python": sys.version.split()[0]}
+    if scale is not None:
+        run_meta["scale"] = asdict(scale)
+    if meta:
+        run_meta.update(meta)
+    with instrumented(max_decisions=max_decisions) as col:
+        with stopwatch(f"run.{name}") as sw:
+            result = fn(*args, **kwargs)
+    report = RunReport(
+        name=name, wall_s=sw.wall_s, collector=col, meta=run_meta
+    )
+    return result, report

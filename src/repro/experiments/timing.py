@@ -13,12 +13,12 @@ default application parameters, as in the paper.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Callable
 
 import numpy as np
 
+from repro.obs import stopwatch
 from repro.core import (
     ProblemContext,
     ResSchedAlgorithm,
@@ -57,6 +57,13 @@ class TimingRow:
 def _time_algorithm(name: str, inst, deadline_factor: float = 1.5) -> float:
     """Wall-time one scheduling run of ``name`` on one instance, seconds.
 
+    The measured section runs under an ``obs.stopwatch`` span
+    (``timing.<algorithm>``), which always reads ``time.perf_counter``
+    — the monotonic high-resolution clock — and additionally records the
+    region as a span when instrumentation is enabled, so the Tables 9/10
+    milliseconds and an exported trace report the same timings over the
+    same region by construction.
+
     The shared preparation — execution-time tables and CPA allocations —
     is warmed in a problem context *outside* the measured section for
     every algorithm.  (The paper's C implementation includes that phase,
@@ -70,16 +77,16 @@ def _time_algorithm(name: str, inst, deadline_factor: float = 1.5) -> float:
     _ = ctx.exec_tables, ctx.cpa_p, ctx.cpa_q  # warm the caches
     if name.startswith("BD_"):
         algorithm = ResSchedAlgorithm(bl="BL_CPAR", bd=name)
-        start = time.perf_counter()
-        schedule_ressched(graph, scenario, algorithm, context=ctx)
-        return time.perf_counter() - start
+        with stopwatch(f"timing.{name}") as sw:
+            schedule_ressched(graph, scenario, algorithm, context=ctx)
+        return sw.wall_s
     # Deadline algorithms need a deadline: a mildly loose one derived from
     # the BD_CPAR turnaround, outside the measured section.
     base = schedule_ressched(graph, scenario, context=ctx)
     deadline = scenario.now + deadline_factor * base.turnaround
-    start = time.perf_counter()
-    schedule_deadline(graph, scenario, deadline, name, context=ctx)
-    return time.perf_counter() - start
+    with stopwatch(f"timing.{name}") as sw:
+        schedule_deadline(graph, scenario, deadline, name, context=ctx)
+    return sw.wall_s
 
 
 def _run_sweep(

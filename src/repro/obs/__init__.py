@@ -1,0 +1,76 @@
+"""repro.obs — zero-overhead-when-disabled observability.
+
+Span-based tracing (wall + CPU time, nestable), named counters and
+power-of-two-bucket histograms, per-task decision provenance, JSONL
+trace export, and :class:`RunReport` artifacts for experiment runs.
+
+Disabled (the default) every instrumentation site costs one branch on
+:data:`repro.obs.core.ENABLED` and allocates nothing; set ``REPRO_OBS=1``
+or call :func:`enable` to collect.  Typical scoped use::
+
+    from repro import obs
+
+    with obs.instrumented(keep_events=True) as col:
+        schedule_ressched(graph, scenario)
+    print(obs.format_collector(col))
+
+See ``docs/OBSERVABILITY.md`` for the span-name and counter glossary.
+"""
+
+from repro.obs.core import (
+    Collector,
+    Histogram,
+    SpanStat,
+    collecting,
+    current,
+    decision,
+    disable,
+    enable,
+    incr,
+    instrumented,
+    is_enabled,
+    observe,
+    reset,
+    span,
+    stopwatch,
+)
+from repro.obs.report import (
+    RUN_REPORT_SCHEMA,
+    RunReport,
+    SchemaError,
+    format_collector,
+    iter_decisions,
+    read_trace,
+    trace_records,
+    validate_run_report,
+    write_trace,
+)
+
+__all__ = [
+    # core
+    "Collector",
+    "Histogram",
+    "SpanStat",
+    "collecting",
+    "current",
+    "decision",
+    "disable",
+    "enable",
+    "incr",
+    "instrumented",
+    "is_enabled",
+    "observe",
+    "reset",
+    "span",
+    "stopwatch",
+    # report
+    "RUN_REPORT_SCHEMA",
+    "RunReport",
+    "SchemaError",
+    "format_collector",
+    "iter_decisions",
+    "read_trace",
+    "trace_records",
+    "validate_run_report",
+    "write_trace",
+]

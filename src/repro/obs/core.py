@@ -1,0 +1,472 @@
+"""Spans, counters, histograms, and decision records (`repro.obs`).
+
+The schedulers' hot paths are instrumented with three primitives:
+
+* **Spans** — nested wall + CPU timings of named code regions
+  (``with span("cpa.allocation"): ...``).  Aggregated per name into a
+  :class:`SpanStat`; when a collector keeps events, every span also
+  appends one event carrying its nesting path, so a trace can be
+  exported to JSONL and read back.
+* **Counters** — named integer totals (``incr("ressched.placement_probes",
+  k)``).  Integers merge associatively, so parallel runs aggregate
+  bitwise-stably at any worker count.
+* **Histograms** — value distributions in geometric (power-of-two)
+  buckets plus exact count/total/min/max.  Bucket counts are integers,
+  so merging histograms is associative too.
+
+Everything funnels into the ambient :class:`Collector`.  Instrumentation
+is **disabled by default**: every recording call is guarded by the
+module-level :data:`ENABLED` flag (set from ``REPRO_OBS=1`` at import,
+or via :func:`enable`/:func:`disable`), and hot-path callers check the
+flag inline (``if _obs.ENABLED: ...``) so the disabled-mode cost is a
+single branch with no allocation.
+
+Decision provenance — one record per scheduled task with the candidate
+placements considered and why the winner won — rides on the same
+collector, capped at :data:`Collector.max_decisions` records with an
+explicit ``decisions_dropped`` counter (no silent truncation).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Master switch.  ``REPRO_OBS=1`` in the environment enables collection
+#: for the whole process; :func:`enable`/:func:`disable` flip it at
+#: runtime.  Hot paths read this attribute directly.
+ENABLED: bool = os.environ.get("REPRO_OBS", "") not in ("", "0")
+
+
+def enable() -> None:
+    """Turn instrumentation on for this process."""
+    global ENABLED
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn instrumentation off for this process."""
+    global ENABLED
+    ENABLED = False
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation is currently collecting."""
+    return ENABLED
+
+
+# ----------------------------------------------------------------------
+# Aggregates
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SpanStat:
+    """Aggregated timings of one span name."""
+
+    count: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+
+    def add(self, wall_s: float, cpu_s: float) -> None:
+        self.count += 1
+        self.wall_s += wall_s
+        self.cpu_s += cpu_s
+
+    def merge(self, other: "SpanStat") -> None:
+        self.count += other.count
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"count": self.count, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SpanStat":
+        return cls(
+            count=int(d["count"]),
+            wall_s=float(d["wall_s"]),
+            cpu_s=float(d["cpu_s"]),
+        )
+
+
+def _bucket(value: float) -> int:
+    """Geometric bucket index: 0 for values <= 0, else the binary
+    exponent of the value (``frexp``), so bucket ``e`` holds
+    ``[2**(e-1), 2**e)``.  Integer indices keep merges associative."""
+    if value <= 0.0:
+        return 0
+    return math.frexp(value)[1]
+
+
+@dataclass
+class Histogram:
+    """A value distribution in power-of-two buckets.
+
+    ``buckets[e]`` counts observations with binary exponent ``e``
+    (bucket 0 collects non-positive values).  Counts are integers —
+    merging two histograms is associative and order-independent; only
+    ``total`` is a float sum, which the parallel merge keeps
+    deterministic by folding collectors in global instance order.
+    """
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        b = _bucket(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else math.nan
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for b, n in other.buckets.items():
+            self.buckets[b] = self.buckets.get(b, 0) + n
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            # JSON object keys are strings; sort for stable output.
+            "buckets": {str(b): self.buckets[b] for b in sorted(self.buckets)},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Histogram":
+        h = cls(
+            count=int(d["count"]),
+            total=float(d["total"]),
+            min=math.inf if d.get("min") is None else float(d["min"]),
+            max=-math.inf if d.get("max") is None else float(d["max"]),
+        )
+        h.buckets = {int(b): int(n) for b, n in d.get("buckets", {}).items()}
+        return h
+
+
+# ----------------------------------------------------------------------
+# Collector
+# ----------------------------------------------------------------------
+
+
+class Collector:
+    """One sink for all instrumentation of a code region.
+
+    Args:
+        keep_events: Record one event per span exit (with its nesting
+            path) and per decision, for JSONL trace export.  Off by
+            default — experiment runs only need the aggregates.
+        max_decisions: Cap on retained decision-provenance records;
+            records beyond it are counted in ``decisions_dropped``.
+    """
+
+    def __init__(
+        self, *, keep_events: bool = False, max_decisions: int = 4096
+    ):
+        self.counters: dict[str, int] = {}
+        self.hists: dict[str, Histogram] = {}
+        self.spans: dict[str, SpanStat] = {}
+        self.decisions: list[dict[str, Any]] = []
+        self.decisions_dropped: int = 0
+        self.max_decisions = max_decisions
+        self.keep_events = keep_events
+        self.events: list[dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.hists.get(name)
+        if h is None:
+            h = self.hists[name] = Histogram()
+        h.observe(value)
+
+    def add_span(
+        self, name: str, path: str, wall_s: float, cpu_s: float
+    ) -> None:
+        s = self.spans.get(name)
+        if s is None:
+            s = self.spans[name] = SpanStat()
+        s.add(wall_s, cpu_s)
+        if self.keep_events:
+            self.events.append(
+                {
+                    "type": "span",
+                    "name": name,
+                    "path": path,
+                    "depth": path.count("/"),
+                    "wall_s": wall_s,
+                    "cpu_s": cpu_s,
+                }
+            )
+
+    def decision(self, record: dict[str, Any]) -> None:
+        if len(self.decisions) < self.max_decisions:
+            self.decisions.append(record)
+        else:
+            self.decisions_dropped += 1
+        if self.keep_events:
+            self.events.append({"type": "decision", **record})
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "Collector | dict[str, Any]") -> None:
+        """Fold another collector (or its :meth:`to_dict` snapshot) in.
+
+        Integer state (counters, span counts, histogram bucket counts)
+        merges associatively; float sums depend only on merge order,
+        which callers keep deterministic by folding in global instance
+        order (:mod:`repro.experiments.parallel`).
+        """
+        if isinstance(other, dict):
+            other = Collector.from_dict(other)
+        for k, v in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + v
+        for k, h in other.hists.items():
+            mine = self.hists.get(k)
+            if mine is None:
+                mine = self.hists[k] = Histogram()
+            mine.merge(h)
+        for k, s in other.spans.items():
+            mine_s = self.spans.get(k)
+            if mine_s is None:
+                mine_s = self.spans[k] = SpanStat()
+            mine_s.merge(s)
+        room = self.max_decisions - len(self.decisions)
+        take = other.decisions[: max(room, 0)]
+        self.decisions.extend(take)
+        self.decisions_dropped += other.decisions_dropped + (
+            len(other.decisions) - len(take)
+        )
+        if self.keep_events and other.events:
+            self.events.extend(other.events)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON- and pickle-friendly snapshot (sorted keys)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "histograms": {
+                k: self.hists[k].to_dict() for k in sorted(self.hists)
+            },
+            "spans": {k: self.spans[k].to_dict() for k in sorted(self.spans)},
+            "decisions": list(self.decisions),
+            "decisions_dropped": self.decisions_dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Collector":
+        c = cls()
+        c.counters = {k: int(v) for k, v in d.get("counters", {}).items()}
+        c.hists = {
+            k: Histogram.from_dict(v)
+            for k, v in d.get("histograms", {}).items()
+        }
+        c.spans = {
+            k: SpanStat.from_dict(v) for k, v in d.get("spans", {}).items()
+        }
+        c.decisions = list(d.get("decisions", []))
+        c.decisions_dropped = int(d.get("decisions_dropped", 0))
+        return c
+
+    def __repr__(self) -> str:
+        return (
+            f"Collector(counters={len(self.counters)}, "
+            f"hists={len(self.hists)}, spans={len(self.spans)}, "
+            f"decisions={len(self.decisions)})"
+        )
+
+
+#: The ambient collector all module-level recording calls write to.
+_CURRENT: Collector = Collector()
+
+#: Stack of open span names, for nesting paths in trace events.
+_SPAN_STACK: list[str] = []
+
+
+def current() -> Collector:
+    """The ambient collector."""
+    return _CURRENT
+
+
+def reset() -> Collector:
+    """Install a fresh ambient collector and return it."""
+    global _CURRENT
+    _CURRENT = Collector()
+    return _CURRENT
+
+
+@contextmanager
+def collecting(
+    *, keep_events: bool = False, max_decisions: int = 4096
+) -> Iterator[Collector]:
+    """Route recording into a fresh collector for the enclosed region.
+
+    The previous ambient collector is restored on exit; the region's
+    data is NOT folded back automatically — callers decide whether and
+    in what order to :meth:`Collector.merge` it (the parallel runner
+    merges per-instance collectors in global stream order).
+    """
+    global _CURRENT
+    prev = _CURRENT
+    col = Collector(keep_events=keep_events, max_decisions=max_decisions)
+    _CURRENT = col
+    try:
+        yield col
+    finally:
+        _CURRENT = prev
+
+
+@contextmanager
+def instrumented(
+    *, keep_events: bool = False, max_decisions: int = 4096
+) -> Iterator[Collector]:
+    """:func:`collecting` with instrumentation force-enabled throughout."""
+    global ENABLED
+    prev_enabled = ENABLED
+    ENABLED = True
+    try:
+        with collecting(
+            keep_events=keep_events, max_decisions=max_decisions
+        ) as col:
+            yield col
+    finally:
+        ENABLED = prev_enabled
+
+
+# ----------------------------------------------------------------------
+# Recording entry points
+# ----------------------------------------------------------------------
+
+
+def incr(name: str, n: int = 1) -> None:
+    """Add ``n`` to counter ``name`` (no-op when disabled)."""
+    if ENABLED:
+        _CURRENT.incr(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+    if ENABLED:
+        _CURRENT.observe(name, value)
+
+
+def decision(record: dict[str, Any]) -> None:
+    """Record one decision-provenance dict (no-op when disabled)."""
+    if ENABLED:
+        _CURRENT.decision(record)
+
+
+class _Span:
+    """An open span; records itself into the ambient collector on exit."""
+
+    __slots__ = ("name", "_t0", "_c0", "wall_s", "cpu_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "_Span":
+        _SPAN_STACK.append(self.name)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        path = "/".join(_SPAN_STACK)
+        _SPAN_STACK.pop()
+        _CURRENT.add_span(self.name, path, self.wall_s, self.cpu_s)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for disabled mode (no allocation)."""
+
+    __slots__ = ()
+    name = ""
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str) -> "_Span | _NoopSpan":
+    """A nestable wall+CPU timing region::
+
+        with obs.span("cpa.allocation"):
+            ...
+
+    Disabled mode returns a shared no-op object — one branch, no
+    allocation.
+    """
+    if not ENABLED:
+        return _NOOP_SPAN
+    return _Span(name)
+
+
+class stopwatch:
+    """A span that ALWAYS measures wall time, recording only if enabled.
+
+    The experiment timing drivers (Tables 9/10) need the elapsed wall
+    time of the measured section whether or not instrumentation is on;
+    routing them through this class makes the reported milliseconds and
+    the exported span timings read the same clock
+    (``time.perf_counter``) over the same region, so tables and traces
+    agree by construction.
+    """
+
+    __slots__ = ("name", "_t0", "_c0", "wall_s", "cpu_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def __enter__(self) -> "stopwatch":
+        if ENABLED:
+            _SPAN_STACK.append(self.name)
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.process_time() - self._c0
+        if ENABLED:
+            path = "/".join(_SPAN_STACK)
+            _SPAN_STACK.pop()
+            _CURRENT.add_span(self.name, path, self.wall_s, self.cpu_s)

@@ -1,0 +1,321 @@
+"""RunReport artifacts, JSONL traces, and the report schema.
+
+A :class:`RunReport` is the instrumentation summary of one experiment
+run (e.g. one Table-4 cell): aggregated span timings, counter totals,
+histograms, and the retained decision-provenance records, plus metadata
+describing what ran.  It serializes to a single JSON document whose
+shape is pinned by :data:`RUN_REPORT_SCHEMA` and checked by
+:func:`validate_run_report` — a dependency-free subset of JSON Schema
+(type / required / properties / additionalProperties / items), enough
+for CI to reject a malformed artifact without installing a validator
+package.
+
+Traces are line-delimited JSON: a header record, one record per span
+event (with its nesting path), and one per decision.  They round-trip
+through :func:`write_trace` / :func:`read_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs.core import Collector
+
+#: Schema version recorded in every artifact.
+REPORT_VERSION = 1
+
+#: The RunReport JSON document shape (subset of JSON Schema).
+RUN_REPORT_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "format",
+        "version",
+        "name",
+        "wall_s",
+        "counters",
+        "histograms",
+        "spans",
+        "decisions",
+        "decisions_dropped",
+        "meta",
+    ],
+    "properties": {
+        "format": {"type": "string"},
+        "version": {"type": "integer"},
+        "name": {"type": "string"},
+        "wall_s": {"type": "number"},
+        "counters": {
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        },
+        "histograms": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "total", "buckets"],
+                "properties": {
+                    "count": {"type": "integer"},
+                    "total": {"type": "number"},
+                    "buckets": {
+                        "type": "object",
+                        "additionalProperties": {"type": "integer"},
+                    },
+                },
+            },
+        },
+        "spans": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["count", "wall_s", "cpu_s"],
+                "properties": {
+                    "count": {"type": "integer"},
+                    "wall_s": {"type": "number"},
+                    "cpu_s": {"type": "number"},
+                },
+            },
+        },
+        "decisions": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["task", "algorithm", "rule", "chosen"],
+                "properties": {
+                    "task": {"type": "integer"},
+                    "algorithm": {"type": "string"},
+                    "rule": {"type": "string"},
+                    "chosen": {"type": "object"},
+                    "candidates": {"type": "array"},
+                },
+            },
+        },
+        "decisions_dropped": {"type": "integer"},
+        "meta": {"type": "object"},
+    },
+}
+
+
+class SchemaError(ValueError):
+    """A document does not match the declared schema."""
+
+
+def _check(doc: Any, schema: dict[str, Any], path: str) -> None:
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(doc, dict):
+            raise SchemaError(f"{path}: expected object, got {type(doc).__name__}")
+        for key in schema.get("required", ()):
+            if key not in doc:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in doc:
+                _check(doc[key], sub, f"{path}.{key}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, value in doc.items():
+                if key not in props:
+                    _check(value, extra, f"{path}.{key}")
+    elif t == "array":
+        if not isinstance(doc, list):
+            raise SchemaError(f"{path}: expected array, got {type(doc).__name__}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(doc):
+                _check(value, items, f"{path}[{i}]")
+    elif t == "string":
+        if not isinstance(doc, str):
+            raise SchemaError(f"{path}: expected string, got {type(doc).__name__}")
+    elif t == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            raise SchemaError(f"{path}: expected integer, got {type(doc).__name__}")
+    elif t == "number":
+        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+            raise SchemaError(f"{path}: expected number, got {type(doc).__name__}")
+    elif t == "boolean":
+        if not isinstance(doc, bool):
+            raise SchemaError(f"{path}: expected boolean, got {type(doc).__name__}")
+
+
+def validate_run_report(doc: dict[str, Any]) -> None:
+    """Raise :class:`SchemaError` unless ``doc`` matches
+    :data:`RUN_REPORT_SCHEMA`."""
+    _check(doc, RUN_REPORT_SCHEMA, "$")
+    if doc.get("format") != "repro-run-report":
+        raise SchemaError(
+            f"$.format: expected 'repro-run-report', got {doc.get('format')!r}"
+        )
+
+
+@dataclass
+class RunReport:
+    """The instrumentation summary of one experiment run.
+
+    Attributes:
+        name: What ran (e.g. ``"table4"``).
+        wall_s: End-to-end wall time of the run.
+        collector: The aggregated instrumentation data.
+        meta: Free-form run description (scale, python version, ...).
+    """
+
+    name: str
+    wall_s: float
+    collector: Collector
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        snap = self.collector.to_dict()
+        return {
+            "format": "repro-run-report",
+            "version": REPORT_VERSION,
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "counters": snap["counters"],
+            "histograms": snap["histograms"],
+            "spans": snap["spans"],
+            "decisions": snap["decisions"],
+            "decisions_dropped": snap["decisions_dropped"],
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self) -> str:
+        doc = self.to_dict()
+        validate_run_report(doc)
+        return json.dumps(doc, indent=2, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        doc = json.loads(text)
+        validate_run_report(doc)
+        return cls(
+            name=doc["name"],
+            wall_s=float(doc["wall_s"]),
+            collector=Collector.from_dict(
+                {
+                    "counters": doc["counters"],
+                    "histograms": doc["histograms"],
+                    "spans": doc["spans"],
+                    "decisions": doc["decisions"],
+                    "decisions_dropped": doc["decisions_dropped"],
+                }
+            ),
+            meta=doc["meta"],
+        )
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+
+
+def trace_records(
+    collector: Collector, *, meta: dict[str, Any] | None = None
+) -> list[dict[str, Any]]:
+    """The JSONL records of one trace: header, span events, decisions.
+
+    With ``keep_events`` collectors the span events carry nesting paths;
+    aggregate-only collectors still export their per-name span totals so
+    a trace is never empty.
+    """
+    header: dict[str, Any] = {
+        "type": "header",
+        "format": "repro-trace",
+        "version": REPORT_VERSION,
+        "python": sys.version.split()[0],
+    }
+    if meta:
+        header["meta"] = meta
+    records = [header]
+    if collector.events:
+        records.extend(collector.events)
+    else:
+        for name in sorted(collector.spans):
+            s = collector.spans[name]
+            records.append(
+                {
+                    "type": "span_total",
+                    "name": name,
+                    "count": s.count,
+                    "wall_s": s.wall_s,
+                    "cpu_s": s.cpu_s,
+                }
+            )
+        records.extend(
+            {"type": "decision", **d} for d in collector.decisions
+        )
+    return records
+
+
+def write_trace(
+    path: str | Path,
+    collector: Collector,
+    *,
+    meta: dict[str, Any] | None = None,
+) -> int:
+    """Write a JSONL trace; returns the number of records written."""
+    records = trace_records(collector, meta=meta)
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+    return len(records)
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL trace back into its records."""
+    out: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Human-readable summaries (``repro stats``)
+# ----------------------------------------------------------------------
+
+
+def format_collector(collector: Collector) -> str:
+    """A terminal-friendly dump of one collector's aggregates."""
+    lines: list[str] = []
+    if collector.spans:
+        lines.append("spans:")
+        width = max(len(n) for n in collector.spans)
+        for name in sorted(collector.spans):
+            s = collector.spans[name]
+            lines.append(
+                f"  {name:<{width}}  n={s.count:<7d} "
+                f"wall={s.wall_s * 1e3:10.3f} ms  cpu={s.cpu_s * 1e3:10.3f} ms"
+            )
+    if collector.counters:
+        lines.append("counters:")
+        width = max(len(n) for n in collector.counters)
+        for name in sorted(collector.counters):
+            lines.append(f"  {name:<{width}}  {collector.counters[name]}")
+    if collector.hists:
+        lines.append("histograms:")
+        width = max(len(n) for n in collector.hists)
+        for name in sorted(collector.hists):
+            h = collector.hists[name]
+            lines.append(
+                f"  {name:<{width}}  n={h.count:<7d} mean={h.mean:10.3f} "
+                f"min={h.min:g} max={h.max:g}"
+            )
+    if collector.decisions:
+        lines.append(
+            f"decisions: {len(collector.decisions)} retained, "
+            f"{collector.decisions_dropped} dropped"
+        )
+    return "\n".join(lines) if lines else "(no instrumentation collected)"
+
+
+def iter_decisions(
+    records: Iterable[dict[str, Any]],
+) -> Iterable[dict[str, Any]]:
+    """The decision records of a parsed trace."""
+    return (r for r in records if r.get("type") == "decision")

@@ -15,8 +15,8 @@ verify results independently of the scheduling logic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -71,12 +71,20 @@ class Schedule:
         now: The scheduling instant; turn-around time is measured from it.
         placements: One placement per task, indexed by task.
         algorithm: Name of the producing algorithm (for reports).
+        provenance: Per-task decision records (candidate placements
+            considered, rejection reasons, the chosen reservation) in
+            decision order, populated by the schedulers when
+            :mod:`repro.obs` instrumentation is enabled; None otherwise.
+            JSON-ready dicts — see ``docs/OBSERVABILITY.md``.
     """
 
     graph: TaskGraph
     now: float
     placements: tuple[TaskPlacement, ...]
     algorithm: str = ""
+    provenance: tuple[dict[str, Any], ...] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if len(self.placements) != self.graph.n:

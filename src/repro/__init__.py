@@ -50,14 +50,27 @@ from repro.dag import (
 )
 from repro.errors import (
     CalendarError,
+    ExecutionError,
+    FaultError,
     GenerationError,
     InfeasibleError,
     InvalidDagError,
+    RepairError,
     ReproError,
     ScheduleValidationError,
     WorkloadError,
 )
 from repro.model import AmdahlModel, DowneyModel, SpeedupModel
+from repro.resilience import (
+    FaultEvent,
+    FaultModel,
+    REPAIR_POLICIES,
+    RepairConfig,
+    ResilienceResult,
+    execute_resilient,
+    faults_for_schedule,
+    generate_faults,
+)
 from repro.rng import derive_rng, make_rng
 from repro.schedule import Schedule, TaskPlacement, validate_schedule
 from repro.workloads import (
@@ -89,6 +102,9 @@ __all__ = [
     "InfeasibleError",
     "ScheduleValidationError",
     "WorkloadError",
+    "ExecutionError",
+    "FaultError",
+    "RepairError",
     # rng
     "make_rng",
     "derive_rng",
@@ -142,4 +158,13 @@ __all__ = [
     "schedule_deadline",
     "tightest_deadline",
     "ComparisonTable",
+    # resilience
+    "FaultEvent",
+    "FaultModel",
+    "REPAIR_POLICIES",
+    "RepairConfig",
+    "ResilienceResult",
+    "execute_resilient",
+    "faults_for_schedule",
+    "generate_faults",
 ]

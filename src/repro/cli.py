@@ -190,22 +190,112 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_execute(args: argparse.Namespace) -> int:
+    # Deferred import: the resilience engine is not needed by the
+    # lightweight commands.
+    from repro.experiments.reporting import run_instrumented
+    from repro.resilience import (
+        FaultModel,
+        execute_resilient,
+        faults_for_schedule,
+    )
+    from repro.rng import derive_rng
+    from repro.sim.noise import LognormalNoise
+    from repro.units import format_duration
+
+    graph, scenario = _load_scenario(args)
+    algorithm = _parse_ressched_algorithm(args.algorithm)
+    schedule = schedule_ressched(graph, scenario, algorithm)
+    if args.fault_rate > 0:
+        faults = faults_for_schedule(
+            schedule, scenario, FaultModel.from_rate(args.fault_rate),
+            derive_rng(args.seed, "execute-faults", f"{args.fault_rate:g}"),
+        )
+    else:
+        faults = ()
+    noise = LognormalNoise(args.noise) if args.noise > 0 else None
+    deadline = (
+        scenario.now + args.deadline_hours * HOUR
+        if args.deadline_hours is not None else None
+    )
+
+    meta = {
+        "command": "execute", "policy": args.policy,
+        "fault_rate": args.fault_rate, "noise_sigma": args.noise,
+        "seed": args.seed,
+    }
+    result, report = run_instrumented(
+        "execute", execute_resilient, schedule, graph, scenario,
+        policy=args.policy, faults=faults, runtime_model=noise,
+        rng=derive_rng(args.seed, "execute-noise"), deadline=deadline,
+        meta=meta,
+    )
+    print(f"algorithm     {schedule.algorithm}+{args.policy}")
+    print(f"planned       {schedule.turnaround / HOUR:.2f} h turn-around")
+    print(f"faults        {len(faults)} injected, "
+          f"{len(result.faults_applied)} applied, "
+          f"{result.faults_denied} denied")
+    print(f"repairs       {len(result.repairs)} "
+          f"({result.revocations} bookings revoked, "
+          f"{result.total_kills} kills)")
+    if result.success:
+        print(f"turn-around   {result.realized_turnaround / HOUR:.2f} h "
+              f"(slowdown {result.slowdown:.3f})")
+        print(f"CPU-hours     {result.cpu_hours_booked:.1f} booked, "
+              f"{result.cpu_hours_used:.1f} used "
+              f"(efficiency {result.booking_efficiency:.3f})")
+        if deadline is not None:
+            print(f"deadline      now + "
+                  f"{format_duration(deadline - scenario.now)}: "
+                  f"{'met' if result.deadline_met else 'MISSED'}")
+    else:
+        for f in result.failures:
+            print(f"FAILED        task {f.task} ({f.reason}, "
+                  f"{f.attempts} attempts, "
+                  f"{f.booked_cpu_seconds / HOUR:.1f} CPU-hours burned)")
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"wrote run report to {args.out}")
+    if args.gantt and result.executed is not None:
+        print()
+        print(ascii_gantt(result.executed))
+    return 0 if result.success else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     # Deferred import: the experiment drivers are heavy.
     from repro import obs
-    from repro.experiments import ExperimentScale, run_table4
+    from repro.experiments import (
+        ExperimentScale,
+        FaultTolerance,
+        run_resilience,
+        run_table4,
+    )
     from repro.experiments.reporting import run_instrumented
+    from repro.experiments.resilience import format_resilience
     from repro.experiments.table4 import format_table4
 
-    from dataclasses import replace
+    from dataclasses import asdict, replace
 
-    cells = {"table4": run_table4}
     scale = replace(
         ExperimentScale.smoke(), seed=args.seed, n_workers=args.workers
     )
-    result, report = run_instrumented(
-        args.cell, cells[args.cell], scale, scale=scale
-    )
+    meta = {}
+    if args.cell == "resilience":
+        ft = FaultTolerance(
+            instance_timeout=args.instance_timeout, journal=args.journal,
+        )
+        result, report = run_instrumented(
+            args.cell, run_resilience, scale, scale=scale,
+            fault_tolerance=ft,
+        )
+        report.meta["quarantined"] = [asdict(q) for q in result.quarantined]
+        report.meta["resumed"] = result.resumed
+    else:
+        cells = {"table4": run_table4}
+        result, report = run_instrumented(
+            args.cell, cells[args.cell], scale, scale=scale
+        )
     text = report.to_json()  # validates against RUN_REPORT_SCHEMA
     args.out.write_text(text + "\n")
     print(f"wrote run report to {args.out}")
@@ -216,6 +306,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {n} trace records to {args.trace_out}")
     if args.cell == "table4":
         print(format_table4(result))
+    elif args.cell == "resilience":
+        print(format_resilience(result))
     print()
     print(obs.format_collector(report.collector))
     return 0
@@ -338,11 +430,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
+        "execute",
+        help="execute a plan through faults under a repair policy",
+    )
+    add_common(p)
+    p.add_argument("--algorithm", type=str, default="BL_CPAR_BD_CPAR")
+    p.add_argument(
+        "--policy",
+        choices=("local-rebook", "replan-remaining", "degrade-to-deadline"),
+        default="local-rebook", help="repair policy",
+    )
+    p.add_argument(
+        "--fault-rate", type=float, default=2.0, dest="fault_rate",
+        help="competing-arrival rate per day (cancels and downtimes at "
+        "a quarter each); 0 disables fault injection",
+    )
+    p.add_argument(
+        "--noise", type=float, default=0.0,
+        help="lognormal sigma of runtime noise (0 = exact runtimes)",
+    )
+    p.add_argument(
+        "--deadline-hours", type=float, default=None, dest="deadline_hours",
+        help="deadline as hours after the scheduling instant "
+        "(required context for degrade-to-deadline; defaults to the "
+        "planned completion)",
+    )
+    p.add_argument(
+        "--out", type=str, default=None,
+        help="also write a RunReport JSON with the repair counters here",
+    )
+    p.set_defaults(func=_cmd_execute)
+
+    p = sub.add_parser(
         "report",
         help="run one instrumented experiment cell, emit a RunReport JSON",
     )
     p.add_argument(
-        "--cell", choices=("table4",), default="table4",
+        "--cell", choices=("table4", "resilience"), default="table4",
         help="which experiment cell to run (smoke scale)",
     )
     p.add_argument(
@@ -355,6 +479,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=20080623)
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--instance-timeout", type=float, default=None,
+        dest="instance_timeout",
+        help="resilience cell: wall-clock seconds per instance before "
+        "it is quarantined",
+    )
+    p.add_argument(
+        "--journal", type=str, default=None,
+        help="resilience cell: checkpoint journal path; an interrupted "
+        "sweep resumes from it",
+    )
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(

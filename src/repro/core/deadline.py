@@ -29,6 +29,7 @@ successors)`` and may not start before "now".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -148,6 +149,7 @@ def _schedule_backward(
     deadline: float,
     spec: DeadlineAlgorithm,
     lam: float,
+    ready_floors: "Sequence[float] | None" = None,
 ) -> Schedule | None:
     """One backward pass; None when the deadline cannot be met."""
     graph, scenario = ctx.graph, ctx.scenario
@@ -177,6 +179,7 @@ def _schedule_backward(
         _obs.incr("deadline.backward_passes")
     for i in order:
         dl_i = _successor_deadline(graph, i, deadline, placements)
+        earliest_i = now if ready_floors is None else max(now, float(ready_floors[i]))
         chosen: tuple[int, float] | None = None
         rule = "aggressive"
         s_i = threshold = None
@@ -208,7 +211,7 @@ def _schedule_backward(
             for base in range(0, len(durations), chunk):
                 d = durations[base : base + chunk]
                 starts = cal.earliest_starts_multi(
-                    max(now, threshold), d, m_offset=base
+                    max(earliest_i, threshold), d, m_offset=base
                 )
                 ok = starts + d <= dl_i + TIME_EPS
                 if prov is not None:
@@ -238,7 +241,7 @@ def _schedule_backward(
             if prov is not None and rule == "rc_fallback":
                 _obs.incr("deadline.fallback_aggressive")
             b = int(bounds[i])
-            picked = _pick_latest(cal, ctx.exec_tables[i][:b], dl_i, now)
+            picked = _pick_latest(cal, ctx.exec_tables[i][:b], dl_i, earliest_i)
             if picked is None:
                 if prov is not None:
                     _obs.incr("deadline.infeasible_tasks")
@@ -299,6 +302,7 @@ def schedule_deadline(
     context: ProblemContext | None = None,
     cpa_stopping: str = "stringent",
     lam_start: float = 0.0,
+    ready_floors: "Sequence[float] | None" = None,
 ) -> DeadlineResult:
     """Solve one RESSCHEDDL instance.
 
@@ -316,6 +320,9 @@ def schedule_deadline(
         lam_start: First λ the hybrid sweep tries; a tightening-deadline
             driver can pass the last successful λ since the required λ
             only grows as deadlines shrink.
+        ready_floors: Optional per-task earliest-start floors (length
+            ``graph.n``), for replanning a subgraph whose external
+            predecessors finish after ``scenario.now``.
 
     Returns:
         A :class:`DeadlineResult`; ``feasible=False`` answers "no".
@@ -335,12 +342,17 @@ def schedule_deadline(
         raise GenerationError(
             "provided context wraps a different graph or scenario"
         )
+    if ready_floors is not None and len(ready_floors) != graph.n:
+        raise GenerationError(
+            f"ready_floors must have one entry per task "
+            f"({graph.n}), got {len(ready_floors)}"
+        )
 
     with _obs.span(f"deadline.{spec.name}"):
         if spec.kind == "hybrid":
             lam = min(max(lam_start, 0.0), 1.0)
             while True:
-                schedule = _schedule_backward(ctx, deadline, spec, lam)
+                schedule = _schedule_backward(ctx, deadline, spec, lam, ready_floors)
                 if schedule is not None:
                     return DeadlineResult(
                         feasible=True,
@@ -359,7 +371,7 @@ def schedule_deadline(
                 lam = min(1.0, lam + spec.lam_step)
 
         lam = 0.0  # plain RC runs at its most conservative setting
-        schedule = _schedule_backward(ctx, deadline, spec, lam)
+        schedule = _schedule_backward(ctx, deadline, spec, lam, ready_floors)
         return DeadlineResult(
             feasible=schedule is not None,
             schedule=schedule,

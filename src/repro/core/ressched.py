@@ -18,6 +18,7 @@ toward fewer processors (saving CPU-hours at equal turn-around).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -73,6 +74,7 @@ def schedule_ressched(
     context: ProblemContext | None = None,
     cpa_stopping: str = "stringent",
     tie_break: str = "fewest",
+    ready_floors: "Sequence[float] | None" = None,
 ) -> Schedule:
     """Solve one RESSCHED instance with the given heuristic.
 
@@ -87,6 +89,10 @@ def schedule_ressched(
         tie_break: How to resolve exact completion-time ties between
             processor counts: ``"fewest"`` (default — saves CPU-hours) or
             ``"most"`` (ablation control).
+        ready_floors: Optional per-task earliest-start floors (length
+            ``graph.n``).  Replanning a subgraph mid-execution passes the
+            realized/booked finishes of predecessors that are *outside*
+            the subgraph here; internal precedence is handled as usual.
 
     Returns:
         A complete, feasible schedule (RESSCHED always succeeds — the far
@@ -95,6 +101,11 @@ def schedule_ressched(
     if tie_break not in ("fewest", "most"):
         raise GenerationError(
             f"tie_break must be 'fewest' or 'most', got {tie_break!r}"
+        )
+    if ready_floors is not None and len(ready_floors) != graph.n:
+        raise GenerationError(
+            f"ready_floors must have one entry per task "
+            f"({graph.n}), got {len(ready_floors)}"
         )
     ctx = context or ProblemContext(graph, scenario, cpa_stopping=cpa_stopping)
     if ctx.graph is not graph or ctx.scenario is not scenario:
@@ -111,7 +122,7 @@ def schedule_ressched(
     prov: list[dict] | None = [] if _obs.ENABLED else None
     with _obs.span(f"ressched.{algorithm.name}"):
         for i in order:
-            ready = now
+            ready = now if ready_floors is None else max(now, float(ready_floors[i]))
             for pred in graph.predecessors(i):
                 placement = placements[pred]
                 assert placement is not None, "bottom-level order broke precedence"

@@ -24,6 +24,38 @@ class GenerationError(ReproError):
     """Random instance generation was given inconsistent parameters."""
 
 
+class ExecutionError(GenerationError):
+    """Executing or repairing a planned schedule failed structurally.
+
+    Raised by :mod:`repro.sim.execution` and :mod:`repro.resilience` for
+    mismatched graphs, missing RNGs, and broken engine invariants.
+
+    Transitionally derives from :class:`GenerationError`: the execution
+    layer historically raised that class, so existing ``except
+    GenerationError`` handlers keep working for one release.  Catch
+    :class:`ExecutionError` going forward; the base will become
+    :class:`ReproError` in the next release.
+    """
+
+
+class FaultError(ExecutionError):
+    """A fault-injection model or event stream is inconsistent.
+
+    Raised for negative fault rates, malformed size/duration ranges, and
+    fault events that reference state the engine does not hold.
+    """
+
+
+class RepairError(ExecutionError):
+    """The reactive repair engine could not restore a feasible plan.
+
+    This is a broken invariant (e.g. a capacity conflict that revoking
+    every unstarted booking cannot clear), not an "answer is no" outcome
+    — infeasible deadlines during ``degrade-to-deadline`` fall back to a
+    forward replan instead of raising.
+    """
+
+
 class CalendarError(ReproError):
     """A resource-calendar operation is inconsistent.
 

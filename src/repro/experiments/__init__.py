@@ -20,6 +20,18 @@ from repro.experiments.table7 import run_table7
 from repro.experiments.timing import run_timing_by_n, run_timing_by_density
 from repro.experiments.pessimism import run_pessimism_study
 from repro.experiments.reporting import run_instrumented
+from repro.experiments.parallel import (
+    FaultTolerance,
+    QuarantinedInstance,
+    SweepOutcome,
+    run_sweep,
+)
+from repro.experiments.resilience import (
+    ResilienceCell,
+    ResilienceStudy,
+    format_resilience,
+    run_resilience,
+)
 
 __all__ = [
     "AppScenario",
@@ -39,4 +51,12 @@ __all__ = [
     "run_timing_by_density",
     "run_pessimism_study",
     "run_instrumented",
+    "FaultTolerance",
+    "QuarantinedInstance",
+    "SweepOutcome",
+    "run_sweep",
+    "ResilienceCell",
+    "ResilienceStudy",
+    "format_resilience",
+    "run_resilience",
 ]

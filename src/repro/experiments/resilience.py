@@ -1,0 +1,299 @@
+"""Repair-policy × fault-rate study on the synthetic-log grid.
+
+The paper's experiments assume the reservation schedule seen at
+scheduling time is the one the application executes against.  This
+driver drops that assumption: every instance is planned once with
+RESSCHED, then executed through deterministic fault traces of
+increasing intensity (``repro.resilience``) under each repair policy,
+and the realized outcomes — slowdown over the plan, booking
+efficiency, kills, revocations, repairs, structural failures — are
+aggregated per ``(policy, fault rate)`` cell.
+
+The sweep runs through :func:`repro.experiments.parallel.run_sweep`,
+so the crash-tolerant harness (per-instance timeouts, worker-crash
+isolation, checkpoint/resume) is exercised by the standard report
+cell; quarantined instances surface on the study instead of aborting
+it.
+
+Determinism: fault and noise streams are keyed off the *instance
+content* (scenario key, scenario name, DAG shape), not the stream
+index or the worker that happens to run it, so results are
+bitwise-identical at any worker count and across resumes.  The noise
+key deliberately excludes the policy: every policy replays the same
+actual durations, making the comparison paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core import ResSchedAlgorithm, schedule_ressched
+from repro.experiments.parallel import (
+    FaultTolerance,
+    QuarantinedInstance,
+    run_sweep,
+)
+from repro.experiments.runner import InstanceStream, iter_problem_instances
+from repro.experiments.scenarios import ExperimentScale
+from repro.resilience import (
+    REPAIR_POLICIES,
+    FaultModel,
+    execute_resilient,
+    faults_for_schedule,
+)
+from repro.rng import derive_rng
+from repro.sim.noise import LognormalNoise
+
+#: Fault intensities (arrivals/day; cancels and downtimes at a quarter
+#: each, see :meth:`FaultModel.from_rate`) swept by the default study.
+RESILIENCE_FAULT_RATES = (0.0, 2.0, 6.0)
+
+#: Lognormal sigma of the runtime noise the study executes under.
+RESILIENCE_NOISE_SIGMA = 0.1
+
+#: Deadline slack handed to degrade-to-deadline: K = now + slack * plan.
+#: Generous because the runtime noise alone roughly doubles realized
+#: turn-around (every optimistic window is killed and re-booked).
+RESILIENCE_DEADLINE_SLACK = 4.0
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """Aggregated outcomes of one ``(policy, fault rate)`` cell.
+
+    Means are over *completed* runs (every task finished); counts are
+    over all runs of the cell.
+    """
+
+    policy: str
+    fault_rate: float
+    instances: int
+    completed: int
+    mean_slowdown: float
+    mean_efficiency: float
+    kills: int
+    revocations: int
+    repairs: int
+    faults_applied: int
+    faults_denied: int
+    deadline_met: int | None  # None when the policy runs without a deadline
+
+
+@dataclass(frozen=True)
+class ResilienceStudy:
+    """The full study: all cells plus the harness's fault report."""
+
+    policies: tuple[str, ...]
+    fault_rates: tuple[float, ...]
+    instances: int
+    cells: tuple[ResilienceCell, ...]
+    quarantined: tuple[QuarantinedInstance, ...] = field(default=())
+    resumed: int = 0
+
+    def cell(self, policy: str, fault_rate: float) -> ResilienceCell:
+        """Look one cell up by its coordinates."""
+        for c in self.cells:
+            if c.policy == policy and c.fault_rate == fault_rate:
+                return c
+        raise KeyError((policy, fault_rate))
+
+
+def _fingerprint(inst: InstanceStream) -> tuple:
+    """A content-derived key for the instance's fault/noise streams.
+
+    Stable across worker counts and resumes (unlike the stream index
+    seen by any one worker) and distinct per instance: the scenario
+    name pins the reservation schedule and the total sequential time —
+    a sum of continuous draws — pins the DAG instance.
+    """
+    seq_total = sum(t.seq_time for t in inst.graph.tasks)
+    return (
+        inst.scenario_key,
+        inst.scenario.name,
+        inst.graph.n,
+        f"{seq_total:.6e}",
+    )
+
+
+def _resilience_instance(
+    inst: InstanceStream,
+    *,
+    policies: tuple[str, ...],
+    fault_rates: tuple[float, ...],
+    sigma: float,
+    seed: int,
+    deadline_slack: float,
+) -> dict[str, dict[str, float]]:
+    """Per-instance work: plan once, execute per (rate, policy).
+
+    Module-level so process-pool workers can import it by reference.
+    Returns plain dicts keyed ``"<policy>@<rate>"`` so results journal
+    and pickle cheaply.
+    """
+    fp = _fingerprint(inst)
+    plan = schedule_ressched(inst.graph, inst.scenario, ResSchedAlgorithm())
+    out: dict[str, dict[str, float]] = {}
+    for rate in fault_rates:
+        rate_key = f"{rate:g}"
+        if rate > 0:
+            faults = faults_for_schedule(
+                plan, inst.scenario, FaultModel.from_rate(rate),
+                derive_rng(seed, "resilience-faults", *fp, rate_key),
+            )
+        else:
+            faults = ()
+        for policy in policies:
+            # Fresh generator at an identical state for every policy:
+            # all policies execute the same actual durations.
+            noise_rng = derive_rng(seed, "resilience-noise", *fp, rate_key)
+            deadline = None
+            if policy == "degrade-to-deadline":
+                deadline = inst.scenario.now + plan.turnaround * deadline_slack
+            res = execute_resilient(
+                plan, inst.graph, inst.scenario,
+                policy=policy, faults=faults,
+                runtime_model=LognormalNoise(sigma) if sigma > 0 else None,
+                rng=noise_rng, deadline=deadline,
+            )
+            out[f"{policy}@{rate_key}"] = {
+                "success": float(res.success),
+                "slowdown": res.slowdown if res.success else float("inf"),
+                "efficiency": res.booking_efficiency,
+                "kills": float(res.total_kills),
+                "revocations": float(res.revocations),
+                "repairs": float(len(res.repairs)),
+                "faults_applied": float(len(res.faults_applied)),
+                "faults_denied": float(res.faults_denied),
+                "deadline_met": float(res.deadline_met) if deadline is not None
+                else float("nan"),
+            }
+    return out
+
+
+def _accumulate_resilience(
+    pairs: Iterable[tuple[str, dict[str, dict[str, float]]]],
+    *,
+    policies: tuple[str, ...],
+    fault_rates: tuple[float, ...],
+) -> tuple[int, tuple[ResilienceCell, ...]]:
+    """Fold per-instance metric dicts into per-cell aggregates."""
+    sums: dict[str, dict[str, float]] = {}
+    counts: dict[str, int] = {}
+    n_instances = 0
+    for _, per_cell in pairs:
+        n_instances += 1
+        for cell_key, metrics in per_cell.items():
+            agg = sums.setdefault(cell_key, {
+                "completed": 0.0, "slowdown": 0.0, "efficiency": 0.0,
+                "kills": 0.0, "revocations": 0.0, "repairs": 0.0,
+                "faults_applied": 0.0, "faults_denied": 0.0,
+                "deadline_met": 0.0,
+            })
+            counts[cell_key] = counts.get(cell_key, 0) + 1
+            if metrics["success"]:
+                agg["completed"] += 1.0
+                agg["slowdown"] += metrics["slowdown"]
+                agg["efficiency"] += metrics["efficiency"]
+                if metrics["deadline_met"] == metrics["deadline_met"]:  # not NaN
+                    agg["deadline_met"] += metrics["deadline_met"]
+            for k in ("kills", "revocations", "repairs",
+                      "faults_applied", "faults_denied"):
+                agg[k] += metrics[k]
+    cells = []
+    for rate in fault_rates:
+        for policy in policies:
+            cell_key = f"{policy}@{rate:g}"
+            agg = sums.get(cell_key)
+            count = counts.get(cell_key, 0)
+            if agg is None:
+                continue
+            done = int(agg["completed"])
+            cells.append(ResilienceCell(
+                policy=policy,
+                fault_rate=rate,
+                instances=count,
+                completed=done,
+                mean_slowdown=agg["slowdown"] / done if done else float("nan"),
+                mean_efficiency=agg["efficiency"] / done if done else float("nan"),
+                kills=int(agg["kills"]),
+                revocations=int(agg["revocations"]),
+                repairs=int(agg["repairs"]),
+                faults_applied=int(agg["faults_applied"]),
+                faults_denied=int(agg["faults_denied"]),
+                deadline_met=int(agg["deadline_met"])
+                if policy == "degrade-to-deadline" else None,
+            ))
+    return n_instances, tuple(cells)
+
+
+def run_resilience(
+    scale: ExperimentScale,
+    *,
+    fault_rates: tuple[float, ...] = RESILIENCE_FAULT_RATES,
+    policies: tuple[str, ...] = REPAIR_POLICIES,
+    noise_sigma: float = RESILIENCE_NOISE_SIGMA,
+    deadline_slack: float = RESILIENCE_DEADLINE_SLACK,
+    fault_tolerance: FaultTolerance | None = None,
+) -> ResilienceStudy:
+    """The repair-policy study over the synthetic-log grid.
+
+    Runs through the crash-tolerant sweep: pass ``fault_tolerance`` to
+    add per-instance timeouts or a checkpoint journal; quarantined
+    instances are reported on the study, never silently dropped.
+    """
+    outcome = run_sweep(
+        _resilience_instance,
+        iter_problem_instances,
+        (scale,),
+        n_workers=scale.n_workers,
+        work_kwargs={
+            "policies": tuple(policies),
+            "fault_rates": tuple(fault_rates),
+            "sigma": noise_sigma,
+            "seed": scale.seed,
+            "deadline_slack": deadline_slack,
+        },
+        fault_tolerance=fault_tolerance,
+    )
+    n_instances, cells = _accumulate_resilience(
+        outcome.results,
+        policies=tuple(policies), fault_rates=tuple(fault_rates),
+    )
+    return ResilienceStudy(
+        policies=tuple(policies),
+        fault_rates=tuple(fault_rates),
+        instances=n_instances,
+        cells=cells,
+        quarantined=tuple(outcome.quarantined),
+        resumed=outcome.resumed,
+    )
+
+
+def format_resilience(
+    study: ResilienceStudy, *, title: str = "Resilience"
+) -> str:
+    """Per-cell table: realized outcomes by fault rate and policy."""
+    lines = [
+        f"{title}: repair policies under fault injection "
+        f"({study.instances} instances/cell"
+        + (f", {len(study.quarantined)} quarantined" if study.quarantined
+           else "")
+        + (f", {study.resumed} resumed" if study.resumed else "")
+        + ")",
+        f"{'rate':>5} {'policy':<20} {'done':>5} {'slowdn':>7} {'effic':>6} "
+        f"{'kills':>5} {'revok':>5} {'repair':>6} {'fault':>5} {'deny':>5} "
+        f"{'dl-met':>6}",
+    ]
+    for cell in study.cells:
+        dl = "-" if cell.deadline_met is None else str(cell.deadline_met)
+        lines.append(
+            f"{cell.fault_rate:>5g} {cell.policy:<20} "
+            f"{cell.completed:>4}/{cell.instances:<1} "
+            f"{cell.mean_slowdown:>6.3f} {cell.mean_efficiency:>6.3f} "
+            f"{cell.kills:>5} {cell.revocations:>5} {cell.repairs:>6} "
+            f"{cell.faults_applied:>5} {cell.faults_denied:>5} {dl:>6}"
+        )
+    for q in study.quarantined:
+        lines.append(f"quarantined #{q.idx} [{q.scenario_key}]: {q.reason}")
+    return "\n".join(lines)

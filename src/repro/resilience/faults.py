@@ -1,0 +1,219 @@
+"""Deterministic fault injection for reservation scenarios.
+
+The paper schedules against a *static* reservation schedule; real batch
+systems are not static.  This module perturbs a scenario **after**
+scheduling time with the three fault classes the repair engine reacts
+to:
+
+* ``arrival`` — a competing reservation submitted after ``now``; if it
+  conflicts with the application's bookings the resource manager honors
+  the competitor and revokes the (unstarted) application bookings.
+* ``cancel`` — a known competing reservation is cancelled before it
+  starts, freeing capacity the replanning policies may exploit.
+* ``downtime`` — a node-outage window, modeled as a zero-notice
+  reservation starting at the fault instant.
+
+Fault traces are pure functions of ``(scenario, model, rng)``: all draws
+come from the single generator passed in, so deriving it via
+:func:`repro.rng.derive_rng` with a structural key makes every trace
+reproducible across processes and worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.calendar import Reservation
+from repro.errors import FaultError
+from repro.rng import RNG
+from repro.units import DAY, HOUR
+from repro.workloads.reservations import ReservationScenario
+
+#: Fault kinds, in the order they sort within one instant.
+FAULT_KINDS = ("arrival", "cancel", "downtime")
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One perturbation of the reservation state.
+
+    Attributes:
+        time: The instant the fault becomes known to the engine.
+        kind: One of :data:`FAULT_KINDS`.
+        reservation: For ``arrival``/``downtime``: the competing window
+            requested (it may be admitted only partially, or denied, if
+            capacity has already been consumed).  For ``cancel``: the
+            existing competing reservation being cancelled.
+    """
+
+    time: float
+    kind: str
+    reservation: Reservation
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Poisson fault-rate model over the execution horizon.
+
+    Rates are events per day of simulated time; sizes are fractions of
+    the platform capacity; durations and leads are in seconds.
+
+    Attributes:
+        arrivals_per_day: Rate of competing-reservation arrivals.
+        cancels_per_day: Rate of cancellations of known reservations.
+        downtimes_per_day: Rate of node-outage windows.
+        arrival_procs: (lo, hi) capacity fraction of an arrival.
+        arrival_duration: (lo, hi) seconds of an arrival's window.
+        arrival_lead: (lo, hi) seconds between submission and window
+            start (advance notice).
+        downtime_procs: (lo, hi) capacity fraction of an outage.
+        downtime_duration: (lo, hi) seconds of an outage.
+    """
+
+    arrivals_per_day: float = 0.0
+    cancels_per_day: float = 0.0
+    downtimes_per_day: float = 0.0
+    arrival_procs: tuple[float, float] = (0.05, 0.35)
+    arrival_duration: tuple[float, float] = (0.5 * HOUR, 8 * HOUR)
+    arrival_lead: tuple[float, float] = (0.0, 12 * HOUR)
+    downtime_procs: tuple[float, float] = (0.02, 0.15)
+    downtime_duration: tuple[float, float] = (0.5 * HOUR, 4 * HOUR)
+
+    def __post_init__(self) -> None:
+        for attr in ("arrivals_per_day", "cancels_per_day", "downtimes_per_day"):
+            if getattr(self, attr) < 0:
+                raise FaultError(f"{attr} must be >= 0, got {getattr(self, attr)}")
+        for attr in ("arrival_procs", "downtime_procs"):
+            lo, hi = getattr(self, attr)
+            if not 0 < lo <= hi <= 1:
+                raise FaultError(
+                    f"{attr} must satisfy 0 < lo <= hi <= 1, got ({lo}, {hi})"
+                )
+        for attr in ("arrival_duration", "arrival_lead", "downtime_duration"):
+            lo, hi = getattr(self, attr)
+            if not 0 <= lo <= hi:
+                raise FaultError(
+                    f"{attr} must satisfy 0 <= lo <= hi, got ({lo}, {hi})"
+                )
+
+    @classmethod
+    def from_rate(cls, rate: float) -> "FaultModel":
+        """A canonical mix at an overall intensity: arrivals dominate,
+        cancels and downtimes each at a quarter of the rate."""
+        return cls(
+            arrivals_per_day=rate,
+            cancels_per_day=rate * 0.25,
+            downtimes_per_day=rate * 0.25,
+        )
+
+    def scaled(self, factor: float) -> "FaultModel":
+        """The same model with every rate multiplied by ``factor``."""
+        if factor < 0:
+            raise FaultError(f"scale factor must be >= 0, got {factor}")
+        return replace(
+            self,
+            arrivals_per_day=self.arrivals_per_day * factor,
+            cancels_per_day=self.cancels_per_day * factor,
+            downtimes_per_day=self.downtimes_per_day * factor,
+        )
+
+    @property
+    def total_rate(self) -> float:
+        """Events per day across all kinds."""
+        return self.arrivals_per_day + self.cancels_per_day + self.downtimes_per_day
+
+
+def generate_faults(
+    scenario: ReservationScenario,
+    model: FaultModel,
+    rng: RNG,
+    *,
+    horizon: float,
+) -> tuple[FaultEvent, ...]:
+    """Draw a deterministic fault trace over ``[now, now + horizon)``.
+
+    All randomness comes from ``rng`` in a fixed draw order (arrival
+    count, arrival parameters, downtime count, downtime parameters,
+    cancel count, cancel targets), so equal ``(scenario, model, rng
+    state)`` always yields the identical trace.
+
+    Args:
+        scenario: The platform snapshot the schedule was computed for.
+        model: Fault rates and size distributions.
+        rng: A dedicated generator (use :func:`repro.rng.derive_rng`).
+        horizon: Length of the fault window in seconds — normally a
+            generous multiple of the planned turn-around, so late
+            re-bookings still see faults.
+
+    Returns:
+        Events sorted by ``(time, kind, reservation)``.
+    """
+    if horizon <= 0:
+        raise FaultError(f"horizon must be positive, got {horizon}")
+    t0 = scenario.now
+    days = horizon / DAY
+    cap = scenario.capacity
+    events: list[FaultEvent] = []
+
+    n_arrivals = int(rng.poisson(model.arrivals_per_day * days))
+    for k in range(n_arrivals):
+        t = t0 + float(rng.uniform(0.0, horizon))
+        lead = float(rng.uniform(*model.arrival_lead))
+        dur = float(rng.uniform(*model.arrival_duration))
+        frac = float(rng.uniform(*model.arrival_procs))
+        nprocs = max(1, min(cap, int(round(frac * cap))))
+        window = Reservation(
+            start=t + lead, end=t + lead + dur, nprocs=nprocs,
+            label=f"fault-arrival-{k}",
+        )
+        events.append(FaultEvent(time=t, kind="arrival", reservation=window))
+
+    n_downtimes = int(rng.poisson(model.downtimes_per_day * days))
+    for k in range(n_downtimes):
+        t = t0 + float(rng.uniform(0.0, horizon))
+        dur = float(rng.uniform(*model.downtime_duration))
+        frac = float(rng.uniform(*model.downtime_procs))
+        nprocs = max(1, min(cap, int(round(frac * cap))))
+        window = Reservation(
+            start=t, end=t + dur, nprocs=nprocs, label=f"fault-downtime-{k}",
+        )
+        events.append(FaultEvent(time=t, kind="downtime", reservation=window))
+
+    n_cancels = int(rng.poisson(model.cancels_per_day * days))
+    # Only not-yet-started competing reservations can be cancelled; sort
+    # for a stable candidate order regardless of scenario construction.
+    candidates = sorted(r for r in scenario.reservations if r.start > t0)
+    for _ in range(n_cancels):
+        if not candidates:
+            break
+        target = candidates.pop(int(rng.integers(len(candidates))))
+        t = t0 + float(rng.uniform(0.0, max(target.start - t0, 0.0)))
+        events.append(FaultEvent(time=t, kind="cancel", reservation=target))
+
+    events.sort()
+    return tuple(events)
+
+
+def faults_for_schedule(
+    schedule,
+    scenario: ReservationScenario,
+    model: FaultModel,
+    rng: RNG,
+    *,
+    slack: float = 1.5,
+) -> tuple[FaultEvent, ...]:
+    """Convenience wrapper: horizon sized from the planned schedule.
+
+    Uses ``max(planned turn-around * slack, 1 day)`` so short plans
+    still see day-scale fault processes and late re-bookings remain
+    inside the fault window.
+    """
+    horizon = max(schedule.turnaround * slack, DAY)
+    return generate_faults(scenario, model, rng, horizon=horizon)

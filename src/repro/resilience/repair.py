@@ -1,0 +1,177 @@
+"""Repair policies: how the engine replans after a fault.
+
+Three pluggable policies, selected by name:
+
+* ``local-rebook`` — generalizes the executor's geometric-growth retry:
+  each revoked task is re-booked individually at the earliest feasible
+  start after the fault, with capped exponential *backoff* before the
+  request and capped geometric *growth* of the window on repeated
+  kills.  Cheap, myopic, the baseline.
+* ``replan-remaining`` — on every fault event, revoke all unstarted
+  bookings and run a full RESSCHED (CPA-based) forward replan of the
+  remaining subgraph against the post-fault calendar.
+* ``degrade-to-deadline`` — same frontier replan, but through the
+  backward RESSCHEDDL heuristics against the deadline ``K``: shrink
+  allocations (surrendering turn-around slack) to still meet the
+  deadline; when no deadline-meeting repair exists, fall back to the
+  forward replan and record the degradation.
+
+Replans see the *post-fault* world as a fresh
+:class:`~repro.workloads.reservations.ReservationScenario` whose ``now``
+is the fault instant and whose reservations are every window still on
+the books (competitors, injected faults, and the windows already paid
+for by started or killed attempts).  External predecessors are threaded
+through the schedulers' ``ready_floors`` parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calendar import Reservation
+from repro.core.deadline import schedule_deadline
+from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
+from repro.errors import RepairError
+from repro.schedule import Schedule
+from repro.units import HOUR
+from repro.workloads.reservations import ReservationScenario
+
+#: The pluggable repair policies, by name.
+REPAIR_POLICIES = ("local-rebook", "replan-remaining", "degrade-to-deadline")
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Tunables shared by the repair policies.
+
+    Attributes:
+        max_attempts: Booking-attempt cap per task (kills, revocations,
+            and replans all consume attempts); exhausting it fails the
+            task structurally.
+        rebook_growth: Window growth factor after a killed attempt (the
+            executor's geometric retry).
+        rebook_growth_cap: Cap on total window growth, as a multiple of
+            the originally planned window (the "capped" in capped
+            exponential retry; the window never shrinks below what the
+            actual duration needs).
+        backoff_base: Seconds of backoff before the first re-book of a
+            task; doubles per subsequent kill.  0 disables backoff and
+            reproduces the executor's immediate retry.
+        backoff_cap: Upper bound on one backoff delay, seconds.
+        replan_algorithm: RESSCHED heuristic used by the replanning
+            policies (and the degrade fallback).
+        deadline_algorithm: RESSCHEDDL heuristic for degrade-to-deadline.
+    """
+
+    max_attempts: int = 30
+    rebook_growth: float = 1.5
+    rebook_growth_cap: float = 16.0
+    backoff_base: float = 0.0
+    backoff_cap: float = 4 * HOUR
+    replan_algorithm: ResSchedAlgorithm = ResSchedAlgorithm()
+    deadline_algorithm: str = "DL_BD_CPAR"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise RepairError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.rebook_growth < 1.0 or self.rebook_growth_cap < 1.0:
+            raise RepairError("rebook growth factors must be >= 1")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise RepairError("backoff parameters must be >= 0")
+
+    def backoff(self, kills: int) -> float:
+        """Backoff before the re-book following the ``kills``-th kill."""
+        if self.backoff_base <= 0 or kills < 1:
+            return 0.0
+        return min(self.backoff_base * 2.0 ** (kills - 1), self.backoff_cap)
+
+    def grown_window(self, window_len: float, planned_len: float, dur: float) -> float:
+        """Next window length after a kill: geometric growth, capped at
+        ``rebook_growth_cap`` times the plan, but never too short for
+        the now-known actual duration."""
+        grown = min(window_len * self.rebook_growth,
+                    planned_len * self.rebook_growth_cap)
+        return max(grown, dur * 1.05)
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One recorded repair, in engine event order.
+
+    Attributes:
+        time: Fault/kill instant that triggered the repair.
+        policy: Policy that handled it.
+        trigger: ``"arrival"``, ``"cancel"``, ``"downtime"`` or
+            ``"kill"``.
+        tasks: Tasks whose bookings were (re)placed, ascending.
+        note: Free-form detail (e.g. ``"deadline-infeasible-fallback"``).
+    """
+
+    time: float
+    policy: str
+    trigger: str
+    tasks: tuple[int, ...]
+    note: str = ""
+
+
+def snapshot_scenario(
+    scenario: ReservationScenario,
+    now: float,
+    blocking: "list[Reservation]",
+) -> ReservationScenario:
+    """The post-fault world as a scenario rooted at the fault instant.
+
+    ``blocking`` is every window the replan must respect: surviving
+    competitors, admitted faults, and windows already paid for by
+    started or killed attempts.  Windows fully in the past cannot
+    constrain a forward query and are dropped to keep replan calendars
+    small.
+    """
+    future = tuple(r for r in blocking if r.end > now)
+    hist = min(max(scenario.hist_avg_available, 1.0), float(scenario.capacity))
+    return ReservationScenario(
+        name=f"{scenario.name}+faults",
+        capacity=scenario.capacity,
+        now=now,
+        reservations=future,
+        hist_avg_available=hist,
+        phi=scenario.phi,
+        method=scenario.method,
+    )
+
+
+def replan_frontier(
+    graph,
+    tasks: "list[int]",
+    floors: "dict[int, float]",
+    scenario: ReservationScenario,
+    config: RepairConfig,
+    *,
+    deadline: "float | None" = None,
+) -> "tuple[Schedule, dict[int, int], str]":
+    """Replan the unstarted frontier; returns (schedule, old→new, note).
+
+    With ``deadline`` set, tries the backward deadline heuristic first
+    and falls back to the forward replan when the deadline can no longer
+    be met (the degradation the caller records).
+    """
+    sub, old_to_new = graph.subgraph(tasks)
+    sub_floors = [scenario.now] * sub.n
+    for old, new in old_to_new.items():
+        sub_floors[new] = max(scenario.now, floors.get(old, scenario.now))
+    note = ""
+    if deadline is not None:
+        result = schedule_deadline(
+            sub, scenario, deadline, config.deadline_algorithm,
+            ready_floors=sub_floors,
+        )
+        if result.feasible:
+            assert result.schedule is not None
+            return result.schedule, old_to_new, "deadline-met"
+        note = "deadline-infeasible-fallback"
+    sched = schedule_ressched(
+        sub, scenario, config.replan_algorithm, ready_floors=sub_floors,
+    )
+    return sched, old_to_new, note or "forward-replan"

@@ -16,6 +16,7 @@ from repro.sim.noise import (
 )
 from repro.sim.execution import (
     ExecutionResult,
+    TaskFailure,
     TaskOutcome,
     execute_schedule,
     pad_graph,
@@ -27,6 +28,7 @@ __all__ = [
     "UniformNoise",
     "LognormalNoise",
     "TaskOutcome",
+    "TaskFailure",
     "ExecutionResult",
     "execute_schedule",
     "pad_graph",

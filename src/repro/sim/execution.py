@@ -19,16 +19,23 @@ duration may differ.  Reservation systems are unforgiving:
 reports realized turn-around, kills/re-bookings, and both CPU-hour
 totals — the quantities the paper's deferred pessimistic-estimates
 study needs.
+
+A task that exhausts its re-booking attempts is *not* an exception: it
+is recorded as a :class:`TaskFailure` (with the CPU-hours its killed
+windows burned), its successors cascade-fail, and the sweep-level
+caller reads :attr:`ExecutionResult.success` / ``failures`` to compute
+failure rates.  Fault-reactive execution lives in
+:mod:`repro.resilience`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.calendar import ResourceCalendar
 from repro.dag import TaskGraph
 from repro.dag.task import Task
-from repro.errors import GenerationError
+from repro.errors import ExecutionError, GenerationError
 from repro.rng import RNG
 from repro.schedule import Schedule
 from repro.sim.noise import ExactRuntime, RuntimeModel
@@ -83,17 +90,38 @@ class TaskOutcome:
 
 
 @dataclass(frozen=True)
+class TaskFailure:
+    """A task the execution had to give up on.
+
+    Attributes:
+        task: Task index.
+        attempts: Booking attempts paid before giving up (0 when the
+            task never ran because a predecessor failed).
+        booked_cpu_seconds: Processor-seconds burned on killed windows.
+        reason: ``"attempt-cap"`` (re-booking cap exhausted) or
+            ``"predecessor-failed"`` (cascaded).
+    """
+
+    task: int
+    attempts: int
+    booked_cpu_seconds: float
+    reason: str
+
+
+@dataclass(frozen=True)
 class ExecutionResult:
     """Aggregate outcome of executing one schedule.
 
     Attributes:
-        outcomes: Per-task outcomes, indexed by task.
+        outcomes: Per-task outcomes of *completed* tasks, in task order.
         planned_turnaround: The schedule's promised turn-around.
-        realized_turnaround: What actually happened.
+        realized_turnaround: What actually happened; ``inf`` when any
+            task failed (the application never completed).
         cpu_hours_booked: Processor-hours reserved (including killed
-            windows and unused tails).
+            windows, unused tails, and windows burned by failed tasks).
         cpu_hours_used: Processor-hours of actual computation.
         total_kills: Killed attempts over all tasks.
+        failures: Tasks that never completed (empty on success).
     """
 
     outcomes: tuple[TaskOutcome, ...]
@@ -102,6 +130,12 @@ class ExecutionResult:
     cpu_hours_booked: float
     cpu_hours_used: float
     total_kills: int
+    failures: tuple[TaskFailure, ...] = field(default=())
+
+    @property
+    def success(self) -> bool:
+        """True when every task completed."""
+        return not self.failures
 
     @property
     def slowdown(self) -> float:
@@ -120,6 +154,8 @@ def execute_schedule(
     scenario: ReservationScenario,
     runtime_model: RuntimeModel | None = None,
     rng: RNG | None = None,
+    *,
+    max_attempts: int = _MAX_ATTEMPTS,
 ) -> ExecutionResult:
     """Replay ``schedule`` under runtime noise and reservation semantics.
 
@@ -136,18 +172,20 @@ def execute_schedule(
         runtime_model: Actual/estimated noise (default: exact).
         rng: Randomness for the noise model (required unless the model
             is deterministic like :class:`ExactRuntime`).
+        max_attempts: Booking-attempt cap per task; a task that exhausts
+            it becomes a :class:`TaskFailure` (never an exception).
 
     Returns:
         The :class:`ExecutionResult`.
     """
     if actual_graph.n != schedule.graph.n or actual_graph.edges != schedule.graph.edges:
-        raise GenerationError(
+        raise ExecutionError(
             "actual_graph must match the scheduled graph structurally"
         )
     model = runtime_model or ExactRuntime()
     if rng is None:
         if not isinstance(model, ExactRuntime):
-            raise GenerationError("a noisy runtime model needs an rng")
+            raise ExecutionError("a noisy runtime model needs an rng")
         import numpy as np
 
         rng = np.random.default_rng(0)
@@ -169,10 +207,18 @@ def execute_schedule(
     # booked-start order and look predecessors up by realized finish.
     finish: dict[int, float] = {}
     outcomes: list[TaskOutcome | None] = [None] * schedule.graph.n
+    failed: dict[int, TaskFailure] = {}
     total_kills = 0
 
     for i in order:
         pl = schedule.placements[i]
+        if any(p in failed for p in actual_graph.predecessors(i)):
+            # A predecessor never completed; this task can never run.
+            failed[i] = TaskFailure(
+                task=i, attempts=0, booked_cpu_seconds=0.0,
+                reason="predecessor-failed",
+            )
+            continue
         dur = actual_dur[i]
         ready = schedule.now
         for pred in actual_graph.predecessors(i):
@@ -184,11 +230,6 @@ def execute_schedule(
         window_len = pl.duration
         while True:
             attempts += 1
-            if attempts > _MAX_ATTEMPTS:
-                raise GenerationError(
-                    f"task {i} could not be executed after "
-                    f"{_MAX_ATTEMPTS} booking attempts"
-                )
             start = max(window_start, ready)
             booked_cpu += pl.nprocs * (window_end - window_start)
             if start + dur <= window_end + 1e-9:
@@ -207,6 +248,14 @@ def execute_schedule(
             # into it, or the estimate was optimistic).  Re-book after
             # the failed window with a geometrically grown request.
             total_kills += 1
+            if attempts >= max_attempts:
+                # Give up: surface a structured failure (the burned
+                # windows stay paid) rather than aborting the sweep.
+                failed[i] = TaskFailure(
+                    task=i, attempts=attempts,
+                    booked_cpu_seconds=booked_cpu, reason="attempt-cap",
+                )
+                break
             window_len = max(window_len * _REBOOK_GROWTH, dur * 1.05)
             window_start = cal.earliest_start(
                 max(window_end, ready), window_len, pl.nprocs
@@ -215,13 +264,17 @@ def execute_schedule(
             cal.reserve(window_start, window_len, pl.nprocs, label=f"rebook-{i}")
 
     done = [o for o in outcomes if o is not None]
-    assert len(done) == schedule.graph.n
-    realized = max(o.finish for o in done) - schedule.now
+    if failed:
+        realized = float("inf")
+    else:
+        realized = max(o.finish for o in done) - schedule.now
+    burned = sum(f.booked_cpu_seconds for f in failed.values())
     return ExecutionResult(
         outcomes=tuple(done),
         planned_turnaround=schedule.turnaround,
         realized_turnaround=realized,
-        cpu_hours_booked=sum(o.booked_cpu_seconds for o in done) / HOUR,
+        cpu_hours_booked=(sum(o.booked_cpu_seconds for o in done) + burned) / HOUR,
         cpu_hours_used=sum(o.nprocs * o.actual_duration for o in done) / HOUR,
         total_kills=total_kills,
+        failures=tuple(failed[i] for i in sorted(failed)),
     )

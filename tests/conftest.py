@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
+
 import pytest
 
 from repro import (
@@ -20,6 +24,44 @@ from repro.workloads import (
     preset,
 )
 from repro.workloads.reservations import pick_scheduling_time
+
+
+#: Per-test wall-clock budget in seconds; 0 (or unset-able via env)
+#: disables the guard.  Dependency-free SIGALRM timeout so a hung test
+#: fails loudly instead of wedging CI.
+_TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300") or 0)
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout(request):
+    """Fail any test that exceeds ``REPRO_TEST_TIMEOUT`` seconds.
+
+    Uses ``SIGALRM`` (skipped off the main thread and on platforms
+    without it).  ``repro.experiments.parallel._alarm`` saves and
+    restores an outer itimer, so per-instance harness timeouts compose
+    with this fixture instead of clobbering it.
+    """
+    if (
+        _TEST_TIMEOUT_S <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT_S:g}s: "
+            f"{request.node.nodeid}"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, _TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 @pytest.fixture

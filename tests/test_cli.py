@@ -133,3 +133,72 @@ class TestInfoScheduleDeadline:
         )
         assert rc == 1
         assert "CANNOT" in capsys.readouterr().out
+
+
+class TestExecute:
+    @pytest.fixture
+    def dag_file(self, tmp_path):
+        out = tmp_path / "dag.json"
+        main(["gen-dag", "--n", "10", "--seed", "3", "--out", str(out)])
+        return str(out)
+
+    def test_execute_exact_no_faults_reproduces_plan(self, dag_file, capsys):
+        rc = main(
+            ["execute", "--dag", dag_file, "--preset", "OSC_Cluster",
+             "--seed", "5", "--fault-rate", "0"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slowdown 1.000" in out
+        assert "efficiency 1.000" in out
+        assert "0 injected" in out
+
+    def test_execute_with_faults_writes_report(self, dag_file, tmp_path, capsys):
+        report = tmp_path / "exec.json"
+        rc = main(
+            ["execute", "--dag", dag_file, "--preset", "OSC_Cluster",
+             "--seed", "5", "--policy", "replan-remaining",
+             "--fault-rate", "6", "--noise", "0.2",
+             "--out", str(report)]
+        )
+        out = capsys.readouterr().out
+        assert rc in (0, 1)  # structured failure is a valid outcome
+        assert "faults" in out
+        doc = json.loads(report.read_text())
+        assert doc["name"] == "execute"
+        assert doc["meta"]["policy"] == "replan-remaining"
+
+    def test_execute_deterministic(self, dag_file, capsys):
+        args = ["execute", "--dag", dag_file, "--preset", "OSC_Cluster",
+                "--seed", "9", "--fault-rate", "4", "--noise", "0.15"]
+        main(args)
+        first = capsys.readouterr().out
+        main(args)
+        assert capsys.readouterr().out == first
+
+
+class TestReportResilience:
+    def test_writes_schema_valid_report(self, tmp_path, capsys):
+        from repro.obs import validate_run_report
+
+        report = tmp_path / "resilience.json"
+        journal = tmp_path / "sweep.jsonl"
+        rc = main(
+            ["report", "--cell", "resilience", "--out", str(report),
+             "--journal", str(journal)]
+        )
+        assert rc == 0
+        doc = json.loads(report.read_text())
+        validate_run_report(doc)
+        assert doc["meta"]["quarantined"] == []
+        assert doc["meta"]["resumed"] == 0
+        out = capsys.readouterr().out
+        assert "repair policies under fault injection" in out
+        # The journal recorded every instance; re-running resumes all.
+        rc = main(
+            ["report", "--cell", "resilience", "--out", str(report),
+             "--journal", str(journal)]
+        )
+        assert rc == 0
+        doc = json.loads(report.read_text())
+        assert doc["meta"]["resumed"] > 0

@@ -18,6 +18,9 @@ class TestErrorHierarchy:
             errors.InfeasibleError,
             errors.ScheduleValidationError,
             errors.WorkloadError,
+            errors.ExecutionError,
+            errors.FaultError,
+            errors.RepairError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -27,6 +30,16 @@ class TestErrorHierarchy:
     def test_catching_base_catches_all(self):
         with pytest.raises(errors.ReproError):
             raise errors.CalendarError("x")
+
+    def test_execution_errors_specialize_execution_error(self):
+        assert issubclass(errors.FaultError, errors.ExecutionError)
+        assert issubclass(errors.RepairError, errors.ExecutionError)
+
+    def test_execution_error_transitional_alias(self):
+        """One-release compatibility: code catching GenerationError from
+        the executor keeps working until the next release."""
+        with pytest.raises(errors.GenerationError):
+            raise errors.ExecutionError("x")
 
 
 class TestPublicApi:

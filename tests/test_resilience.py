@@ -1,0 +1,439 @@
+"""Tests for fault injection and reactive schedule repair."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calendar import Reservation, ResourceCalendar
+from repro.core import schedule_ressched
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import ExecutionError, FaultError
+from repro.resilience import (
+    FAULT_KINDS,
+    REPAIR_POLICIES,
+    FaultEvent,
+    FaultModel,
+    RepairConfig,
+    execute_resilient,
+    faults_for_schedule,
+    generate_faults,
+    snapshot_scenario,
+)
+from repro.rng import derive_rng, make_rng
+from repro.sim import LognormalNoise, UniformNoise, execute_schedule
+from repro.units import HOUR
+from repro.workloads.reservations import ReservationScenario
+
+
+def _scenario(capacity=16, reservations=(), hist=None, now=0.0):
+    return ReservationScenario(
+        name="resilience-test",
+        capacity=capacity,
+        now=now,
+        reservations=tuple(reservations),
+        hist_avg_available=float(hist if hist is not None else capacity),
+    )
+
+
+class TestFaultModel:
+    def test_from_rate_mix(self):
+        m = FaultModel.from_rate(4.0)
+        assert m.arrivals_per_day == 4.0
+        assert m.cancels_per_day == 1.0
+        assert m.downtimes_per_day == 1.0
+        assert m.total_rate == 6.0
+
+    def test_scaled(self):
+        m = FaultModel.from_rate(2.0).scaled(0.5)
+        assert m.arrivals_per_day == 1.0
+        assert m.cancels_per_day == 0.25
+
+    def test_validation(self):
+        with pytest.raises(FaultError):
+            FaultModel(arrivals_per_day=-1.0)
+        with pytest.raises(FaultError):
+            FaultModel(arrival_procs=(0.0, 0.5))
+        with pytest.raises(FaultError):
+            FaultModel(downtime_duration=(100.0, 50.0))
+        with pytest.raises(FaultError):
+            FaultModel.from_rate(1.0).scaled(-2.0)
+
+    def test_event_kind_validation(self):
+        with pytest.raises(FaultError):
+            FaultEvent(0.0, "meteor", Reservation(0.0, 1.0, 1))
+
+
+class TestGenerateFaults:
+    def test_deterministic_for_derived_stream(self):
+        sc = _scenario(reservations=[Reservation(5000.0, 9000.0, 4)])
+        model = FaultModel.from_rate(8.0)
+        a = generate_faults(sc, model, derive_rng(7, "f"), horizon=200_000.0)
+        b = generate_faults(sc, model, derive_rng(7, "f"), horizon=200_000.0)
+        assert a == b
+        assert len(a) > 0
+
+    def test_sorted_and_in_horizon(self):
+        sc = _scenario()
+        model = FaultModel.from_rate(10.0)
+        events = generate_faults(sc, model, make_rng(3), horizon=100_000.0)
+        assert list(events) == sorted(events)
+        for ev in events:
+            assert sc.now <= ev.time <= sc.now + 100_000.0
+            assert ev.kind in FAULT_KINDS
+
+    def test_cancels_target_known_future_reservations(self):
+        known = [
+            Reservation(5000.0, 9000.0, 4, label="r0"),
+            Reservation(20_000.0, 30_000.0, 2, label="r1"),
+        ]
+        sc = _scenario(reservations=known)
+        model = FaultModel(cancels_per_day=50.0)
+        events = generate_faults(sc, model, make_rng(1), horizon=100_000.0)
+        cancels = [ev for ev in events if ev.kind == "cancel"]
+        assert cancels  # rate is high enough
+        assert len(cancels) <= len(known)  # each target cancelled once
+        for ev in cancels:
+            assert ev.reservation in known
+            assert ev.time <= ev.reservation.start
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(FaultError):
+            generate_faults(_scenario(), FaultModel(), make_rng(0), horizon=0.0)
+
+    def test_zero_rate_is_empty(self):
+        events = generate_faults(
+            _scenario(), FaultModel(), make_rng(0), horizon=100_000.0
+        )
+        assert events == ()
+
+
+class TestSnapshotScenario:
+    def test_drops_past_windows_and_moves_now(self):
+        sc = _scenario(reservations=[Reservation(0.0, 100.0, 2)])
+        snap = snapshot_scenario(
+            sc, 5000.0,
+            [Reservation(0.0, 100.0, 2), Reservation(9000.0, 9500.0, 3)],
+        )
+        assert snap.now == 5000.0
+        assert snap.reservations == (Reservation(9000.0, 9500.0, 3),)
+        assert snap.capacity == sc.capacity
+
+
+class TestExactReduction:
+    """Acceptance: at fault rate 0 with exact runtimes every policy
+    reproduces the planned schedule bitwise."""
+
+    @pytest.mark.parametrize("policy", REPAIR_POLICIES)
+    def test_matches_execute_schedule_bitwise(self, medium_graph, policy):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        baseline = execute_schedule(schedule, medium_graph, sc)
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy=policy, faults=()
+        )
+        assert res.success
+        assert res.realized_turnaround == baseline.realized_turnaround
+        assert res.cpu_hours_booked == baseline.cpu_hours_booked
+        assert res.cpu_hours_used == baseline.cpu_hours_used
+        assert res.total_kills == 0
+        assert res.repairs == ()
+        assert res.revocations == 0
+        for o, pl in zip(res.outcomes, schedule.placements):
+            assert o.start == pl.start
+            assert o.nprocs == pl.nprocs
+
+    def test_noisy_no_fault_matches_execute_schedule(self, medium_graph):
+        """Local-rebook *is* the plain executor's retry loop: under
+        noise kills alone (no faults) the two engines agree bitwise
+        once the resilient growth cap is lifted."""
+        policy = "local-rebook"
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        baseline = execute_schedule(
+            schedule, medium_graph, sc, LognormalNoise(0.3), make_rng(5)
+        )
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy=policy,
+            runtime_model=LognormalNoise(0.3), rng=make_rng(5),
+            config=RepairConfig(rebook_growth_cap=float("inf")),
+        )
+        assert res.realized_turnaround == baseline.realized_turnaround
+        assert res.total_kills == baseline.total_kills
+
+
+class TestFaultReaction:
+    def _plan(self, graph, reservations=()):
+        sc = _scenario(reservations=reservations)
+        return sc, schedule_ressched(graph, sc)
+
+    def test_conflicting_arrival_revokes_and_repairs(self, medium_graph):
+        sc, schedule = self._plan(medium_graph)
+        # A capacity-hogging arrival over the middle of the plan.
+        mid = sc.now + schedule.turnaround / 2
+        ev = FaultEvent(
+            time=sc.now + 1.0, kind="arrival",
+            reservation=Reservation(mid, mid + 4 * HOUR, sc.capacity),
+        )
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy="local-rebook", faults=[ev]
+        )
+        assert res.success
+        assert res.faults_applied == (ev,)
+        assert res.revocations > 0
+        assert len(res.repairs) == 1
+        assert res.repairs[0].trigger == "arrival"
+        assert res.realized_turnaround > res.planned_turnaround
+
+    def test_arrival_denied_when_no_capacity(self, medium_graph):
+        blocker = Reservation(0.0, 1_000_000.0, 15)
+        sc, schedule = self._plan(medium_graph, [blocker])
+        ev = FaultEvent(
+            time=sc.now + 1.0, kind="arrival",
+            reservation=Reservation(sc.now + 10.0, sc.now + 20.0, 16),
+        )
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy="local-rebook", faults=[ev]
+        )
+        # One processor is free but held by application bookings only;
+        # min over ext+held is 1, so the arrival is clipped, not denied.
+        assert res.faults_denied + len(res.faults_applied) == 1
+
+    def test_cancel_triggers_replan_not_local(self, medium_graph):
+        blocker = Reservation(1000.0, 500_000.0, 10)
+        sc, schedule = self._plan(medium_graph, [blocker])
+        ev = FaultEvent(time=sc.now + 1.0, kind="cancel", reservation=blocker)
+        local = execute_resilient(
+            schedule, medium_graph, sc, policy="local-rebook", faults=[ev]
+        )
+        replan = execute_resilient(
+            schedule, medium_graph, sc, policy="replan-remaining", faults=[ev]
+        )
+        assert local.repairs == ()  # nothing to move
+        assert len(replan.repairs) == 1
+        assert replan.repairs[0].trigger == "cancel"
+        # Freed capacity can only help the replanner.
+        assert (
+            replan.realized_turnaround <= local.realized_turnaround + 1e-6
+        )
+
+    def test_cancel_of_unknown_reservation_denied(self, medium_graph):
+        sc, schedule = self._plan(medium_graph)
+        ev = FaultEvent(
+            time=sc.now + 1.0, kind="cancel",
+            reservation=Reservation(9e9, 9.1e9, 1),
+        )
+        res = execute_resilient(schedule, medium_graph, sc, faults=[ev])
+        assert res.faults_denied == 1
+        assert res.faults_applied == ()
+
+    def test_executed_schedule_carries_repair_provenance(self, medium_graph):
+        sc, schedule = self._plan(medium_graph)
+        mid = sc.now + schedule.turnaround / 2
+        ev = FaultEvent(
+            time=sc.now + 1.0, kind="arrival",
+            reservation=Reservation(mid, mid + 2 * HOUR, sc.capacity),
+        )
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy="replan-remaining", faults=[ev]
+        )
+        assert res.success and res.executed is not None
+        recs = [
+            r for r in (res.executed.provenance or ())
+            if isinstance(r, dict) and str(r.get("algorithm", "")).startswith("repair:")
+        ]
+        assert recs
+        for r in recs:
+            assert r["rule"].startswith("repair.")
+            assert {"m", "start", "finish"} <= set(r["chosen"])
+
+    def test_degrade_meets_deadline_when_feasible(self, medium_graph):
+        sc, schedule = self._plan(medium_graph)
+        deadline = sc.now + schedule.turnaround * 10.0
+        mid = sc.now + schedule.turnaround / 2
+        ev = FaultEvent(
+            time=sc.now + 1.0, kind="arrival",
+            reservation=Reservation(mid, mid + 2 * HOUR, sc.capacity),
+        )
+        res = execute_resilient(
+            schedule, medium_graph, sc, policy="degrade-to-deadline",
+            faults=[ev], deadline=deadline,
+        )
+        assert res.success
+        assert res.deadline == deadline
+        assert res.deadline_met
+
+
+class TestStructuredFailure:
+    def test_attempt_cap_fails_task_not_run(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        res = execute_resilient(
+            schedule, medium_graph, sc,
+            runtime_model=UniformNoise(2.0, 2.5), rng=make_rng(0),
+            config=RepairConfig(max_attempts=1),
+        )
+        assert not res.success
+        assert res.realized_turnaround == float("inf")
+        reasons = {f.reason for f in res.failures}
+        assert "attempt-cap" in reasons
+        capped = [f for f in res.failures if f.reason == "attempt-cap"]
+        assert all(f.attempts == 1 for f in capped)
+        assert all(f.booked_cpu_seconds > 0 for f in capped)
+        # Downstream tasks cascade without burning CPU.
+        cascaded = [f for f in res.failures if f.reason == "predecessor-failed"]
+        assert all(f.booked_cpu_seconds == 0.0 for f in cascaded)
+        assert res.executed is None
+        # The burn is still accounted.
+        assert res.cpu_hours_booked > 0
+
+    def test_validation_errors(self, medium_graph, small_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        with pytest.raises(ExecutionError, match="structurally"):
+            execute_resilient(schedule, small_graph, sc)
+        with pytest.raises(ExecutionError, match="policy"):
+            execute_resilient(schedule, medium_graph, sc, policy="pray")
+        with pytest.raises(ExecutionError, match="rng"):
+            execute_resilient(
+                schedule, medium_graph, sc,
+                runtime_model=UniformNoise(0.9, 1.1),
+            )
+
+
+class TestReadyFloors:
+    """The scheduler extension replans are built on: per-task earliest
+    starts for subgraphs with external predecessors."""
+
+    def test_ressched_respects_floor(self, medium_graph):
+        from repro.errors import GenerationError
+
+        sc = _scenario()
+        entry = next(
+            i for i in range(medium_graph.n)
+            if not medium_graph.predecessors(i)
+        )
+        floors = [sc.now] * medium_graph.n
+        floors[entry] = sc.now + 5 * HOUR
+        floored = schedule_ressched(medium_graph, sc, ready_floors=floors)
+        assert floored.start_of(entry) >= sc.now + 5 * HOUR
+        with pytest.raises(GenerationError, match="ready_floors"):
+            schedule_ressched(medium_graph, sc, ready_floors=[0.0])
+
+    def test_deadline_respects_floor(self, medium_graph):
+        from repro.core import schedule_deadline, tightest_deadline
+
+        sc = _scenario()
+        deadline = sc.now + 500 * HOUR
+        entry = next(
+            i for i in range(medium_graph.n)
+            if not medium_graph.predecessors(i)
+        )
+        floors = [sc.now] * medium_graph.n
+        floors[entry] = sc.now + 5 * HOUR
+        result = schedule_deadline(
+            medium_graph, sc, deadline, "DL_BD_CPAR", ready_floors=floors
+        )
+        assert result.feasible
+        assert result.schedule.start_of(entry) >= sc.now + 5 * HOUR
+
+
+class TestResilienceStudy:
+    def _scale(self, n_workers=1):
+        from dataclasses import replace
+
+        from repro.experiments import ExperimentScale
+
+        return replace(
+            ExperimentScale.smoke(),
+            app_scenarios=1, dag_instances=1, n_workers=n_workers,
+        )
+
+    def test_worker_count_invariance(self):
+        """Acceptance: fault traces and repair outcomes are bitwise
+        identical for a fixed seed at any worker count."""
+        from repro.experiments import run_resilience
+
+        rates = (0.0, 4.0)
+        serial = run_resilience(self._scale(1), fault_rates=rates)
+        parallel = run_resilience(self._scale(2), fault_rates=rates)
+        assert serial.cells == parallel.cells
+        assert serial.instances == parallel.instances == 1
+
+    def test_rate_zero_cells_identical_across_policies(self):
+        """Without faults the policies never diverge: same noise stream,
+        same kills, same realized turn-around."""
+        from repro.experiments import run_resilience
+
+        study = run_resilience(self._scale(), fault_rates=(0.0,))
+        baseline = study.cell(REPAIR_POLICIES[0], 0.0)
+        for policy in REPAIR_POLICIES[1:]:
+            cell = study.cell(policy, 0.0)
+            assert cell.mean_slowdown == baseline.mean_slowdown
+            assert cell.kills == baseline.kills
+            assert cell.repairs == 0 and cell.revocations == 0
+
+
+class TestRepairProperties:
+    """Acceptance: repaired schedules stay feasible, deterministic, and
+    precedence-correct under arbitrary fault traces."""
+
+    @given(
+        seed=st.integers(0, 60),
+        rate=st.floats(0.0, 8.0),
+        policy=st.sampled_from(REPAIR_POLICIES),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_invariants(self, seed, rate, policy):
+        rng = make_rng(seed)
+        graph = random_task_graph(DagGenParams(n=10), rng)
+        sc = _scenario(
+            capacity=12, hist=10.0,
+            reservations=[Reservation(3000.0, 30_000.0, 3, label="c0")],
+        )
+        schedule = schedule_ressched(graph, sc)
+        faults = faults_for_schedule(
+            schedule, sc, FaultModel.from_rate(rate),
+            derive_rng(seed, "prop-faults", f"{rate:.3e}"),
+        )
+
+        def run():
+            return execute_resilient(
+                schedule, graph, sc, policy=policy, faults=faults,
+                runtime_model=LognormalNoise(0.2),
+                rng=derive_rng(seed, "prop-noise"),
+            )
+
+        res = run()
+        again = run()
+        # Deterministic given (seed, policy): bitwise-equal outcomes.
+        assert res.outcomes == again.outcomes
+        assert res.failures == again.failures
+        assert res.realized_turnaround == again.realized_turnaround
+        assert res.cpu_hours_booked == again.cpu_hours_booked
+
+        # Every task is accounted for exactly once.
+        done = {o.task for o in res.outcomes}
+        lost = {f.task for f in res.failures}
+        assert done | lost == set(range(graph.n))
+        assert done & lost == set()
+
+        # The final books — competitors, admitted faults (downtime and
+        # arrival windows included), and every paid attempt — never
+        # exceed capacity: repairs cannot overlap injected windows.
+        ResourceCalendar(sc.capacity, res.ledger)  # raises on violation
+
+        # Precedence holds in realized times.
+        finish = {o.task: o.finish for o in res.outcomes}
+        start = {o.task: o.start for o in res.outcomes}
+        for u, v in graph.edges:
+            if u in finish and v in start:
+                assert start[v] >= finish[u] - 1e-6
+
+        # Accounting.
+        assert res.cpu_hours_booked >= res.cpu_hours_used - 1e-9
+        if res.success:
+            assert np.isfinite(res.realized_turnaround)
+            assert res.realized_turnaround > 0

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.calendar import Reservation
 from repro.core import ResSchedAlgorithm, schedule_ressched
 from repro.dag import DagGenParams, random_task_graph
-from repro.errors import GenerationError
+from repro.errors import ExecutionError, GenerationError
 from repro.rng import make_rng
 from repro.sim import (
     ExactRuntime,
@@ -152,14 +152,68 @@ class TestValidation:
     def test_rejects_structural_mismatch(self, medium_graph, small_graph):
         sc = _scenario()
         schedule = schedule_ressched(medium_graph, sc)
-        with pytest.raises(GenerationError, match="structurally"):
+        with pytest.raises(ExecutionError, match="structurally"):
             execute_schedule(schedule, small_graph, sc)
 
     def test_noisy_model_needs_rng(self, medium_graph):
         sc = _scenario()
         schedule = schedule_ressched(medium_graph, sc)
-        with pytest.raises(GenerationError, match="rng"):
+        with pytest.raises(ExecutionError, match="rng"):
             execute_schedule(schedule, medium_graph, sc, UniformNoise(0.9, 1.1))
+
+    def test_execution_error_is_catchable_as_generation_error(
+        self, medium_graph, small_graph
+    ):
+        """Transitional: the pre-taxonomy exception type keeps working
+        for one release."""
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        with pytest.raises(GenerationError):
+            execute_schedule(schedule, small_graph, sc)
+
+
+class TestStructuredFailure:
+    def test_attempt_cap_returns_result_not_exception(self, medium_graph):
+        """Exhausting the retry budget surfaces which task died, after
+        how many attempts, and the CPU-hours burned — no exception."""
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(
+            schedule, medium_graph, sc, UniformNoise(2.0, 2.5), make_rng(0),
+            max_attempts=1,
+        )
+        assert not result.success
+        assert result.realized_turnaround == float("inf")
+        capped = [f for f in result.failures if f.reason == "attempt-cap"]
+        assert capped
+        for f in capped:
+            assert f.attempts == 1
+            assert f.booked_cpu_seconds > 0
+        # Successors of a dead task cascade without booking anything.
+        cascaded = [
+            f for f in result.failures if f.reason == "predecessor-failed"
+        ]
+        for f in cascaded:
+            assert f.attempts == 0
+            assert f.booked_cpu_seconds == 0.0
+        # Failed and completed tasks partition the graph.
+        done = {o.task for o in result.outcomes}
+        lost = {f.task for f in result.failures}
+        assert done | lost == set(range(medium_graph.n))
+        assert not done & lost
+        # The burned windows stay on the bill.
+        burn = sum(f.booked_cpu_seconds for f in result.failures) / 3600.0
+        used = sum(
+            o.booked_cpu_seconds for o in result.outcomes
+        ) / 3600.0
+        assert result.cpu_hours_booked == pytest.approx(burn + used)
+
+    def test_success_property_on_clean_run(self, medium_graph):
+        sc = _scenario()
+        schedule = schedule_ressched(medium_graph, sc)
+        result = execute_schedule(schedule, medium_graph, sc)
+        assert result.success
+        assert result.failures == ()
 
 
 class TestExecutionProperties:

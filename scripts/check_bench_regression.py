@@ -29,6 +29,8 @@ from pathlib import Path
 SPEEDUP_FLOORS = {
     "calendar_commit": 1.0,
     "placement_query": 1.0,
+    "placement_query_indexed": 2.0,
+    "sweep_alloc_memo": 1.5,
     "cpa_allocation": 1.0,
     "table4_cell": 0.5,
 }

@@ -1,8 +1,10 @@
 """Hot-path performance regression harness (``repro bench``).
 
-Times the four hot paths the incremental/vectorized machinery optimizes —
-calendar commit, placement query, CPA allocation, and one Table-4
-experiment cell — against a **seed baseline**: the original
+Times the hot paths the incremental/vectorized/indexed machinery
+optimizes — calendar commit, placement queries (vectorized multi sweeps
+and tree-indexed scalar probes on dense calendars), the sweep-level
+allocation memo, CPA allocation, and one Table-4 experiment cell —
+against a **seed baseline**: the original
 implementations this repository shipped with before the optimization
 pass.  The baseline is reconstructed in-process by (a) flipping the
 module-level switches that gate the incremental paths and (b)
@@ -197,7 +199,9 @@ def seed_baseline() -> Iterator[None]:
     saved_flags = (
         _calmod.INCREMENTAL_COMMITS,
         _calmod.VALIDATE_COMMITS,
+        _calmod.USE_INDEX,
         _allocmod.INCREMENTAL_LEVELS,
+        _allocmod.MEMOIZE_ALLOCATIONS,
     )
     saved_methods = (
         TaskGraph.bottom_levels,
@@ -208,7 +212,10 @@ def seed_baseline() -> Iterator[None]:
     )
     _calmod.INCREMENTAL_COMMITS = False
     _calmod.VALIDATE_COMMITS = True
+    _calmod.USE_INDEX = False
     _allocmod.INCREMENTAL_LEVELS = False
+    _allocmod.MEMOIZE_ALLOCATIONS = False
+    _allocmod.clear_memo()
     TaskGraph.bottom_levels = _seed_bottom_levels
     TaskGraph.top_levels = _seed_top_levels
     ResourceCalendar.earliest_start = _seed_earliest_start
@@ -220,7 +227,9 @@ def seed_baseline() -> Iterator[None]:
         (
             _calmod.INCREMENTAL_COMMITS,
             _calmod.VALIDATE_COMMITS,
+            _calmod.USE_INDEX,
             _allocmod.INCREMENTAL_LEVELS,
+            _allocmod.MEMOIZE_ALLOCATIONS,
         ) = saved_flags
         (
             TaskGraph.bottom_levels,
@@ -335,6 +344,10 @@ def bench_placement_query(*, n_res: int, n_queries: int, repeats: int) -> dict[s
         ]
 
     def fast_path() -> list[np.ndarray]:
+        # This entry measures the 2-D sweep kernel, not the query memo
+        # (bench_sweep_alloc_memo covers caching): drop the memo so the
+        # repeated identical queries don't degenerate into dict hits.
+        cal._multi_cache = {}
         return [cal.earliest_starts_multi(earliest, d) for earliest, d in queries]
 
     seed_s, seed_res = _best_of(seed_path, repeats)
@@ -351,6 +364,139 @@ def bench_placement_query(*, n_res: int, n_queries: int, repeats: int) -> dict[s
     }
 
 
+def bench_placement_query_indexed(
+    *, n_res: int, n_queries: int, repeats: int
+) -> dict[str, Any]:
+    """Scalar placement probes on a *dense* calendar: seed segment walks
+    vs the :class:`~repro.calendar.index.AvailabilityIndex` tree walks.
+
+    The seed answers ``earliest_start``/``latest_start`` by stepping the
+    availability profile one segment at a time in Python — O(S) per
+    probe, and every probed segment costs NumPy-scalar accessor calls.
+    The indexed path descends two flat segment trees, skipping whole
+    infeasible regions per descent.  The calendar here is static (built
+    once, queried many times), the regime the index is for.
+    """
+    capacity = 128
+    horizon = n_res * 120.0
+    rng = make_rng(17)
+    cal = ResourceCalendar(capacity, incremental=False, clamp=True)
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, horizon))
+        dur = float(rng.uniform(60.0, 3_600.0))
+        nprocs = int(rng.integers(1, max(2, capacity // 16)))
+        cal.add(Reservation(start=start, end=start + dur, nprocs=nprocs))
+    n_segments = cal.availability().n_segments
+    rng = make_rng(29)
+    queries = [
+        (
+            float(rng.uniform(0.0, horizon)),
+            float(rng.uniform(120.0, 7_200.0)),
+            int(rng.integers(1, capacity + 1)),
+        )
+        for _ in range(n_queries)
+    ]
+
+    def seed_path() -> list[float | None]:
+        out: list[float | None] = []
+        for earliest, d, m in queries:
+            out.append(_seed_earliest_start(cal, earliest, d, m))
+            out.append(
+                _seed_latest_start(
+                    cal, earliest + horizon, d, m, earliest=earliest
+                )
+            )
+        return out
+
+    def indexed_path() -> list[float | None]:
+        saved = _calmod.USE_INDEX, _calmod.INDEX_MIN_SEGMENTS
+        _calmod.USE_INDEX, _calmod.INDEX_MIN_SEGMENTS = True, 0
+        try:
+            out: list[float | None] = []
+            for earliest, d, m in queries:
+                out.append(cal.earliest_start(earliest, d, m))
+                out.append(
+                    cal.latest_start(
+                        earliest + horizon, d, m, earliest=earliest
+                    )
+                )
+            return out
+        finally:
+            _calmod.USE_INDEX, _calmod.INDEX_MIN_SEGMENTS = saved
+
+    seed_s, seed_res = _best_of(seed_path, repeats)
+    idx_s, idx_res = _best_of(indexed_path, repeats)
+    if seed_res != idx_res:
+        raise AssertionError("indexed placement-query paths disagree")
+    return {
+        "n_reservations": n_res,
+        "n_segments": n_segments,
+        "n_queries": n_queries,
+        "seed_s": seed_s,
+        "indexed_s": idx_s,
+        "speedup": seed_s / idx_s,
+    }
+
+
+def bench_sweep_alloc_memo(
+    *, n_graphs: int, n_tasks: int, reuses: int, repeats: int
+) -> dict[str, Any]:
+    """A sweep-shaped allocation workload: memoization off vs on.
+
+    Experiment grids re-solve the same (graph, q) allocation problem in
+    many cells (the DAG draw is independent of the phi/reshaping axes).
+    This models that reuse directly: ``n_graphs`` distinct DAGs, each
+    allocated at two cluster sizes, the whole batch repeated ``reuses``
+    times.  With the memo on, each distinct problem is solved once and
+    the rest are digest-keyed lookups.
+    """
+    graphs = [
+        random_task_graph(DagGenParams(n=n_tasks), make_rng(1000 + i))
+        for i in range(n_graphs)
+    ]
+    qs = (32, 64)
+
+    def workload() -> list[Any]:
+        return [
+            cpa_allocation(g, q)
+            for _ in range(reuses)
+            for g in graphs
+            for q in qs
+        ]
+
+    def uncached() -> list[Any]:
+        saved = _allocmod.MEMOIZE_ALLOCATIONS
+        _allocmod.MEMOIZE_ALLOCATIONS = False
+        try:
+            return workload()
+        finally:
+            _allocmod.MEMOIZE_ALLOCATIONS = saved
+
+    def memoized() -> list[Any]:
+        saved = _allocmod.MEMOIZE_ALLOCATIONS
+        _allocmod.MEMOIZE_ALLOCATIONS = True
+        _allocmod.clear_memo()  # each repetition pays the same misses
+        try:
+            return workload()
+        finally:
+            _allocmod.MEMOIZE_ALLOCATIONS = saved
+
+    plain_s, plain_res = _best_of(uncached, repeats)
+    memo_s, memo_res = _best_of(memoized, repeats)
+    if plain_res != memo_res:
+        raise AssertionError("allocation memo changed a result")
+    return {
+        "n_graphs": n_graphs,
+        "n_tasks": n_tasks,
+        "reuses": reuses,
+        "distinct_problems": n_graphs * len(qs),
+        "total_allocations": n_graphs * len(qs) * reuses,
+        "uncached_s": plain_s,
+        "memoized_s": memo_s,
+        "speedup": plain_s / memo_s,
+    }
+
+
 def bench_cpa_allocation(*, n_tasks: int, q: int, repeats: int) -> dict[str, Any]:
     """One CPA allocation run: full level recomputes vs incremental.
 
@@ -364,7 +510,9 @@ def bench_cpa_allocation(*, n_tasks: int, q: int, repeats: int) -> dict[str, Any
             return cpa_allocation(graph, q, incremental=False)
 
     def fast_path():
-        return cpa_allocation(graph, q, incremental=True)
+        # memoize=False: this entry measures the incremental-level
+        # kernel; the memo has its own entry (sweep_alloc_memo).
+        return cpa_allocation(graph, q, incremental=True, memoize=False)
 
     full_s, seed_res = _best_of(seed_path, repeats)
     inc_s, fast_res = _best_of(fast_path, repeats)
@@ -441,6 +589,12 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
         sizes: dict[str, dict[str, int]] = {
             "calendar_commit": {"n_res": 120, "repeats": 2},
             "placement_query": {"n_res": 80, "n_queries": 20, "repeats": 2},
+            "placement_query_indexed": {
+                "n_res": 400, "n_queries": 40, "repeats": 2,
+            },
+            "sweep_alloc_memo": {
+                "n_graphs": 2, "n_tasks": 40, "reuses": 3, "repeats": 2,
+            },
             "cpa_allocation": {"n_tasks": 60, "q": 32, "repeats": 2},
             "table4_cell": {"dag_instances": 2, "n_workers": 2, "repeats": 1},
         }
@@ -448,6 +602,12 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
         sizes = {
             "calendar_commit": {"n_res": 400, "repeats": 3},
             "placement_query": {"n_res": 250, "n_queries": 40, "repeats": 3},
+            "placement_query_indexed": {
+                "n_res": 3000, "n_queries": 150, "repeats": 3,
+            },
+            "sweep_alloc_memo": {
+                "n_graphs": 3, "n_tasks": 100, "reuses": 5, "repeats": 3,
+            },
             "cpa_allocation": {"n_tasks": 150, "q": 64, "repeats": 3},
             "table4_cell": {"dag_instances": 6, "n_workers": 4, "repeats": 5},
         }
@@ -464,6 +624,16 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
     report["placement_query"] = bench_placement_query(**sizes["placement_query"])
     _echo("placement_query", report["placement_query"],
           "seed_s", "vectorized_s")
+    report["placement_query_indexed"] = bench_placement_query_indexed(
+        **sizes["placement_query_indexed"]
+    )
+    _echo("placement_query_indexed", report["placement_query_indexed"],
+          "seed_s", "indexed_s")
+    report["sweep_alloc_memo"] = bench_sweep_alloc_memo(
+        **sizes["sweep_alloc_memo"]
+    )
+    _echo("sweep_alloc_memo", report["sweep_alloc_memo"],
+          "uncached_s", "memoized_s")
     report["cpa_allocation"] = bench_cpa_allocation(**sizes["cpa_allocation"])
     _echo("cpa_allocation", report["cpa_allocation"],
           "full_s", "incremental_s")

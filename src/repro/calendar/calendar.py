@@ -38,6 +38,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.calendar.index import AvailabilityIndex
 from repro.calendar.reservation import Reservation
 from repro.calendar.timeline import StepFunction
 from repro.errors import CalendarError
@@ -49,6 +50,26 @@ from repro.units import TIME_EPS
 #: benchmark harness flips this off to measure the seed's
 #: invalidate-and-recompile behaviour.
 INCREMENTAL_COMMITS: bool = True
+
+#: Answer placement probes on dense profiles through the
+#: :class:`AvailabilityIndex` segment trees (O(log S) per probe) instead
+#: of the linear O(S) scans.  Bitwise-identical results either way; the
+#: benchmark harness flips this off to measure the linear reference.
+USE_INDEX: bool = True
+
+#: Profiles with fewer breakpoints than this answer queries with the
+#: linear NumPy scans — below it one vectorized pass beats building and
+#: walking trees.  Measured crossover on this codebase sits in the tens
+#: of thousands of segments for the commit-per-task scheduler pattern
+#: (each commit invalidates the index, so its O(S) rebuild competes with
+#: one O(S) vectorized scan); the threshold also bounds the linear
+#: multi-query sweep's O(S x B) scratch memory on very dense calendars.
+#: Tests and benchmarks drop it to 0 to force the tree walks.
+INDEX_MIN_SEGMENTS: int = 4096
+
+#: Entry cap on the per-calendar query memo; reaching it drops the whole
+#: cache (calendars are short-lived, so simple beats clever here).
+_MULTI_CACHE_CAP: int = 1024
 
 #: Debug flag: when True, :meth:`reserve_known_feasible` behaves exactly
 #: like :meth:`reserve` (full strict validation of every commit).
@@ -92,6 +113,15 @@ class ResourceCalendar:
         )
         self._reservations: list[Reservation] = []
         self._profile: StepFunction | None = None
+        # Monotone commit generation: bumped on every profile mutation.
+        # The index and the query memos below are only valid for the
+        # generation they were built in; _invalidate_caches REBINDS the
+        # dicts (rather than clearing) so copies sharing them keep their
+        # still-valid entries.
+        self._generation = 0
+        self._index: AvailabilityIndex | None = None
+        self._runs_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._multi_cache: dict[tuple, np.ndarray] = {}
         for r in reservations:
             if r.nprocs > self._capacity:
                 raise CalendarError(
@@ -154,10 +184,12 @@ class ResourceCalendar:
                 ) from None
             self._reservations.append(reservation)
             self._profile = validated
+            self._invalidate_caches()
             return
         _obs.incr("calendar.add.rebuild")
         self._reservations.append(reservation)
         self._profile = None
+        self._invalidate_caches()
         if not self._clamp:
             # Strict capacity check: recompiling the profile raises on any
             # real violation (micro-violations shorter than the time
@@ -215,6 +247,7 @@ class ResourceCalendar:
             spliced = spliced.map(lambda v: np.maximum(v, 0.0)).canonical()
         self._reservations.append(r)
         self._profile = spliced
+        self._invalidate_caches()
         return r
 
     def copy(self) -> "ResourceCalendar":
@@ -224,7 +257,23 @@ class ResourceCalendar:
         )
         dup._reservations = list(self._reservations)
         dup._profile = self._profile
+        # Sharing the index and memo dicts is safe: they describe the
+        # profile both calendars currently share, and whichever calendar
+        # mutates first rebinds (not clears) its own references.
+        dup._generation = self._generation
+        dup._index = self._index
+        dup._runs_cache = self._runs_cache
+        dup._multi_cache = self._multi_cache
         return dup
+
+    def _invalidate_caches(self) -> None:
+        """Start a new commit generation: drop this calendar's index and
+        query memos (copies sharing the old dicts are unaffected)."""
+        self._generation += 1
+        self._index = None
+        self._runs_cache = {}
+        self._multi_cache = {}
+        _obs.incr("cache.calendar.invalidate")
 
     # ------------------------------------------------------------------
     # Profile
@@ -278,7 +327,22 @@ class ResourceCalendar:
 
     def min_available(self, t0: float, t1: float) -> int:
         """Minimum free processors over ``[t0, t1)``."""
-        return int(self.availability().min_over(t0, t1))
+        prof = self.availability()
+        if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS and t1 > t0:
+            _obs.incr("calendar.query.min.indexed")
+            i0 = prof.segment_index(t0)
+            i1 = int(np.searchsorted(prof.times, t1, side="left")) - 1
+            return int(self._availability_index().min_over(i0, i1, prof.base))
+        return int(prof.min_over(t0, t1))
+
+    def _availability_index(self) -> AvailabilityIndex:
+        """The segment index over the current profile (built lazily once
+        per commit generation)."""
+        idx = self._index
+        if idx is None:
+            _obs.incr("cache.calendar.index_build")
+            idx = self._index = AvailabilityIndex(self.availability())
+        return idx
 
     def average_available(self, t0: float, t1: float) -> float:
         """Time-weighted mean free processors over ``[t0, t1]``.
@@ -314,8 +378,15 @@ class ResourceCalendar:
         ``[run_starts[i], run_ends[i])``; the first may start at −inf
         (free before the first breakpoint) and the last always ends at
         +inf (the machine is all-free past the last reservation).  One
-        O(segments) NumPy pass, no Python loop over segments.
+        O(segments) NumPy pass, no Python loop over segments.  Memoized
+        per ``nprocs`` until the next commit; callers must not mutate
+        the returned arrays.
         """
+        cached = self._runs_cache.get(nprocs)
+        if cached is not None:
+            _obs.incr("cache.calendar.runs.hit")
+            return cached
+        _obs.incr("cache.calendar.runs.miss")
         prof = self.availability()
         # ok[j] — does segment j−1 (−1 = the base segment) satisfy the
         # request?  Padded with False on both sides so run boundaries are
@@ -327,7 +398,9 @@ class ResourceCalendar:
         bounds = np.concatenate(([-np.inf], prof.times, [np.inf]))
         starts = np.flatnonzero(ok[1:-1] & ~ok[:-2])
         ends = np.flatnonzero(ok[1:-1] & ~ok[2:]) + 1
-        return bounds[starts], bounds[ends]
+        runs = (bounds[starts], bounds[ends])
+        self._runs_cache[nprocs] = runs
+        return runs
 
     def earliest_start(
         self, earliest: float, duration: float, nprocs: int
@@ -341,6 +414,19 @@ class ResourceCalendar:
         """
         _obs.incr("calendar.query.earliest")
         self._check_request(duration, nprocs)
+        prof = self.availability()
+        if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
+            _obs.incr("calendar.query.earliest.indexed")
+            jq = int(np.searchsorted(prof.times, earliest, side="right"))
+            s = self._availability_index().earliest_start(
+                jq, earliest, duration, nprocs
+            )
+            if s is None:
+                raise CalendarError(
+                    "no feasible start found — availability never recovers "
+                    f"to {nprocs} processors"
+                )
+            return float(s)
         run_starts, run_ends = self._free_runs(nprocs)
         # The window must fit inside one free run: start no earlier than
         # the run (or `earliest`) and end by the run's end.
@@ -372,6 +458,14 @@ class ResourceCalendar:
         """
         _obs.incr("calendar.query.latest")
         self._check_request(duration, nprocs)
+        prof = self.availability()
+        if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
+            _obs.incr("calendar.query.latest.indexed")
+            jq = int(np.searchsorted(prof.times, latest_finish, side="left"))
+            s = self._availability_index().latest_start(
+                jq, latest_finish, duration, nprocs, float(earliest)
+            )
+            return None if s is None else float(s)
         run_starts, run_ends = self._free_runs(nprocs)
         # Latest start inside each run: finish at the run's end or the
         # deadline, whichever is sooner.  Computed as `end − duration`
@@ -437,7 +531,34 @@ class ResourceCalendar:
         if not np.all(d > 0):
             raise CalendarError("all durations must be positive")
 
+        key = ("e", float(earliest), int(m_offset), d.tobytes())
+        cached = self._multi_cache.get(key)
+        if cached is not None:
+            _obs.incr("cache.calendar.multi.hit")
+            return cached.copy()
+        _obs.incr("cache.calendar.multi.miss")
+
         prof = self.availability()
+        if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
+            # Dense profile: one O(log S) indexed probe per processor
+            # count beats sweeping every segment for every count.
+            if _obs.ENABLED:
+                _obs.incr("calendar.query.earliest_multi")
+                _obs.incr("calendar.query.earliest_multi.indexed")
+                _obs.observe("calendar.probe.counts", d.size)
+            idx = self._availability_index()
+            jq = int(np.searchsorted(prof.times, earliest, side="right"))
+            result = np.empty(d.size)
+            for k, dur in enumerate(d.tolist()):
+                s = idx.earliest_start(jq, earliest, dur, m_offset + k + 1)
+                if s is None:
+                    raise CalendarError(
+                        "availability profile ended before all requests "
+                        "were placed — internal invariant violated"
+                    )
+                result[k] = s
+            return self._memo_store(key, result)
+
         m = np.arange(m_offset + 1, m_offset + d.size + 1)
 
         # One 2-D sweep instead of a segment-by-segment walk: for every
@@ -475,6 +596,18 @@ class ResourceCalendar:
             )
         result = np.empty(d.size)
         result[urows] = cand[feasible][first]
+        return self._memo_store(key, result)
+
+    def _memo_store(self, key: tuple, result: np.ndarray) -> np.ndarray:
+        """Remember a multi-query result for this commit generation.
+
+        A private copy goes into the cache (hits hand out copies too), so
+        callers may mutate what they received without corrupting it.
+        """
+        if len(self._multi_cache) >= _MULTI_CACHE_CAP:
+            _obs.incr("cache.calendar.multi.evict")
+            self._multi_cache = {}
+        self._multi_cache[key] = result.copy()
         return result
 
     def latest_starts_multi(
@@ -512,8 +645,29 @@ class ResourceCalendar:
         if not np.all(d > 0):
             raise CalendarError("all durations must be positive")
 
+        key = ("l", float(latest_finish), float(earliest), d.tobytes())
+        cached = self._multi_cache.get(key)
+        if cached is not None:
+            _obs.incr("cache.calendar.multi.hit")
+            return cached.copy()
+        _obs.incr("cache.calendar.multi.miss")
+
         prof = self.availability()
         times = prof.times
+        if USE_INDEX and times.size >= INDEX_MIN_SEGMENTS:
+            if _obs.ENABLED:
+                _obs.incr("calendar.query.latest_multi")
+                _obs.incr("calendar.query.latest_multi.indexed")
+                _obs.observe("calendar.probe.counts", d.size)
+            idx = self._availability_index()
+            jq = int(np.searchsorted(times, latest_finish, side="left"))
+            result = np.full(d.size, np.nan)
+            for k, dur in enumerate(d.tolist()):
+                s = idx.latest_start(jq, latest_finish, dur, k + 1, earliest)
+                if s is not None:
+                    result[k] = s
+            return self._memo_store(key, result)
+
         m = np.arange(1, d.size + 1)
         if _obs.ENABLED:
             _obs.incr("calendar.query.latest_multi")
@@ -543,7 +697,7 @@ class ResourceCalendar:
             # the request is infeasible.
             resolved |= broken & (cand - d < earliest)
             if resolved.all() or j < 0:
-                return result
+                return self._memo_store(key, result)
             j -= 1
 
     def fits(self, start: float, duration: float, nprocs: int) -> bool:

@@ -16,6 +16,8 @@ scheduler, hence the array representation and ``searchsorted`` lookups.
 
 from __future__ import annotations
 
+import struct
+from hashlib import blake2b
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -312,8 +314,29 @@ class StepFunction:
             and np.array_equal(self.values, other.values)
         )
 
-    def __hash__(self) -> int:  # pragma: no cover - arrays are unhashable
-        return hash((self.base, self.times.tobytes(), self.values.tobytes()))
+    def content_digest(self) -> str:
+        """Stable hex digest of the function's exact content.
+
+        Hashes the IEEE-754 bit patterns of ``base``, ``times`` and
+        ``values`` (little-endian float64), so two step functions share a
+        digest iff they compare ``==`` — bitwise representation equality,
+        the same contract the incremental-splice paths are held to.  The
+        digest is therefore stable across :meth:`canonical` round-trips
+        of canonical profiles (``canonical()`` returns ``self`` when
+        nothing changes, and every profile a :class:`ResourceCalendar`
+        compiles or splices is canonical) and across processes/runs
+        (``blake2b`` is content-addressed, unlike ``hash()`` which is
+        randomized per process for strings).  Used as the result-cache
+        key for derived computations.
+        """
+        h = blake2b(digest_size=16)
+        h.update(struct.pack("<d", self.base))
+        h.update(np.ascontiguousarray(self.times).tobytes())
+        h.update(np.ascontiguousarray(self.values).tobytes())
+        return h.hexdigest()
+
+    def __hash__(self) -> int:
+        return hash(self.content_digest())
 
     def __repr__(self) -> str:
         return (

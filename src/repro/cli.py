@@ -292,10 +292,19 @@ def _cmd_report(args: argparse.Namespace) -> int:
         report.meta["quarantined"] = [asdict(q) for q in result.quarantined]
         report.meta["resumed"] = result.resumed
     else:
+        from repro.experiments.memo import cache_stats
+
         cells = {"table4": run_table4}
+        if args.cell == "table4":
+            # Pair each drawn DAG with several reservation scenarios
+            # (start-time x tagging draws) so the allocation memo sees
+            # every graph more than once within the cell; CI asserts a
+            # nonzero cache.alloc.hit on this report.
+            scale = replace(scale, start_times=2, taggings=2)
         result, report = run_instrumented(
             args.cell, cells[args.cell], scale, scale=scale
         )
+        report.meta["cache"] = cache_stats()
     text = report.to_json()  # validates against RUN_REPORT_SCHEMA
     args.out.write_text(text + "\n")
     print(f"wrote run report to {args.out}")

@@ -29,13 +29,16 @@ or ``"stringent"`` (default, and what the rest of the library means by
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
 from repro.obs import core as _obs
+from repro.obs.core import Histogram
 
 #: Relative slack when testing whether a task lies on the critical path.
 _CP_RTOL = 1e-9
@@ -46,6 +49,60 @@ _CP_RTOL = 1e-9
 #: full recompute (equivalence-tested); the benchmark harness flips this
 #: off to measure the seed behaviour.
 INCREMENTAL_LEVELS: bool = True
+
+#: Default for :func:`cpa_allocation`'s ``memoize`` flag: remember
+#: results per ``(graph content digest, q, stopping, max_iterations)``.
+#: Allocations are pure functions of that key, and experiment sweeps
+#: replay the same DAG instance across many grid cells (reservation
+#: densities, deadline factors), so each allocation is computed once per
+#: process.  The cache is module-local: parallel workers each grow their
+#: own (fork-inherited entries stay valid — the key is content-based),
+#: so no cross-process state exists and the parallel runner's
+#: bitwise-identical-at-any-worker-count guarantee holds.  See
+#: :mod:`repro.experiments.memo` for the sweep-facing policy helpers.
+MEMOIZE_ALLOCATIONS: bool = True
+
+#: LRU entry cap on the per-process allocation memo.
+MEMO_CAP: int = 512
+
+#: The memo proper: key -> (result, obs replay deltas or None).
+_MEMO: "OrderedDict[tuple, tuple[CpaAllocation, tuple | None]]" = OrderedDict()
+
+
+def clear_memo() -> None:
+    """Drop every memoized allocation (benchmarks, tests)."""
+    _MEMO.clear()
+
+
+def memo_stats() -> dict[str, Any]:
+    """Size/config snapshot of this process's allocation memo."""
+    return {
+        "entries": len(_MEMO),
+        "cap": MEMO_CAP,
+        "enabled": MEMOIZE_ALLOCATIONS,
+    }
+
+
+def _memo_replay(deltas: tuple) -> None:
+    """Re-record a cached compute's counters and histograms.
+
+    A memo hit skips :func:`_cpa_allocation`, which would silently drop
+    the compute's ``cpa.*`` counters from instrumented runs — and make
+    aggregate counters depend on which worker computed what.  Replaying
+    the captured deltas keeps every compute-derived aggregate bitwise
+    identical whether the allocation was computed or recalled; only the
+    honest ``cache.alloc.*`` counters (and span timings) reveal the
+    difference.
+    """
+    col = _obs.current()
+    counters, hists = deltas
+    for name, n in counters.items():
+        col.incr(name, n)
+    for name, snap in hists.items():
+        mine = col.hists.get(name)
+        if mine is None:
+            mine = col.hists[name] = Histogram()
+        mine.merge(Histogram.from_dict(snap))
 
 
 @dataclass(frozen=True)
@@ -94,6 +151,7 @@ def cpa_allocation(
     stopping: str = "stringent",
     max_iterations: int | None = None,
     incremental: bool | None = None,
+    memoize: bool | None = None,
 ) -> CpaAllocation:
     """Run the CPA allocation phase for a ``q``-processor platform.
 
@@ -110,6 +168,12 @@ def cpa_allocation(
             instead of recomputing the whole DAG.  ``None`` (default)
             follows :data:`INCREMENTAL_LEVELS`; both settings produce
             bit-identical allocations.
+        memoize: Recall the result from the per-process memo when this
+            exact allocation (by graph content digest, ``q``,
+            ``stopping`` and ``max_iterations``) was computed before.
+            ``None`` (default) follows :data:`MEMOIZE_ALLOCATIONS`.
+            ``incremental`` is deliberately NOT part of the key — both
+            settings are bit-identical (equivalence-tested).
 
     Returns:
         The final allocation and its diagnostics.
@@ -120,15 +184,59 @@ def cpa_allocation(
         raise GenerationError(
             f"stopping must be 'classic' or 'stringent', got {stopping!r}"
         )
+    if memoize is None:
+        memoize = MEMOIZE_ALLOCATIONS
 
+    key = None
+    if memoize:
+        key = (graph.content_digest, q, stopping, max_iterations)
+        entry = _MEMO.get(key)
+        if entry is not None:
+            result, deltas = entry
+            # A hit recorded without instrumentation has no deltas to
+            # replay; recompute it so instrumented aggregates stay
+            # complete (and partition-independent).
+            if not _obs.ENABLED:
+                _MEMO.move_to_end(key)
+                return result
+            if deltas is not None:
+                _MEMO.move_to_end(key)
+                _obs.incr("cache.alloc.hit")
+                _memo_replay(deltas)
+                return result
+
+    deltas = None
     if _obs.ENABLED:
-        with _obs.span("cpa.allocation"):
-            result = _cpa_allocation(graph, q, stopping, max_iterations, incremental)
-        _obs.incr("cpa.allocation_runs")
-        _obs.incr("cpa.iterations", result.iterations)
-        _obs.observe("cpa.iterations_per_run", result.iterations)
-        return result
-    return _cpa_allocation(graph, q, stopping, max_iterations, incremental)
+        if memoize:
+            _obs.incr("cache.alloc.miss")
+        # Run the compute under a nested collector so its counters and
+        # histograms can be captured for replay on later hits, then fold
+        # them into the ambient collector — the fold is how the direct
+        # path records too, so hit and miss instances aggregate
+        # identically.
+        ambient = _obs.current()
+        with _obs.collecting(keep_events=ambient.keep_events) as sub:
+            with _obs.span("cpa.allocation"):
+                result = _cpa_allocation(
+                    graph, q, stopping, max_iterations, incremental
+                )
+            _obs.incr("cpa.allocation_runs")
+            _obs.incr("cpa.iterations", result.iterations)
+            _obs.observe("cpa.iterations_per_run", result.iterations)
+        ambient.merge(sub)
+        deltas = (
+            dict(sub.counters),
+            {k: h.to_dict() for k, h in sub.hists.items()},
+        )
+    else:
+        result = _cpa_allocation(graph, q, stopping, max_iterations, incremental)
+
+    if memoize:
+        if len(_MEMO) >= MEMO_CAP:
+            _MEMO.popitem(last=False)
+            _obs.incr("cache.alloc.evict")
+        _MEMO[key] = (result, deltas)
+    return result
 
 
 def _cpa_allocation(

@@ -67,10 +67,15 @@ class IdleCluster:
                     return s
                 j += 1
 
-    def _ensure_breakpoint(self, t: float) -> int:
+    def _ensure_breakpoint(self, t: float, lo: int = 0) -> int:
         """Split the profile at ``t``; return the index of the segment
-        that starts exactly at ``t``."""
-        i = bisect_right(self.times, t) - 1
+        that starts exactly at ``t``.
+
+        ``lo`` is a bisect hint: a segment index known to start at or
+        before ``t``, so a caller splitting a window's end right after
+        its start searches only the tail of the profile.
+        """
+        i = bisect_right(self.times, t, lo) - 1
         if self.times[i] != t:
             self.times.insert(i + 1, t)
             self.avail.insert(i + 1, self.avail[i])
@@ -89,7 +94,7 @@ class IdleCluster:
             raise CalendarError(f"duration must be positive, got {duration}")
         end = start + duration
         i = self._ensure_breakpoint(start)
-        e = self._ensure_breakpoint(end)
+        e = self._ensure_breakpoint(end, lo=i)
         if any(self.avail[idx] < m for idx in range(i, e)):
             raise CalendarError(
                 f"reserve({start}, {duration}, {m}) exceeds capacity"

@@ -14,7 +14,9 @@ sources and sinks.
 
 from __future__ import annotations
 
+import struct
 from functools import cached_property
+from hashlib import blake2b
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -480,6 +482,34 @@ class TaskGraph:
 
     def __hash__(self) -> int:
         return hash((self._tasks, self._succs))
+
+    @cached_property
+    def content_digest(self) -> str:
+        """Stable hex digest of the graph's full content.
+
+        Covers task names, the IEEE-754 bits of sequential times, the
+        speedup-model parameters (via the frozen dataclasses' ``repr``,
+        which renders floats with round-trip precision), and the edge
+        set.  Two graphs share a digest iff they compare ``==``, and the
+        digest is stable across processes and runs (``hash()`` is not:
+        string hashing is randomized per process).  This is the
+        sweep-level allocation-cache key — identical DAG instances
+        recurring across experiment grid cells resolve to the same
+        digest in every worker.
+        """
+        h = blake2b(digest_size=16)
+        h.update(struct.pack("<Q", self.n))
+        for t in self._tasks:
+            name = t.name.encode()
+            h.update(struct.pack("<Qd", len(name), t.seq_time))
+            h.update(name)
+            model = repr(t.model).encode()
+            h.update(struct.pack("<Q", len(model)))
+            h.update(model)
+        for u, succs in enumerate(self._succs):
+            for v in succs:
+                h.update(struct.pack("<QQ", u, v))
+        return h.hexdigest()
 
 
 def chain_graph(tasks: Sequence[Task]) -> TaskGraph:

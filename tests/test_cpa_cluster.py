@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import pytest
+from bisect import bisect_right
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -106,3 +107,81 @@ class TestAgainstResourceCalendar:
             assert s_fast == pytest.approx(s_ref)
             fast.reserve(s_fast, dur, m)
             ref.reserve(s_ref, dur, m)
+
+
+def _brute_force_earliest(cluster, ready, duration, m):
+    """Reference: try every candidate start (ready and each breakpoint
+    after it) in order; feasibility by explicit min-availability over the
+    window's segments."""
+    times, avail = cluster.times, cluster.avail
+
+    def min_avail(s, e):
+        lo = bisect_right(times, s) - 1
+        vals = []
+        for j in range(lo, len(times)):
+            if j > lo and times[j] >= e:
+                break
+            vals.append(avail[j])
+        return min(vals)
+
+    candidates = [ready] + [t for t in times if t > ready]
+    for s in candidates:
+        if min_avail(s, s + duration) >= m:
+            return s
+    raise AssertionError("unreachable: the final segment is all-free")
+
+
+class TestEarliestStartBruteForce:
+    """IdleCluster.earliest_start vs an O(segments^2) exhaustive scan on
+    random reservation traces (regression guard for the bisect paths)."""
+
+    @given(
+        q=st.integers(1, 10),
+        trace=st.lists(
+            st.tuples(
+                st.floats(0.0, 300.0),  # start
+                st.floats(0.5, 60.0),   # duration
+                st.integers(1, 10),     # procs
+            ),
+            max_size=25,
+        ),
+        probes=st.lists(
+            st.tuples(
+                st.floats(-10.0, 400.0),  # ready
+                st.floats(0.5, 100.0),    # duration
+                st.integers(1, 10),       # procs
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force_on_random_traces(self, q, trace, probes):
+        c = IdleCluster(q)
+        for start, dur, m in trace:
+            m = min(m, q)
+            # Only commit feasible windows, like a scheduler would.
+            if c.available_at(start) >= m and all(
+                c.available_at(t) >= m
+                for t in c.times
+                if start < t < start + dur
+            ):
+                c.reserve(start, dur, m)
+        for ready, dur, m in probes:
+            m = min(m, q)
+            got = c.earliest_start(ready, dur, m)
+            want = _brute_force_earliest(c, float(ready), float(dur), m)
+            assert got == want
+
+    def test_breakpoint_hint_matches_unhinted_split(self):
+        # The `lo` hint only narrows the bisect range; profiles must come
+        # out identical with and without it.
+        hinted, plain = IdleCluster(8), IdleCluster(8)
+        for start, dur, m in [(10.0, 5.0, 3), (0.0, 30.0, 2), (12.0, 1.0, 3)]:
+            hinted.reserve(start, dur, m)
+            i = plain._ensure_breakpoint(start)
+            plain._ensure_breakpoint(start + dur)  # no hint
+            for idx in range(i, bisect_right(plain.times, start + dur) - 1):
+                plain.avail[idx] -= m
+        assert hinted.times == plain.times
+        assert hinted.avail == plain.avail

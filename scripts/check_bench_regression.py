@@ -20,13 +20,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 #: Minimum acceptable speedup per bench section.  The kernel sections
 #: must never fall below parity with the seed implementation; the
 #: table4_cell section measures end-to-end parallel scaling, which on a
 #: throttled 2-core CI runner can dip below 1 from pool overhead alone,
 #: so it only has to clear half of parity.
-SPEEDUP_FLOORS = {
+SPEEDUP_FLOORS: dict[str, float] = {
     "calendar_commit": 1.0,
     "placement_query": 1.0,
     "placement_query_indexed": 2.0,
@@ -41,7 +42,9 @@ SPEEDUP_FLOORS = {
 MAX_RELATIVE_LOSS = 0.5
 
 
-def check(report: dict, baseline: dict | None) -> list[str]:
+def check(
+    report: dict[str, Any], baseline: dict[str, Any] | None
+) -> list[str]:
     """All failed checks, as human-readable messages."""
     failures: list[str] = []
     for section, floor in SPEEDUP_FLOORS.items():
@@ -68,15 +71,17 @@ def check(report: dict, baseline: dict | None) -> list[str]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=(__doc__ or "").splitlines()[0]
+    )
     parser.add_argument("report", type=Path, help="fresh bench JSON to gate")
     parser.add_argument(
         "--baseline", type=Path, default=None,
         help="committed bench JSON to compare speedups against",
     )
     args = parser.parse_args(argv)
-    report = json.loads(args.report.read_text())
-    baseline = (
+    report: dict[str, Any] = json.loads(args.report.read_text())
+    baseline: dict[str, Any] | None = (
         json.loads(args.baseline.read_text()) if args.baseline else None
     )
     failures = check(report, baseline)

@@ -9,7 +9,13 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "networkx>=3.0"],
+    extras_require={
+        # `pip install -e .[dev]` sets up the full toolchain: strict
+        # typing, the test suite, and property-based testing.
+        "dev": ["mypy>=1.8", "pytest>=7.0", "hypothesis>=6.0"],
+    },
     entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

@@ -41,7 +41,7 @@ import numpy as np
 import repro.calendar.calendar as _calmod
 import repro.cpa.allocation as _allocmod
 from repro.calendar import Reservation, ResourceCalendar
-from repro.calendar.calendar import CalendarError
+from repro.errors import CalendarError
 from repro.cpa.allocation import cpa_allocation
 from repro.dag import DagGenParams, TaskGraph, random_task_graph
 from repro.experiments.scenarios import ExperimentScale

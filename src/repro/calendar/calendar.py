@@ -170,7 +170,8 @@ class ResourceCalendar:
                 f"platform has only {self._capacity}"
             )
         if self._incremental and self._profile is not None:
-            _obs.incr("calendar.add.splice")
+            if _obs.ENABLED:
+                _obs.incr("calendar.add.splice")
             spliced = self._profile.with_interval_delta(
                 reservation.start, reservation.end, -float(reservation.nprocs)
             )
@@ -186,7 +187,8 @@ class ResourceCalendar:
             self._profile = validated
             self._invalidate_caches()
             return
-        _obs.incr("calendar.add.rebuild")
+        if _obs.ENABLED:
+            _obs.incr("calendar.add.rebuild")
         self._reservations.append(reservation)
         self._profile = None
         self._invalidate_caches()
@@ -223,7 +225,8 @@ class ResourceCalendar:
         :meth:`add`.
         """
         if VALIDATE_COMMITS:
-            _obs.incr("calendar.commit.validated")
+            if _obs.ENABLED:
+                _obs.incr("calendar.commit.validated")
             return self.reserve(start, duration, nprocs, label=label)
         if _obs.ENABLED:
             with _obs.span("calendar.commit"):
@@ -273,7 +276,8 @@ class ResourceCalendar:
         self._index = None
         self._runs_cache = {}
         self._multi_cache = {}
-        _obs.incr("cache.calendar.invalidate")
+        if _obs.ENABLED:
+            _obs.incr("cache.calendar.invalidate")
 
     # ------------------------------------------------------------------
     # Profile
@@ -290,7 +294,8 @@ class ResourceCalendar:
         durations are minutes to hours, so sub-microsecond overlaps are
         physically meaningless and get clamped instead.
         """
-        _obs.incr("calendar.validate")
+        if _obs.ENABLED:
+            _obs.incr("calendar.validate")
         if self._clamp:
             if profile.values.size and profile.values.min() < 0:
                 # Canonicalize after clamping so the spliced and
@@ -329,7 +334,8 @@ class ResourceCalendar:
         """Minimum free processors over ``[t0, t1)``."""
         prof = self.availability()
         if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS and t1 > t0:
-            _obs.incr("calendar.query.min.indexed")
+            if _obs.ENABLED:
+                _obs.incr("calendar.query.min.indexed")
             i0 = prof.segment_index(t0)
             i1 = int(np.searchsorted(prof.times, t1, side="left")) - 1
             return int(self._availability_index().min_over(i0, i1, prof.base))
@@ -340,7 +346,8 @@ class ResourceCalendar:
         per commit generation)."""
         idx = self._index
         if idx is None:
-            _obs.incr("cache.calendar.index_build")
+            if _obs.ENABLED:
+                _obs.incr("cache.calendar.index_build")
             idx = self._index = AvailabilityIndex(self.availability())
         return idx
 
@@ -384,9 +391,11 @@ class ResourceCalendar:
         """
         cached = self._runs_cache.get(nprocs)
         if cached is not None:
-            _obs.incr("cache.calendar.runs.hit")
+            if _obs.ENABLED:
+                _obs.incr("cache.calendar.runs.hit")
             return cached
-        _obs.incr("cache.calendar.runs.miss")
+        if _obs.ENABLED:
+            _obs.incr("cache.calendar.runs.miss")
         prof = self.availability()
         # ok[j] — does segment j−1 (−1 = the base segment) satisfy the
         # request?  Padded with False on both sides so run boundaries are
@@ -412,11 +421,13 @@ class ResourceCalendar:
         free (clamped calendars included, because clamping never lowers
         the final all-free segment).
         """
-        _obs.incr("calendar.query.earliest")
+        if _obs.ENABLED:
+            _obs.incr("calendar.query.earliest")
         self._check_request(duration, nprocs)
         prof = self.availability()
         if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
-            _obs.incr("calendar.query.earliest.indexed")
+            if _obs.ENABLED:
+                _obs.incr("calendar.query.earliest.indexed")
             jq = int(np.searchsorted(prof.times, earliest, side="right"))
             s = self._availability_index().earliest_start(
                 jq, earliest, duration, nprocs
@@ -456,11 +467,13 @@ class ResourceCalendar:
         Returns None when no such start exists (the deadline-infeasible
         outcome for backward scheduling).
         """
-        _obs.incr("calendar.query.latest")
+        if _obs.ENABLED:
+            _obs.incr("calendar.query.latest")
         self._check_request(duration, nprocs)
         prof = self.availability()
         if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
-            _obs.incr("calendar.query.latest.indexed")
+            if _obs.ENABLED:
+                _obs.incr("calendar.query.latest.indexed")
             jq = int(np.searchsorted(prof.times, latest_finish, side="left"))
             s = self._availability_index().latest_start(
                 jq, latest_finish, duration, nprocs, float(earliest)
@@ -534,9 +547,11 @@ class ResourceCalendar:
         key = ("e", float(earliest), int(m_offset), d.tobytes())
         cached = self._multi_cache.get(key)
         if cached is not None:
-            _obs.incr("cache.calendar.multi.hit")
+            if _obs.ENABLED:
+                _obs.incr("cache.calendar.multi.hit")
             return cached.copy()
-        _obs.incr("cache.calendar.multi.miss")
+        if _obs.ENABLED:
+            _obs.incr("cache.calendar.multi.miss")
 
         prof = self.availability()
         if USE_INDEX and prof.times.size >= INDEX_MIN_SEGMENTS:
@@ -605,7 +620,8 @@ class ResourceCalendar:
         callers may mutate what they received without corrupting it.
         """
         if len(self._multi_cache) >= _MULTI_CACHE_CAP:
-            _obs.incr("cache.calendar.multi.evict")
+            if _obs.ENABLED:
+                _obs.incr("cache.calendar.multi.evict")
             self._multi_cache = {}
         self._multi_cache[key] = result.copy()
         return result
@@ -648,9 +664,11 @@ class ResourceCalendar:
         key = ("l", float(latest_finish), float(earliest), d.tobytes())
         cached = self._multi_cache.get(key)
         if cached is not None:
-            _obs.incr("cache.calendar.multi.hit")
+            if _obs.ENABLED:
+                _obs.incr("cache.calendar.multi.hit")
             return cached.copy()
-        _obs.incr("cache.calendar.multi.miss")
+        if _obs.ENABLED:
+            _obs.incr("cache.calendar.multi.miss")
 
         prof = self.availability()
         times = prof.times

@@ -129,14 +129,17 @@ class StepFunction:
             raise ValueError(
                 f"interval must have positive length, got [{start}, {end})"
             )
-        if delta == 0.0:
+        if delta == 0.0:  # lint: ignore[REP004] — exact no-op check; eps would turn real tiny deltas into silent no-ops
             return self
         t, v = self.times, self.values
         # Positions of the interval endpoints in the breakpoint array.
         i0 = int(np.searchsorted(t, start, side="left"))
         i1 = int(np.searchsorted(t, end, side="left"))
-        need_s = not (i0 < t.size and t[i0] == start)
-        need_e = not (i1 < t.size and t[i1] == end)
+        # Bitwise breakpoint identity is the contract of the canonical
+        # splice path: a breakpoint is reused only if the float is the
+        # same object value, so repeated add/remove round-trips are exact.
+        need_s = not (i0 < t.size and t[i0] == start)  # lint: ignore[REP004] — bitwise breakpoint identity
+        need_e = not (i1 < t.size and t[i1] == end)  # lint: ignore[REP004] — bitwise breakpoint identity
         # Value holding just before each endpoint (what an inserted
         # breakpoint starts from / reverts to).
         val_before_start = self.base if i0 == 0 else float(v[i0 - 1])
@@ -241,7 +244,7 @@ class StepFunction:
         """Integral of the function over ``[t0, t1]``."""
         if t1 < t0:
             raise ValueError(f"integration bounds out of order: [{t0}, {t1}]")
-        if t1 == t0:
+        if t1 == t0:  # lint: ignore[REP004] — exact degenerate window; eps here would zero out genuine short integrals
             return 0.0
         # Clip all breakpoints into the window and integrate piecewise.
         pts = np.concatenate(([t0], self.times[(self.times > t0) & (self.times < t1)], [t1]))

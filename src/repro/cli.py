@@ -341,6 +341,29 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the checker is pure stdlib but cold-start weight
+    # belongs only to the command that needs it.
+    from repro.lint import all_rules, format_findings, lint_paths
+
+    if args.explain:
+        for rule in all_rules():
+            print(f"{rule.rule_id} {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+    if not args.paths:
+        print("error: lint needs at least one path", file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths)
+    text = format_findings(findings, fmt=args.format)
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {len(findings)} finding(s) to {args.out}")
+    else:
+        print(text)
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -513,6 +536,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: ./BENCH_hotpath.json)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & invariant checks (AST rules REP001-REP006)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories of python sources to check",
+    )
+    p.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (json carries the rule catalog)",
+    )
+    p.add_argument(
+        "--out", type=str, default=None,
+        help="write the findings report here instead of stdout",
+    )
+    p.add_argument(
+        "--explain", action="store_true",
+        help="print every rule's id, name and rationale, then exit",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

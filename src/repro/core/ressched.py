@@ -120,7 +120,9 @@ def schedule_ressched(
 
     placements: list[TaskPlacement | None] = [None] * graph.n
     prov: list[dict] | None = [] if _obs.ENABLED else None
-    with _obs.span(f"ressched.{algorithm.name}"):
+    # One span per schedule call, not per task: the disabled-mode no-op
+    # span costs a single call per whole schedule.
+    with _obs.span(f"ressched.{algorithm.name}"):  # lint: ignore[REP003] — once per schedule call
         for i in order:
             ready = now if ready_floors is None else max(now, float(ready_floors[i]))
             for pred in graph.predecessors(i):

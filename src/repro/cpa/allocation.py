@@ -234,7 +234,8 @@ def cpa_allocation(
     if memoize:
         if len(_MEMO) >= MEMO_CAP:
             _MEMO.popitem(last=False)
-            _obs.incr("cache.alloc.evict")
+            if _obs.ENABLED:
+                _obs.incr("cache.alloc.evict")
         _MEMO[key] = (result, deltas)
     return result
 

@@ -76,7 +76,7 @@ class IdleCluster:
         its start searches only the tail of the profile.
         """
         i = bisect_right(self.times, t, lo) - 1
-        if self.times[i] != t:
+        if self.times[i] != t:  # lint: ignore[REP004] — bitwise breakpoint identity: segments split only on exact repeats
             self.times.insert(i + 1, t)
             self.avail.insert(i + 1, self.avail[i])
             return i + 1

@@ -184,7 +184,7 @@ def _guarded_call(
         return result, snap, None
     except _InstanceTimeout:
         return None, None, f"timed out after {timeout:g}s"
-    except Exception as exc:  # noqa: BLE001 - quarantine, don't crash
+    except Exception as exc:  # noqa: BLE001  # lint: ignore[REP005] — worker isolation boundary: any failure quarantines the instance, never crashes the sweep
         return None, None, f"{type(exc).__name__}: {exc}"
 
 

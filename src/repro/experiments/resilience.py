@@ -96,7 +96,9 @@ class ResilienceStudy:
         for c in self.cells:
             if c.policy == policy and c.fault_rate == fault_rate:
                 return c
-        raise KeyError((policy, fault_rate))
+        raise ValueError(
+            f"no cell for policy={policy!r} fault_rate={fault_rate!r}"
+        )
 
 
 def _fingerprint(inst: InstanceStream) -> tuple:

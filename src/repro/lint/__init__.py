@@ -1,0 +1,50 @@
+"""`repro.lint` — AST-based determinism & invariant checking.
+
+The reproduction's headline guarantees — bitwise-identical results at
+any worker count, generation-keyed cache coherence, zero-overhead-when-
+disabled instrumentation, fault traces derived only from keyed RNG
+streams — are invariants of *how the code is written*, not just of what
+it computes.  This package machine-checks them: a dependency-free
+static-analysis pass over the source tree built on :mod:`ast`, with a
+pluggable rule registry, per-line suppression comments, and JSON or
+human-readable output.
+
+Run it as ``repro lint src/repro`` (a CI gate) or programmatically::
+
+    from repro.lint import lint_paths
+    findings = lint_paths(["src/repro"])
+
+Rules live in :mod:`repro.lint.rules`; the framework (finding model,
+suppressions, registry, runner) in :mod:`repro.lint.core`.  See
+``docs/STATIC_ANALYSIS.md`` for each rule's rationale and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import (
+    Finding,
+    LintError,
+    Rule,
+    all_rules,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+# Importing the rules module populates the registry.
+from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "Rule",
+    "all_rules",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,319 @@
+"""Framework for the :mod:`repro.lint` static checker.
+
+The moving parts:
+
+* :class:`Finding` — one rule violation at a source location.
+* :class:`Rule` — a named check over one parsed module; concrete rules
+  subclass it and register themselves with :func:`register`.
+* :class:`ModuleContext` — everything a rule sees: the parsed AST, the
+  raw source lines, the file path, and the dotted module name (derived
+  from the path so rules can scope themselves to packages).
+* Suppressions — ``# lint: ignore[REP001]`` on the offending line
+  silences that rule there; ``# lint: ignore-file[REP001]`` anywhere in
+  a file silences the rule for the whole file.  Several ids may be
+  listed (``ignore[REP001,REP004]``).  House style requires a
+  justification after the bracket (``# lint: ignore[REP004] — bitwise
+  breakpoint identity is the contract here``); the checker itself only
+  parses the bracket, reviewers enforce the prose.
+
+Everything here is dependency-free (stdlib :mod:`ast`, :mod:`re`,
+:mod:`tokenize`) so the checker can run before the package's own
+requirements are installed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ReproError
+
+
+class LintError(ReproError):
+    """A lint run could not be completed (unreadable file, syntax error,
+    duplicate rule id).  Findings are results, not errors — this class
+    is for failures of the checker itself."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (stable key order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: ID message`` form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+
+@dataclass
+class ModuleContext:
+    """What a rule gets to look at for one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`title` and :attr:`rationale`
+    (which PR-guarantee the rule protects — surfaced by ``repro lint
+    --explain``), optionally narrow :meth:`applies_to`, and implement
+    :meth:`check`.
+    """
+
+    #: Short stable identifier, e.g. ``"REP001"``.
+    rule_id: str = ""
+    #: One-line human name, e.g. ``"stray-entropy"``.
+    title: str = ""
+    #: Why the rule exists — the invariant it machine-checks.
+    rationale: str = ""
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule runs on the module with dotted name
+        ``module`` (default: every module)."""
+        return True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule (instance) to the registry."""
+    rule = cls()
+    if not rule.rule_id:
+        raise LintError(f"rule {cls.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*(ignore|ignore-file)\[([A-Za-z0-9_,\s]+)\]"
+)
+
+
+@dataclass
+class _Suppressions:
+    """Parsed suppression comments of one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    whole_file: set[str] = field(default_factory=set)
+
+    def covers(self, finding: Finding) -> bool:
+        if finding.rule_id in self.whole_file:
+            return True
+        return finding.rule_id in self.by_line.get(finding.line, set())
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    """Extract suppression comments with the tokenizer (so strings that
+    merely *contain* the marker text don't suppress anything)."""
+    sup = _Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            ids = {part.strip() for part in m.group(2).split(",")}
+            ids.discard("")
+            if m.group(1) == "ignore-file":
+                sup.whole_file |= ids
+            else:
+                sup.by_line.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        # Unterminated constructs: ast.parse will raise a real error with
+        # a location; suppression parsing just degrades to "none found".
+        pass
+    return sup
+
+
+# ----------------------------------------------------------------------
+# Module naming
+# ----------------------------------------------------------------------
+
+
+def module_name_for_path(path: str | Path) -> str:
+    """Dotted module name for ``path``, anchored at the last path
+    component named ``repro``.
+
+    ``src/repro/calendar/calendar.py`` → ``repro.calendar.calendar``;
+    a file outside any ``repro`` tree falls back to its stem.  Rules use
+    this to scope themselves (hot-path packages, exempt modules) without
+    caring where the tree is checked out — which also lets the fixture
+    tests stage offending snippets under a temporary ``repro/...``
+    directory.
+    """
+    p = Path(path)
+    parts = list(p.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[anchor:]
+    else:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else str(p.stem)
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str | Path = "<string>",
+    *,
+    rules: Sequence[Rule] | None = None,
+    respect_suppressions: bool = True,
+) -> list[Finding]:
+    """Check one source string; the main entry point for tests."""
+    path_str = str(path)
+    try:
+        tree = ast.parse(source, filename=path_str)
+    except SyntaxError as exc:
+        raise LintError(f"{path_str}: syntax error: {exc}") from exc
+    ctx = ModuleContext(
+        path=path_str,
+        module=module_name_for_path(path_str),
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx.module):
+            continue
+        findings.extend(rule.check(ctx))
+    if respect_suppressions:
+        sup = _parse_suppressions(source)
+        findings = [f for f in findings if not sup.covers(f)]
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path, *, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Check one file on disk."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {p}: {exc}") from exc
+    return lint_source(source, p, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into the sorted set of ``.py`` files.
+
+    Sorted traversal keeps finding order (and the JSON artifact) stable
+    across filesystems — the checker holds itself to the determinism
+    bar it enforces.
+    """
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(
+                f
+                for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+            )
+        elif p.suffix == ".py":
+            yield p
+        else:
+            raise LintError(f"not a python file or directory: {p}")
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Check every ``.py`` file under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, rules=rules))
+    return sorted(findings)
+
+
+def format_findings(
+    findings: Sequence[Finding], *, fmt: str = "human"
+) -> str:
+    """Render findings as ``human`` text or a ``json`` document.
+
+    The JSON form carries the rule catalog alongside the findings so
+    the CI artifact is self-describing.
+    """
+    if fmt == "json":
+        doc = {
+            "findings": [f.to_dict() for f in sorted(findings)],
+            "count": len(findings),
+            "rules": {
+                r.rule_id: {"title": r.title, "rationale": r.rationale}
+                for r in all_rules()
+            },
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+    if fmt != "human":
+        raise LintError(f"unknown format {fmt!r} (expected human or json)")
+    if not findings:
+        return "no findings"
+    lines = [f.render() for f in sorted(findings)]
+    lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)

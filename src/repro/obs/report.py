@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.errors import ReproError
 from repro.obs.core import Collector
 
 #: Schema version recorded in every artifact.
@@ -99,8 +100,13 @@ RUN_REPORT_SCHEMA: dict[str, Any] = {
 }
 
 
-class SchemaError(ValueError):
-    """A document does not match the declared schema."""
+class SchemaError(ReproError, ValueError):
+    """A document does not match the declared schema.
+
+    Derives from both the taxonomy root (so callers can catch
+    :class:`ReproError`) and :class:`ValueError` (the original base,
+    kept for backward compatibility).
+    """
 
 
 def _check(doc: Any, schema: dict[str, Any], path: str) -> None:

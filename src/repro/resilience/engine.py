@@ -338,7 +338,9 @@ def execute_resilient(
             return
 
         note = ""
-        with _obs.span("resilience.repair"):
+        # One span per (rare, fault-driven) repair event; the block
+        # replans whole schedule suffixes.
+        with _obs.span("resilience.repair"):  # lint: ignore[REP003] — once per repair event
             if policy == "local-rebook":
                 # Re-book each task individually, predecessors first.
                 # Planned starts are a topological order of the DAG
@@ -440,7 +442,9 @@ def execute_resilient(
         _repair(t, ev.kind, revoked)
 
     # --- event loop --------------------------------------------------
-    with _obs.span("resilience.execute"):
+    # One span per execution run: the disabled-mode no-op span costs a
+    # single call per execute_resilient.
+    with _obs.span("resilience.execute"):  # lint: ignore[REP003] — once per execution run
         while pending:
             if _cascade_failures():
                 continue

@@ -18,7 +18,7 @@ Usage::
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable
+from typing import Iterable, TypeVar
 
 import numpy as np
 
@@ -74,14 +74,19 @@ def uniform_between(rng: RNG, low: float, high: float) -> float:
     return float(rng.uniform(low, high))
 
 
-def choice_weighted(rng: RNG, items: Iterable[object], weights: Iterable[float]):
+_T = TypeVar("_T")
+
+
+def choice_weighted(
+    rng: RNG, items: Iterable[_T], weights: Iterable[float]
+) -> _T:
     """Draw one item with the given (unnormalized, non-negative) weights."""
-    items = list(items)
+    pool = list(items)
     w = np.asarray(list(weights), dtype=float)
-    if len(items) != len(w):
+    if len(pool) != len(w):
         raise ValueError("items and weights must have equal length")
-    if len(items) == 0:
+    if len(pool) == 0:
         raise ValueError("cannot choose from an empty sequence")
     if np.any(w < 0) or w.sum() <= 0:
         raise ValueError("weights must be non-negative with a positive sum")
-    return items[int(rng.choice(len(items), p=w / w.sum()))]
+    return pool[int(rng.choice(len(pool), p=w / w.sum()))]

@@ -5,7 +5,10 @@ from __future__ import annotations
 import os
 import signal
 import threading
+from types import FrameType
+from typing import Iterator
 
+import numpy as np
 import pytest
 
 from repro import (
@@ -19,11 +22,13 @@ from repro import (
 from repro.calendar import Reservation
 from repro.model import AmdahlModel
 from repro.workloads import (
+    Job,
+    SyntheticLogParams,
     build_reservation_scenario,
     generate_log,
     preset,
 )
-from repro.workloads.reservations import pick_scheduling_time
+from repro.workloads.reservations import ReservationScenario, pick_scheduling_time
 
 
 #: Per-test wall-clock budget in seconds; 0 (or unset-able via env)
@@ -33,7 +38,7 @@ _TEST_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300") or 0)
 
 
 @pytest.fixture(autouse=True)
-def _global_test_timeout(request):
+def _global_test_timeout(request: pytest.FixtureRequest) -> Iterator[None]:
     """Fail any test that exceeds ``REPRO_TEST_TIMEOUT`` seconds.
 
     Uses ``SIGALRM`` (skipped off the main thread and on platforms
@@ -49,8 +54,8 @@ def _global_test_timeout(request):
         yield
         return
 
-    def _timed_out(signum, frame):
-        raise TimeoutError(
+    def _timed_out(signum: int, frame: FrameType | None) -> None:
+        raise TimeoutError(  # lint: ignore[REP005] — stdlib timeout type: test harness code, deliberately outside the library taxonomy
             f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT_S:g}s: "
             f"{request.node.nodeid}"
         )
@@ -65,13 +70,13 @@ def _global_test_timeout(request):
 
 
 @pytest.fixture
-def rng():
+def rng() -> np.random.Generator:
     """A deterministic root random generator."""
     return make_rng(1234)
 
 
 @pytest.fixture
-def small_graph():
+def small_graph() -> TaskGraph:
     """A 6-task diamond-ish DAG with hand-set costs.
 
     Structure::
@@ -93,13 +98,13 @@ def small_graph():
 
 
 @pytest.fixture
-def medium_graph(rng):
+def medium_graph(rng: np.random.Generator) -> TaskGraph:
     """A 25-task random application at default shape parameters."""
     return random_task_graph(DagGenParams(n=25), rng)
 
 
 @pytest.fixture
-def busy_calendar():
+def busy_calendar() -> ResourceCalendar:
     """A 16-processor calendar with a few competing reservations."""
     reservations = [
         Reservation(start=0.0, end=4000.0, nprocs=8, label="r0"),
@@ -111,14 +116,16 @@ def busy_calendar():
 
 
 @pytest.fixture(scope="session")
-def osc_jobs():
+def osc_jobs() -> tuple[list[Job], SyntheticLogParams]:
     """One synthetic OSC_Cluster log, shared across the session."""
     params = preset("OSC_Cluster")
     return generate_log(params, make_rng(777)), params
 
 
 @pytest.fixture
-def osc_scenario(osc_jobs):
+def osc_scenario(
+    osc_jobs: tuple[list[Job], SyntheticLogParams],
+) -> ReservationScenario:
     """A reservation scenario built from the OSC log."""
     jobs, params = osc_jobs
     rng = make_rng(4242)

@@ -1,0 +1,543 @@
+"""Tests for the repro.lint static checker.
+
+Each rule gets (at least) one minimal offending snippet proving it
+fires and one clean snippet proving it stays quiet; the suite ends
+with the self-check the CI gate relies on — the real source tree under
+``src/repro`` reports zero findings.
+
+Scoped rules (REP003/REP004 only run inside hot packages) are fed
+fake paths like ``repro/calendar/snippet.py``: `module_name_for_path`
+anchors at the last ``repro`` path component, so the snippets land in
+the right dotted module without touching the real tree.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Finding,
+    LintError,
+    all_rules,
+    format_findings,
+    lint_paths,
+    lint_source,
+)
+from repro.lint.core import module_name_for_path
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def ids(findings: list[Finding]) -> set[str]:
+    return {f.rule_id for f in findings}
+
+
+def run(source: str, path: str = "repro/somemod.py") -> list[Finding]:
+    return lint_source(source, path)
+
+
+# ----------------------------------------------------------------------
+# Framework
+# ----------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_at_least_six_rules_registered(self):
+        rules = all_rules()
+        assert len(rules) >= 6
+        assert [r.rule_id for r in rules] == sorted(
+            r.rule_id for r in rules
+        )
+        for rule in rules:
+            assert rule.title
+            assert rule.rationale
+
+    def test_syntax_error_raises_lint_error(self):
+        with pytest.raises(LintError, match="syntax error"):
+            run("def broken(:\n")
+
+    def test_module_name_anchors_at_repro(self):
+        assert (
+            module_name_for_path("src/repro/calendar/calendar.py")
+            == "repro.calendar.calendar"
+        )
+        assert (
+            module_name_for_path("/tmp/x/repro/cpa/__init__.py")
+            == "repro.cpa"
+        )
+        assert module_name_for_path("scripts/check.py") == "check"
+
+    def test_findings_sort_stably(self):
+        a = Finding("a.py", 3, 0, "REP001", "x")
+        b = Finding("a.py", 1, 0, "REP005", "y")
+        assert sorted([a, b]) == [b, a]
+
+    def test_format_json_is_self_describing(self):
+        out = format_findings(
+            [Finding("a.py", 1, 0, "REP001", "msg")], fmt="json"
+        )
+        import json
+
+        doc = json.loads(out)
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "REP001"
+        assert "REP004" in doc["rules"]
+
+    def test_format_human_empty(self):
+        assert format_findings([], fmt="human") == "no findings"
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(LintError, match="unknown format"):
+            format_findings([], fmt="xml")
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+class TestSuppressions:
+    OFFENDING = "import random  # lint: ignore[REP001] — fixture\n"
+
+    def test_line_suppression(self):
+        assert run(self.OFFENDING) == []
+
+    def test_line_suppression_other_rule_still_fires(self):
+        src = "import random  # lint: ignore[REP002] — wrong id\n"
+        assert ids(run(src)) == {"REP001"}
+
+    def test_multiple_ids_in_one_comment(self):
+        src = "import random  # lint: ignore[REP002, REP001] — fixture\n"
+        assert run(src) == []
+
+    def test_file_suppression(self):
+        src = "# lint: ignore-file[REP001] — fixture\nimport random\n"
+        assert run(src) == []
+
+    def test_marker_inside_string_does_not_suppress(self):
+        src = 'MARK = "# lint: ignore[REP001]"\nimport random\n'
+        assert ids(run(src)) == {"REP001"}
+
+    def test_suppressions_can_be_disabled(self):
+        found = lint_source(
+            self.OFFENDING, "repro/m.py", respect_suppressions=False
+        )
+        assert ids(found) == {"REP001"}
+
+
+# ----------------------------------------------------------------------
+# REP001 — stray entropy
+# ----------------------------------------------------------------------
+
+
+class TestStrayEntropy:
+    def test_import_random_fires(self):
+        assert ids(run("import random\n")) == {"REP001"}
+
+    def test_time_time_fires(self):
+        assert ids(run("import time\nt0 = time.time()\n")) == {"REP001"}
+
+    def test_datetime_now_fires(self):
+        src = "import datetime\nnow = datetime.datetime.now()\n"
+        assert ids(run(src)) == {"REP001"}
+
+    def test_unseeded_default_rng_fires(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert ids(run(src)) == {"REP001"}
+
+    def test_global_numpy_random_fires(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert ids(run(src)) == {"REP001"}
+
+    def test_clean_seeded_rng(self):
+        src = (
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert run(src) == []
+
+    def test_exempt_module_allows_entropy(self):
+        src = "import time\nt0 = time.time()\n"
+        assert lint_source(src, "repro/obs/core.py") == []
+
+    def test_perf_counter_is_not_flagged(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert run(src) == []
+
+
+# ----------------------------------------------------------------------
+# REP002 — unordered iteration
+# ----------------------------------------------------------------------
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_literal_fires(self):
+        src = "for x in {1, 2, 3}:\n    print(x)\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_for_over_set_call_fires(self):
+        src = "s = set([3, 1])\nfor x in s:\n    print(x)\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_list_of_set_fires(self):
+        src = "s = {1, 2}\nxs = list(s)\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_comprehension_over_set_fires(self):
+        src = "s = {1, 2}\nxs = [x + 1 for x in s]\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_os_listdir_fires(self):
+        src = "import os\nfor f in os.listdir('.'):\n    print(f)\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_sorted_set_is_clean(self):
+        src = "s = {1, 2}\nfor x in sorted(s):\n    print(x)\n"
+        assert run(src) == []
+
+    def test_generator_into_sorted_is_clean(self):
+        src = "s = {1, 2}\nxs = sorted(x + 1 for x in s)\n"
+        assert run(src) == []
+
+    def test_list_iteration_is_clean(self):
+        src = "xs = [3, 1]\nfor x in xs:\n    print(x)\n"
+        assert run(src) == []
+
+    def test_set_name_does_not_leak_across_functions(self):
+        src = (
+            "def a():\n"
+            "    names = {1, 2}\n"
+            "    return sorted(names)\n"
+            "def b():\n"
+            "    names = [1, 2]\n"
+            "    return [n for n in names]\n"
+        )
+        assert run(src) == []
+
+    def test_set_union_fires(self):
+        src = "a = {1}\nb = {2}\nfor x in a | b:\n    print(x)\n"
+        assert ids(run(src)) == {"REP002"}
+
+    def test_dict_iteration_is_clean(self):
+        src = "d = {'a': 1}\nfor k in d:\n    print(k)\n"
+        assert run(src) == []
+
+
+# ----------------------------------------------------------------------
+# REP003 — unguarded obs calls (hot packages only)
+# ----------------------------------------------------------------------
+
+HOT = "repro/calendar/snippet.py"
+COLD = "repro/experiments/snippet.py"
+
+
+class TestUnguardedObs:
+    OFFENDING = (
+        "from repro.obs import core as _obs\n"
+        "def place():\n"
+        "    _obs.incr('calendar.place')\n"
+    )
+    CLEAN = (
+        "from repro.obs import core as _obs\n"
+        "def place():\n"
+        "    if _obs.ENABLED:\n"
+        "        _obs.incr('calendar.place')\n"
+    )
+
+    def test_unguarded_incr_fires_on_hot_path(self):
+        assert ids(lint_source(self.OFFENDING, HOT)) == {"REP003"}
+
+    def test_guarded_incr_is_clean(self):
+        assert lint_source(self.CLEAN, HOT) == []
+
+    def test_cold_package_is_out_of_scope(self):
+        assert lint_source(self.OFFENDING, COLD) == []
+
+    def test_unguarded_span_fires(self):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def place():\n"
+            "    with _obs.span('x'):\n"
+            "        pass\n"
+        )
+        assert ids(lint_source(src, HOT)) == {"REP003"}
+
+    def test_early_return_guard_dominates(self):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def place():\n"
+            "    if not _obs.ENABLED:\n"
+            "        return\n"
+            "    _obs.incr('calendar.place')\n"
+        )
+        assert lint_source(src, HOT) == []
+
+    def test_snapshot_guard_variable_counts(self):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def place():\n"
+            "    prov = [] if _obs.ENABLED else None\n"
+            "    if prov is not None:\n"
+            "        _obs.decision('placed', t=1.0)\n"
+        )
+        assert lint_source(src, HOT) == []
+
+    def test_guard_does_not_leak_into_nested_def(self):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def outer():\n"
+            "    if _obs.ENABLED:\n"
+            "        def later():\n"
+            "            _obs.incr('x')\n"
+            "        return later\n"
+        )
+        assert ids(lint_source(src, HOT)) == {"REP003"}
+
+    def test_module_without_obs_import_is_clean(self):
+        src = "def place():\n    incr('not-obs')\n"
+        assert lint_source(src, HOT) == []
+
+
+# ----------------------------------------------------------------------
+# REP004 — float equality on times (scheduling kernels only)
+# ----------------------------------------------------------------------
+
+
+class TestFloatEquality:
+    def test_time_equality_fires(self):
+        src = "def f(start, end):\n    return start == end\n"
+        assert ids(lint_source(src, HOT)) == {"REP004"}
+
+    def test_attribute_time_fires(self):
+        src = "def f(r, t):\n    return r.start != t\n"
+        assert ids(lint_source(src, HOT)) == {"REP004"}
+
+    def test_float_literal_fires(self):
+        src = "def f(x):\n    return x == 0.0\n"
+        assert ids(lint_source(src, HOT)) == {"REP004"}
+
+    def test_out_of_scope_module_is_clean(self):
+        src = "def f(start, end):\n    return start == end\n"
+        assert lint_source(src, "repro/experiments/snippet.py") == []
+
+    def test_times_close_is_clean(self):
+        src = (
+            "from repro.units import times_close\n"
+            "def f(start, end):\n"
+            "    return times_close(start, end)\n"
+        )
+        assert lint_source(src, HOT) == []
+
+    def test_int_comparison_is_clean(self):
+        src = "def f(nprocs):\n    return nprocs == 4\n"
+        assert lint_source(src, HOT) == []
+
+    def test_none_comparison_is_clean(self):
+        src = "def f(start):\n    return start == None\n"
+        assert lint_source(src, HOT) == []
+
+    def test_ordering_comparisons_are_clean(self):
+        src = "def f(start, end):\n    return start < end\n"
+        assert lint_source(src, HOT) == []
+
+    def test_non_time_names_are_clean(self):
+        src = "def f(label, other):\n    return label == other\n"
+        assert lint_source(src, HOT) == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — exceptions outside the taxonomy
+# ----------------------------------------------------------------------
+
+
+class TestBareException:
+    def test_raise_runtime_error_fires(self):
+        src = "def f():\n    raise RuntimeError('boom')\n"
+        assert ids(run(src)) == {"REP005"}
+
+    def test_raise_key_error_fires(self):
+        src = "def f(k):\n    raise KeyError(k)\n"
+        assert ids(run(src)) == {"REP005"}
+
+    def test_bare_except_fires(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert ids(run(src)) == {"REP005"}
+
+    def test_except_exception_fires(self):
+        src = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert ids(run(src)) == {"REP005"}
+
+    def test_taxonomy_raise_is_clean(self):
+        src = (
+            "from repro.errors import CalendarError\n"
+            "def f():\n"
+            "    raise CalendarError('boom')\n"
+        )
+        assert run(src) == []
+
+    def test_local_subclass_of_taxonomy_is_clean(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "class LocalError(ReproError):\n"
+            "    pass\n"
+            "class Deeper(LocalError):\n"
+            "    pass\n"
+            "def f():\n"
+            "    raise Deeper('boom')\n"
+        )
+        assert run(src) == []
+
+    def test_value_error_is_allowed_for_validation(self):
+        src = "def f(n):\n    raise ValueError(n)\n"
+        assert run(src) == []
+
+    def test_taxonomy_catch_is_clean(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "try:\n"
+            "    f()\n"
+            "except ReproError:\n"
+            "    pass\n"
+        )
+        assert run(src) == []
+
+    def test_reraise_of_caught_object_is_clean(self):
+        src = (
+            "from repro.errors import ReproError\n"
+            "try:\n"
+            "    f()\n"
+            "except ReproError as exc:\n"
+            "    raise exc\n"
+        )
+        assert run(src) == []
+
+
+# ----------------------------------------------------------------------
+# REP006 — mutation without generation bump
+# ----------------------------------------------------------------------
+
+
+class TestMemoInvalidation:
+    OFFENDING = (
+        "class ResourceCalendar:\n"
+        "    def add(self, r):\n"
+        "        self._reservations.append(r)\n"
+    )
+    CLEAN = (
+        "class ResourceCalendar:\n"
+        "    def add(self, r):\n"
+        "        self._reservations.append(r)\n"
+        "        self._invalidate_caches()\n"
+    )
+
+    def test_mutation_without_bump_fires(self):
+        assert ids(run(self.OFFENDING)) == {"REP006"}
+
+    def test_mutation_with_invalidate_is_clean(self):
+        assert run(self.CLEAN) == []
+
+    def test_generation_assignment_also_counts(self):
+        src = (
+            "class ResourceCalendar:\n"
+            "    def add(self, r):\n"
+            "        self._reservations.append(r)\n"
+            "        self._generation += 1\n"
+        )
+        assert run(src) == []
+
+    def test_init_is_exempt(self):
+        src = (
+            "class ResourceCalendar:\n"
+            "    def __init__(self):\n"
+            "        self._reservations = []\n"
+        )
+        assert run(src) == []
+
+    def test_stepfunction_is_immutable(self):
+        src = (
+            "class StepFunction:\n"
+            "    def shift(self, dt):\n"
+            "        self.times = self.times + dt\n"
+        )
+        assert ids(run(src)) == {"REP006"}
+
+    def test_stepfunction_init_is_exempt(self):
+        src = (
+            "class StepFunction:\n"
+            "    def __init__(self, times):\n"
+            "        self.times = times\n"
+        )
+        assert run(src) == []
+
+    def test_unrelated_class_is_clean(self):
+        src = (
+            "class Ledger:\n"
+            "    def add(self, r):\n"
+            "        self._reservations.append(r)\n"
+        )
+        assert run(src) == []
+
+    def test_subscript_mutation_fires(self):
+        src = (
+            "class ResourceCalendar:\n"
+            "    def poke(self, i):\n"
+            "        self._profile[i] = 0\n"
+        )
+        assert ids(run(src)) == {"REP006"}
+
+
+# ----------------------------------------------------------------------
+# The gate: the real tree is clean, and the CLI agrees
+# ----------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_src_repro_has_zero_findings(self):
+        assert REPO_SRC.is_dir()
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], format_findings(findings)
+
+    def test_scripts_and_conftest_are_clean(self):
+        root = REPO_SRC.parent.parent
+        targets = [
+            root / "scripts" / "check_bench_regression.py",
+            root / "tests" / "conftest.py",
+        ]
+        findings = lint_paths([t for t in targets if t.exists()])
+        assert findings == [], format_findings(findings)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        good = tmp_path / "repro" / "good.py"
+        good.write_text("x = 1\n")
+        assert main(["lint", str(good)]) == 0
+
+    def test_cli_json_artifact(self, tmp_path):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        out_path = tmp_path / "findings.json"
+        code = main(
+            ["lint", str(bad), "--format", "json", "--out", str(out_path)]
+        )
+        assert code == 1
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "REP001"
+
+    def test_cli_explain_lists_rules(self, capsys):
+        assert main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rid in out

@@ -578,6 +578,88 @@ def bench_table4_cell(
     }
 
 
+def bench_streamed_throughput(
+    *, n_requests: int, n_res: int, repeats: int
+) -> dict[str, Any]:
+    """Admitting a stream of small DAGs: incremental engine vs N passes.
+
+    A busy advance-reservation calendar (``n_res`` competing bookings
+    spread over a long horizon) receives ``n_requests`` eight-task
+    applications at a sustainable arrival rate.  Baseline: per request,
+    rebuild the scenario with everything booked so far and run the batch
+    ``schedule_ressched`` — the only way to express a stream with the
+    one-shot API (O(R) scenario rebuild plus full-suffix placement scans
+    per request).  Current path: one ``StreamScheduler`` admitting every
+    request against a single generation-tagged calendar via
+    ``schedule_ressched_incremental`` — O(1)-amortized ready-queue
+    events, batched windowed placement probes, and memoized plans.
+    Placements are asserted bitwise-identical before timing.
+    """
+    from repro.experiments.stream import (
+        StreamRequest,
+        StreamScheduler,
+        schedule_stream_naive,
+    )
+    from repro.workloads.reservations import ReservationScenario
+
+    capacity = 64
+    rng = make_rng(7)
+    horizon = 333.0 * n_res
+    reservations = []
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, horizon))
+        dur = float(rng.uniform(60.0, 3_600.0))
+        nprocs = int(rng.integers(1, max(2, capacity // 16)))
+        reservations.append(
+            Reservation(start=start, end=start + dur, nprocs=nprocs, label=f"r{i}")
+        )
+    scenario = ReservationScenario(
+        name="stream-bench",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(reservations),
+        hist_avg_available=capacity / 2,
+    )
+    graphs = [
+        random_task_graph(
+            DagGenParams(n=8, max_seq_time=3_600.0), make_rng(1000 + i)
+        )
+        for i in range(4)
+    ]
+    requests = [
+        StreamRequest(
+            request_id=f"req-{k}",
+            arrival_offset=k * 1_200.0,
+            graph=graphs[k % len(graphs)],
+        )
+        for k in range(n_requests)
+    ]
+
+    def naive_path() -> list:
+        _allocmod.clear_memo()
+        return schedule_stream_naive(scenario, requests)
+
+    def streamed_path() -> list:
+        _allocmod.clear_memo()
+        return StreamScheduler(scenario).run(requests).schedules
+
+    naive_s, naive_res = _best_of(naive_path, repeats)
+    stream_s, stream_res = _best_of(streamed_path, repeats)
+    for a, b in zip(naive_res, stream_res):
+        pa = [(p.task, p.start, p.finish, p.nprocs) for p in a.placements]
+        pb = [(p.task, p.start, p.finish, p.nprocs) for p in b.placements]
+        if pa != pb:
+            raise AssertionError("streamed-throughput paths disagree")
+    return {
+        "n_requests": n_requests,
+        "n_reservations": n_res,
+        "naive_s": naive_s,
+        "streamed_s": stream_s,
+        "speedup": naive_s / stream_s,
+        "requests_per_s": n_requests / stream_s,
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -597,6 +679,9 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             },
             "cpa_allocation": {"n_tasks": 60, "q": 32, "repeats": 2},
             "table4_cell": {"dag_instances": 2, "n_workers": 2, "repeats": 1},
+            "streamed_throughput": {
+                "n_requests": 100, "n_res": 1000, "repeats": 1,
+            },
         }
     else:
         sizes = {
@@ -610,6 +695,9 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             },
             "cpa_allocation": {"n_tasks": 150, "q": 64, "repeats": 3},
             "table4_cell": {"dag_instances": 6, "n_workers": 4, "repeats": 5},
+            "streamed_throughput": {
+                "n_requests": 300, "n_res": 2000, "repeats": 2,
+            },
         }
     report: dict[str, Any] = {
         "quick": quick,
@@ -640,6 +728,11 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
     report["table4_cell"] = bench_table4_cell(**sizes["table4_cell"])
     _echo("table4_cell", report["table4_cell"],
           "seed_serial_s", "parallel_s")
+    report["streamed_throughput"] = bench_streamed_throughput(
+        **sizes["streamed_throughput"]
+    )
+    _echo("streamed_throughput", report["streamed_throughput"],
+          "naive_s", "streamed_s")
     return report
 
 

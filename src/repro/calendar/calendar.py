@@ -67,6 +67,13 @@ USE_INDEX: bool = True
 #: Tests and benchmarks drop it to 0 to force the tree walks.
 INDEX_MIN_SEGMENTS: int = 4096
 
+#: Initial window (in profile segments) of the batched placement-probe
+#: sweep (:meth:`ResourceCalendar.earliest_starts_batch`).  Rows whose
+#: first feasible run is not confirmed within the window rescan with an
+#: 8x larger one, so the constant only tunes constant factors — results
+#: are bitwise-independent of it.
+BATCH_WINDOW_SEGMENTS: int = 64
+
 #: Entry cap on the per-calendar query memo; reaching it drops the whole
 #: cache (calendars are short-lived, so simple beats clever here).
 _MULTI_CACHE_CAP: int = 1024
@@ -625,6 +632,207 @@ class ResourceCalendar:
             self._multi_cache = {}
         self._multi_cache[key] = result.copy()
         return result
+
+    def earliest_starts_batch(
+        self,
+        requests: "Sequence[tuple[float, Sequence[float] | np.ndarray]]",
+    ) -> list[np.ndarray]:
+        """Several :meth:`earliest_starts_multi` probes in one fused sweep.
+
+        Each request is an ``(earliest, durations)`` pair exactly as the
+        per-call signature takes them (``m_offset`` fixed at 0):
+        ``durations[j]`` is the duration on ``j + 1`` processors.  The
+        incremental scheduling engine batches the probes of every
+        simultaneously-ready task into one call per completion event, so
+        the 2-D free-run kernel builds its segment suffix once for the
+        whole batch instead of once per task.
+
+        Results are **bitwise-identical** to issuing the per-call queries
+        one by one: each request's rows see the same free runs (a fused
+        suffix can only add runs that end at or before that request's
+        ``earliest``, which can never win), and the per-calendar query
+        memo is shared in both directions — batch results are stored
+        under the per-call keys and vice versa.
+
+        Returns:
+            One starts array per request, in request order.
+        """
+        if _obs.ENABLED:
+            with _obs.span("calendar.query.earliest_batch"):
+                return self._earliest_starts_batch(requests)
+        return self._earliest_starts_batch(requests)
+
+    def _earliest_starts_batch(
+        self,
+        requests: "Sequence[tuple[float, Sequence[float] | np.ndarray]]",
+    ) -> list[np.ndarray]:
+        reqs: list[tuple[float, np.ndarray]] = []
+        for earliest, durations in requests:
+            d = np.asarray(durations, dtype=float)
+            if d.ndim != 1 or d.size == 0:
+                raise CalendarError("durations must be a non-empty 1-D array")
+            if d.size > self._capacity:
+                raise CalendarError(
+                    f"durations imply up to {d.size} processors but "
+                    f"capacity is {self._capacity}"
+                )
+            if not np.all(d > 0):
+                raise CalendarError("all durations must be positive")
+            reqs.append((float(earliest), d))
+        if not reqs:
+            return []
+
+        keys = [("e", e, 0, d.tobytes()) for e, d in reqs]
+        results: list[np.ndarray | None] = [None] * len(reqs)
+        miss: list[int] = []
+        for qi, key in enumerate(keys):
+            cached = self._multi_cache.get(key)
+            if cached is not None:
+                results[qi] = cached.copy()
+            else:
+                miss.append(qi)
+        if _obs.ENABLED:
+            _obs.incr("calendar.query.earliest_batch")
+            _obs.observe("calendar.batch.requests", len(reqs))
+            _obs.incr("cache.calendar.multi.hit", len(reqs) - len(miss))
+            _obs.incr("cache.calendar.multi.miss", len(miss))
+        if not miss:
+            return results  # type: ignore[return-value]
+
+        prof = self.availability()
+        if (
+            USE_INDEX
+            and self._index is not None
+            and prof.times.size >= INDEX_MIN_SEGMENTS
+        ):
+            # Dense profile with a live index: the tree walks are already
+            # per-request; the batch just amortizes the ENABLED checks
+            # and memo lookups.  When no index exists for the current
+            # commit generation we deliberately do NOT build one — the
+            # batched probes come from the streamed engine, which commits
+            # after every event, so an index would be invalidated before
+            # it amortized its O(S) build; the windowed sweep below does
+            # O(window) work instead.
+            idx = self._index
+            for qi in miss:
+                e, d = reqs[qi]
+                jq = int(np.searchsorted(prof.times, e, side="right"))
+                out = np.empty(d.size)
+                for k, dur in enumerate(d.tolist()):
+                    s = idx.earliest_start(jq, e, dur, k + 1)
+                    if s is None:
+                        raise CalendarError(
+                            "availability profile ended before all requests "
+                            "were placed — internal invariant violated"
+                        )
+                    out[k] = s
+                results[qi] = self._memo_store(keys[qi], out)
+            return results  # type: ignore[return-value]
+
+        # One fused 2-D sweep over the union of all missed rows.  The
+        # suffix starts at the earliest request's segment; rows of later
+        # requests see extra leading runs, but those end at or before
+        # their own `earliest` (profile breakpoints at/before `earliest`
+        # sort left of it), so with positive durations they are never
+        # feasible and the per-row first-feasible answer — and its
+        # clipped candidate float max(run start, earliest) — matches the
+        # per-call truncated sweep exactly.
+        #
+        # The sweep is *windowed*: answers almost always sit within a few
+        # segments of `earliest`, so scanning the whole suffix (which on
+        # a long-lived streamed calendar is thousands of segments) does
+        # O(rows x suffix) work for an O(rows x answer-distance) problem.
+        # Each pass scans a prefix window of the suffix.  Runs that close
+        # inside the window are decided exactly; the one run a window can
+        # truncate is its trailing run, whose end is only *under*stated
+        # (the true run extends at least to the window's last bound), so
+        # a candidate confirmed against that bound is exactly feasible
+        # and a rejected trailing candidate merely escalates — rows with
+        # no confirmed candidate retry with an 8x window until the window
+        # covers the suffix, where the pass *is* the full exact kernel.
+        # Accepted candidates are `max(run start, earliest)` over the
+        # same segment arrays in every pass, so results stay bitwise
+        # identical to the unwindowed sweep.
+        e_min = min(reqs[qi][0] for qi in miss)
+        times, values = prof.times, prof.values
+        j0 = int(np.searchsorted(times, e_min, side="right"))
+        # The padded segment-value array is conceptually
+        # ``[base, *values]`` and its bounds ``[-inf, *times, +inf]``;
+        # windows are sliced as views of `values`/`times` directly (the
+        # padding only matters at the two ends), so a pass never copies
+        # O(suffix) data.
+        n_suffix = values.size + 1 - j0
+        row_m = np.concatenate(
+            [np.arange(1, reqs[qi][1].size + 1) for qi in miss]
+        )
+        row_d = np.concatenate([reqs[qi][1] for qi in miss])
+        row_earliest = np.repeat(
+            [reqs[qi][0] for qi in miss],
+            [reqs[qi][1].size for qi in miss],
+        )
+        flat = np.empty(row_m.size)
+        alive = np.arange(row_m.size)
+        window = max(1, BATCH_WINDOW_SEGMENTS)
+        scanned = 0
+        while True:
+            wc = min(window, n_suffix)
+            scanned += wc
+            if j0 >= 1:
+                segvals = values[j0 - 1 : j0 - 1 + wc]
+            else:
+                segvals = np.concatenate(([prof.base], values[: wc - 1]))
+            if j0 >= 1 and j0 + wc <= times.size:
+                segbounds = times[j0 - 1 : j0 + wc]
+            else:
+                head = [] if j0 >= 1 else [np.array([-np.inf])]
+                tail = [] if j0 + wc <= times.size else [np.array([np.inf])]
+                segbounds = np.concatenate(
+                    head
+                    + [times[max(j0 - 1, 0) : min(j0 + wc, times.size)]]
+                    + tail
+                )
+            m_a = row_m[alive]
+            ok = np.zeros((alive.size, wc + 2), dtype=bool)
+            np.greater_equal(segvals[None, :], m_a[:, None], out=ok[:, 1:-1])
+            inner = ok[:, 1:-1]
+            r_rows, r_cols = np.nonzero(inner & ~ok[:, :-2])
+            f_rows, f_cols = np.nonzero(inner & ~ok[:, 2:])
+            cand = np.maximum(segbounds[r_cols], row_earliest[alive][r_rows])
+            feasible = cand + row_d[alive][r_rows] <= segbounds[f_cols + 1]
+            rows_f = r_rows[feasible]
+            if rows_f.size:
+                # `r_rows` is row-major sorted, so the first feasible run
+                # per row is the first occurrence in `rows_f` — no sort
+                # needed (unlike np.unique).
+                first = np.empty(rows_f.size, dtype=bool)
+                first[0] = True
+                np.not_equal(rows_f[1:], rows_f[:-1], out=first[1:])
+                urows = rows_f[first]
+                flat[alive[urows]] = cand[feasible][first]
+            else:
+                urows = rows_f
+            if urows.size == alive.size:
+                break
+            if wc >= n_suffix:
+                raise CalendarError(
+                    "availability profile ended before all requests were "
+                    "placed — internal invariant violated"
+                )
+            keep = np.ones(alive.size, dtype=bool)
+            keep[urows] = False
+            alive = alive[keep]
+            window *= 8
+            if _obs.ENABLED:
+                _obs.incr("calendar.batch.escalations")
+        if _obs.ENABLED:
+            _obs.observe("calendar.scan.segments", scanned)
+            _obs.observe("calendar.probe.counts", row_m.size)
+        pos = 0
+        for qi in miss:
+            size = reqs[qi][1].size
+            results[qi] = self._memo_store(keys[qi], flat[pos : pos + size])
+            pos += size
+        return results  # type: ignore[return-value]
 
     def latest_starts_multi(
         self,

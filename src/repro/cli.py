@@ -341,6 +341,49 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    # Deferred import: the stream driver pulls in the experiment layer.
+    from repro.experiments.reporting import run_instrumented
+    from repro.experiments.stream import StreamScheduler, requests_from_specs
+    from repro.workloads.requests import load_request_stream
+
+    specs = load_request_stream(args.requests)
+    graphs = [from_json(Path(p).read_text()) for p in args.dag]
+    params = preset(args.preset)
+    if args.log:
+        with open(args.log) as fh:
+            jobs = parse_swf(fh)
+    else:
+        jobs = generate_log(params, make_rng(args.seed))
+    rng = make_rng(args.seed + 1)
+    now = pick_scheduling_time(jobs, rng)
+    scenario = build_reservation_scenario(
+        jobs, params.n_procs, phi=args.phi, now=now, method=args.method,
+        rng=rng,
+    )
+    algorithm = _parse_ressched_algorithm(args.algorithm)
+    requests = requests_from_specs(specs, graphs)
+    result, report = run_instrumented(
+        "stream",
+        lambda: StreamScheduler(scenario, algorithm).run(requests),
+        meta={"requests": str(args.requests), "dags": len(graphs)},
+    )
+    summary = result.summary()
+    print(f"algorithm     {algorithm.name}")
+    print(f"platform      {scenario.capacity} processors, "
+          f"{scenario.n_reservations} competing reservations")
+    print(f"requests      {summary['n_requests']} admitted")
+    print(f"throughput    {summary['requests_per_s']:.1f} requests/s "
+          f"({summary['scheduling_s'] * 1e3:.1f} ms scheduling total)")
+    print(f"latency       p50 {summary['latency_ms']['p50']:.2f} ms, "
+          f"p99 {summary['latency_ms']['p99']:.2f} ms")
+    print(f"turn-around   {summary['mean_turnaround_s'] / HOUR:.2f} h mean")
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"wrote run report to {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Deferred import: the checker is pure stdlib but cold-start weight
     # belongs only to the command that needs it.
@@ -536,6 +579,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: ./BENCH_hotpath.json)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a request-stream CSV against one shared calendar",
+    )
+    p.add_argument(
+        "--requests", type=str, required=True,
+        help="request-stream CSV (request_id,arrival_offset,mode,priority)",
+    )
+    p.add_argument(
+        "--dag", action="append", required=True,
+        help="DAG JSON path; repeat to round-robin several applications",
+    )
+    p.add_argument(
+        "--log", type=str, default=None,
+        help="SWF log path (default: generate from --preset)",
+    )
+    p.add_argument("--preset", type=str, default="SDSC_BLUE")
+    p.add_argument("--phi", type=float, default=0.2)
+    p.add_argument(
+        "--method", choices=("linear", "expo", "real"), default="expo"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", type=str, default="BL_CPAR_BD_CPAR")
+    p.add_argument(
+        "--out", type=str, default=None,
+        help="write a RunReport JSON (stream.* counters) here",
+    )
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser(
         "lint",

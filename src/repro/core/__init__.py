@@ -8,6 +8,13 @@ from repro.core.ressched import (
     ResSchedAlgorithm,
     schedule_ressched,
 )
+from repro.core.incremental import (
+    PlanMemo,
+    ResschedPlan,
+    SchedulerState,
+    build_plan,
+    schedule_ressched_incremental,
+)
 from repro.core.deadline import (
     DEADLINE_ALGORITHMS,
     DeadlineAlgorithm,
@@ -30,6 +37,11 @@ __all__ = [
     "ResSchedAlgorithm",
     "RESSCHED_ALGORITHMS",
     "schedule_ressched",
+    "PlanMemo",
+    "ResschedPlan",
+    "SchedulerState",
+    "build_plan",
+    "schedule_ressched_incremental",
     "DeadlineAlgorithm",
     "DeadlineResult",
     "DEADLINE_ALGORITHMS",

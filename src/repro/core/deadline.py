@@ -344,8 +344,10 @@ def schedule_deadline(
         raise GenerationError(
             "provided context wraps a different graph or scenario"
         )
+    # Plain ValueError, as in schedule_ressched: argument validation,
+    # not a problem-generation fault.
     if ready_floors is not None and len(ready_floors) != graph.n:
-        raise GenerationError(
+        raise ValueError(
             f"ready_floors must have one entry per task "
             f"({graph.n}), got {len(ready_floors)}"
         )

@@ -98,12 +98,15 @@ def schedule_ressched(
         A complete, feasible schedule (RESSCHED always succeeds — the far
         future is always free).
     """
+    # Plain ValueError, not GenerationError: these are argument-validation
+    # failures of this call, not problem-generation faults (the taxonomy
+    # in repro.errors reserves its types for domain failures).
     if tie_break not in ("fewest", "most"):
-        raise GenerationError(
+        raise ValueError(
             f"tie_break must be 'fewest' or 'most', got {tie_break!r}"
         )
     if ready_floors is not None and len(ready_floors) != graph.n:
-        raise GenerationError(
+        raise ValueError(
             f"ready_floors must have one entry per task "
             f"({graph.n}), got {len(ready_floors)}"
         )

@@ -26,6 +26,14 @@ from repro.experiments.parallel import (
     SweepOutcome,
     run_sweep,
 )
+from repro.experiments.stream import (
+    StreamOutcome,
+    StreamReport,
+    StreamRequest,
+    StreamScheduler,
+    requests_from_specs,
+    schedule_stream_naive,
+)
 from repro.experiments.resilience import (
     ResilienceCell,
     ResilienceStudy,
@@ -55,6 +63,12 @@ __all__ = [
     "QuarantinedInstance",
     "SweepOutcome",
     "run_sweep",
+    "StreamOutcome",
+    "StreamReport",
+    "StreamRequest",
+    "StreamScheduler",
+    "requests_from_specs",
+    "schedule_stream_naive",
     "ResilienceCell",
     "ResilienceStudy",
     "format_resilience",

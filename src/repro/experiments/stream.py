@@ -1,0 +1,327 @@
+"""Arrival-driven scheduling of many DAGs against one shared calendar.
+
+The paper schedules one application per calendar snapshot.  An online
+multi-tenant service instead sees a *stream* of applications: requests
+arrive over time, and each must be scheduled immediately against the
+platform's current booking state — the competing reservations plus
+every previously admitted application's task reservations.
+
+Event model.  Requests are admitted in non-decreasing arrival-offset
+order (the replay order :func:`repro.workloads.parse_request_stream`
+guarantees).  Admission is greedy and immediate: request ``r`` is
+scheduled at instant ``scenario.now + r.arrival_offset`` with the full
+RESSCHED heuristic via the incremental engine
+(:func:`repro.core.schedule_ressched_incremental`), committing its task
+reservations into the one shared, generation-tagged
+:class:`~repro.calendar.calendar.ResourceCalendar`.  Already-booked
+requests are never revisited (advance reservations are contracts).
+
+:func:`schedule_stream_naive` is the reference baseline: per request it
+rebuilds a full :class:`~repro.workloads.reservations.ReservationScenario`
+holding everything booked so far and runs the batch
+:func:`~repro.core.schedule_ressched` — N full passes.  Both paths
+produce bitwise-identical placements; ``repro bench`` asserts this
+before timing them (the ``streamed_throughput`` section).
+
+Counters (``stream.*`` family, in RunReports when instrumented):
+
+==============================  ========================================
+counter                         meaning
+==============================  ========================================
+``stream.requests``             requests admitted
+``stream.events``               task-completion events processed
+``stream.batched_probes``       batched placement-probe calendar queries
+``stream.probe_tasks``          tasks probed across those batches
+``stream.probe_reused``         cached probes reused across events
+``stream.probe_invalidated``    cached probes dropped by a commit
+``stream.memo.hit`` / ``.miss`` plan-memo hits / misses (repeated DAG
+                                shapes cost zero allocation work)
+==============================  ========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.calendar import ResourceCalendar
+from repro.core.incremental import PlanMemo, schedule_ressched_incremental
+from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
+from repro.dag import TaskGraph
+from repro.obs import core as _obs
+from repro.obs import stopwatch
+from repro.schedule import Schedule
+from repro.workloads.requests import RequestSpec
+from repro.workloads.reservations import ReservationScenario
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """One application arriving in a request stream.
+
+    Attributes:
+        request_id: Unique identifier.
+        arrival_offset: Seconds after the stream epoch (``scenario.now``)
+            at which the request arrives.
+        graph: The application to schedule.
+        mode: ``"interactive"`` or ``"batch"`` (replay metadata).
+        priority: ``"low"`` / ``"mid"`` / ``"high"`` (replay metadata).
+    """
+
+    request_id: str
+    arrival_offset: float
+    graph: TaskGraph
+    mode: str = "interactive"
+    priority: str = "mid"
+
+
+@dataclass(frozen=True)
+class StreamOutcome:
+    """The admission result of one request.
+
+    Attributes:
+        request: The admitted request.
+        arrival: Absolute arrival instant (``epoch + arrival_offset``).
+        schedule: The committed schedule (``schedule.now == arrival``).
+        latency_s: Wall-clock seconds this admission's scheduling took
+            (a measurement — not deterministic, excluded from any
+            compute-derived result).
+    """
+
+    request: StreamRequest
+    arrival: float
+    schedule: Schedule
+    latency_s: float
+
+    @property
+    def turnaround(self) -> float:
+        """The admitted application's turn-around time."""
+        return self.schedule.turnaround
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Aggregate view of one replayed stream."""
+
+    outcomes: tuple[StreamOutcome, ...]
+
+    @property
+    def n_requests(self) -> int:
+        """Requests admitted."""
+        return len(self.outcomes)
+
+    @property
+    def schedules(self) -> list[Schedule]:
+        """The committed schedules, in admission order."""
+        return [o.schedule for o in self.outcomes]
+
+    def latency_percentiles(
+        self, qs: Sequence[float] = (50.0, 99.0)
+    ) -> dict[str, float]:
+        """Scheduling-latency percentiles in milliseconds, keyed
+        ``"p<q>"``."""
+        lat = np.array([o.latency_s for o in self.outcomes])
+        if lat.size == 0:
+            return {f"p{q:g}": float("nan") for q in qs}
+        return {
+            f"p{q:g}": float(np.percentile(lat, q) * 1e3) for q in qs
+        }
+
+    def summary(self) -> dict:
+        """JSON-ready aggregate numbers for reports."""
+        total_latency = sum(o.latency_s for o in self.outcomes)
+        return {
+            "n_requests": self.n_requests,
+            "scheduling_s": total_latency,
+            "requests_per_s": (
+                self.n_requests / total_latency if total_latency > 0 else 0.0
+            ),
+            "latency_ms": self.latency_percentiles(),
+            "mean_turnaround_s": (
+                float(np.mean([o.turnaround for o in self.outcomes]))
+                if self.outcomes
+                else float("nan")
+            ),
+        }
+
+
+class StreamScheduler:
+    """Admits a request stream against one shared calendar.
+
+    One instance owns the platform's booking state for the whole stream:
+    a single calendar seeded with the scenario's competing reservations,
+    mutated by every admission's committed task reservations.  Plans
+    (priority orders, bounds, execution tables) are memoized by graph
+    content digest across requests, and the CPA allocations behind them
+    hit the process-wide allocation memo, so repeated DAG shapes cost
+    zero allocation work after their first admission.
+
+    Args:
+        scenario: Platform snapshot at the stream epoch; its ``now`` is
+            the epoch all arrival offsets are relative to.
+        algorithm: RESSCHED heuristic applied to every request.
+        cpa_stopping: CPA stopping criterion for plan building.
+        tie_break: Completion-tie resolution, as in the batch scheduler.
+        memo: Optional shared :class:`~repro.core.incremental.PlanMemo`
+            (several streams can share one).
+    """
+
+    def __init__(
+        self,
+        scenario: ReservationScenario,
+        algorithm: ResSchedAlgorithm = ResSchedAlgorithm(),
+        *,
+        cpa_stopping: str = "stringent",
+        tie_break: str = "fewest",
+        memo: PlanMemo | None = None,
+    ):
+        self._scenario = scenario
+        self._algorithm = algorithm
+        self._cpa_stopping = cpa_stopping
+        self._tie_break = tie_break
+        self._memo = PlanMemo() if memo is None else memo
+        self._calendar = scenario.calendar()
+        self._calendar.availability()  # pre-compile once for the stream
+        self._last_offset = 0.0
+        self._outcomes: list[StreamOutcome] = []
+
+    @property
+    def scenario(self) -> ReservationScenario:
+        """The stream-epoch platform snapshot."""
+        return self._scenario
+
+    @property
+    def calendar(self) -> ResourceCalendar:
+        """The shared calendar holding everything booked so far."""
+        return self._calendar
+
+    @property
+    def outcomes(self) -> tuple[StreamOutcome, ...]:
+        """Admissions so far, in order."""
+        return tuple(self._outcomes)
+
+    def admit(self, request: StreamRequest) -> StreamOutcome:
+        """Schedule one request at its arrival instant and book it.
+
+        Raises:
+            ValueError: If the request arrives out of order (offsets
+                must be non-decreasing) or before the stream epoch.
+        """
+        offset = float(request.arrival_offset)
+        if offset < 0:
+            raise ValueError(
+                f"request {request.request_id!r}: arrival_offset must be "
+                f">= 0, got {offset}"
+            )
+        if offset < self._last_offset:
+            raise ValueError(
+                f"request {request.request_id!r} arrives at offset "
+                f"{offset} after a request at {self._last_offset}; "
+                "admit requests in non-decreasing arrival order"
+            )
+        self._last_offset = offset
+        arrival = self._scenario.now + offset
+        plan = self._memo.plan(
+            request.graph,
+            self._scenario,
+            self._algorithm,
+            cpa_stopping=self._cpa_stopping,
+        )
+        with stopwatch("stream.admit") as sw:
+            schedule = schedule_ressched_incremental(
+                request.graph,
+                self._scenario,
+                self._algorithm,
+                tie_break=self._tie_break,
+                calendar=self._calendar,
+                now=arrival,
+                plan=plan,
+            )
+        if _obs.ENABLED:
+            _obs.incr("stream.requests")
+            _obs.observe("stream.request.tasks", request.graph.n)
+        outcome = StreamOutcome(
+            request=request,
+            arrival=arrival,
+            schedule=schedule,
+            latency_s=sw.wall_s,
+        )
+        self._outcomes.append(outcome)
+        return outcome
+
+    def run(self, requests: Sequence[StreamRequest]) -> StreamReport:
+        """Admit every request in order and return the report."""
+        for request in requests:
+            self.admit(request)
+        return StreamReport(outcomes=tuple(self._outcomes))
+
+
+def schedule_stream_naive(
+    scenario: ReservationScenario,
+    requests: Sequence[StreamRequest],
+    algorithm: ResSchedAlgorithm = ResSchedAlgorithm(),
+    *,
+    cpa_stopping: str = "stringent",
+    tie_break: str = "fewest",
+) -> list[Schedule]:
+    """The N-full-passes reference: batch-reschedule per request.
+
+    For each request, build a fresh scenario whose reservation set is
+    the original competing reservations plus every task reservation
+    booked so far, and run the batch :func:`~repro.core.schedule_ressched`
+    on it.  Placements are bitwise-identical to
+    :class:`StreamScheduler`'s — this is the equivalence oracle and the
+    benchmark baseline, not a production path.
+    """
+    booked = list(scenario.reservations)
+    schedules: list[Schedule] = []
+    last_offset = 0.0
+    for request in requests:
+        offset = float(request.arrival_offset)
+        if offset < 0 or offset < last_offset:
+            raise ValueError(
+                f"request {request.request_id!r}: arrival offsets must be "
+                "non-negative and non-decreasing"
+            )
+        last_offset = offset
+        scenario_r = replace(
+            scenario,
+            now=scenario.now + offset,
+            reservations=tuple(booked),
+        )
+        schedule = schedule_ressched(
+            request.graph,
+            scenario_r,
+            algorithm,
+            cpa_stopping=cpa_stopping,
+            tie_break=tie_break,
+        )
+        booked.extend(schedule.reservations())
+        schedules.append(schedule)
+    return schedules
+
+
+def requests_from_specs(
+    specs: Sequence[RequestSpec], graphs: Sequence[TaskGraph]
+) -> list[StreamRequest]:
+    """Pair replayed request specs with application DAGs, round-robin.
+
+    A replay CSV carries arrival metadata but no applications; this
+    assigns ``graphs[k % len(graphs)]`` to the ``k``-th spec — the
+    deterministic bridge between :mod:`repro.workloads.requests` and the
+    stream driver.
+    """
+    if not graphs:
+        raise ValueError("requests_from_specs needs at least one graph")
+    return [
+        StreamRequest(
+            request_id=spec.request_id,
+            arrival_offset=spec.arrival_offset,
+            graph=graphs[k % len(graphs)],
+            mode=spec.mode,
+            priority=spec.priority,
+        )
+        for k, spec in enumerate(specs)
+    ]

@@ -11,6 +11,14 @@ from repro.workloads.presets import (
     GRID5000,
     preset,
 )
+from repro.workloads.requests import (
+    PRIORITY_VALUES,
+    REQUEST_MODES,
+    REQUEST_PRIORITIES,
+    RequestSpec,
+    load_request_stream,
+    parse_request_stream,
+)
 from repro.workloads.reservations import (
     ReservationScenario,
     build_reservation_scenario,
@@ -34,6 +42,12 @@ __all__ = [
     "BATCH_LOG_PRESETS",
     "GRID5000",
     "preset",
+    "PRIORITY_VALUES",
+    "REQUEST_MODES",
+    "REQUEST_PRIORITIES",
+    "RequestSpec",
+    "load_request_stream",
+    "parse_request_stream",
     "ReservationScenario",
     "tag_reservations",
     "build_reservation_scenario",

@@ -1,0 +1,162 @@
+"""Replayable request streams: the scheduling-workload CSV format.
+
+An arrival-driven experiment replays a *request stream*: rows of
+
+.. code-block:: text
+
+    request_id,arrival_offset,mode,priority[,...]
+
+where
+
+* ``request_id`` *(optional)* — unique row identifier; auto-generated
+  as ``req-<row>`` (1-based data-row order) when blank or absent;
+* ``arrival_offset`` *(required)* — float **milliseconds** after the
+  replay epoch at which the request arrives; stored in **seconds**
+  (this library's time unit) on the parsed spec;
+* ``mode`` *(optional)* — ``"interactive"`` (default) or ``"batch"``;
+* ``priority`` *(optional)* — ``"low"``, ``"mid"`` (default) or
+  ``"high"``, mapping to the numeric levels 1 / 5 / 10.
+
+Extra columns (e.g. a ``body_json`` payload) are ignored, so fixture
+files from other tools replay unchanged.  Parsing is deterministic: the
+returned stream is sorted by arrival offset with ties keeping file
+order, and every malformed row raises :class:`~repro.errors.WorkloadError`
+naming the row.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import WorkloadError
+
+#: Valid request modes; the first is the default.
+REQUEST_MODES = ("interactive", "batch")
+
+#: Valid priority labels; ``"mid"`` is the default.
+REQUEST_PRIORITIES = ("low", "mid", "high")
+
+#: Numeric level per priority label.
+PRIORITY_VALUES = {"low": 1, "mid": 5, "high": 10}
+
+#: Milliseconds per second — the CSV offsets are milliseconds, the
+#: library's time unit is seconds.
+_MS = 1e-3
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One parsed request of a replayable stream.
+
+    Attributes:
+        request_id: Unique identifier of the row.
+        arrival_offset: Seconds after the replay epoch (converted from
+            the CSV's milliseconds).
+        mode: ``"interactive"`` or ``"batch"``.
+        priority: ``"low"``, ``"mid"`` or ``"high"``.
+    """
+
+    request_id: str
+    arrival_offset: float
+    mode: str = "interactive"
+    priority: str = "mid"
+
+    def __post_init__(self) -> None:
+        if not self.request_id:
+            raise WorkloadError("request_id must be non-empty")
+        if self.arrival_offset < 0:
+            raise WorkloadError(
+                f"arrival_offset must be >= 0, got {self.arrival_offset}"
+            )
+        if self.mode not in REQUEST_MODES:
+            raise WorkloadError(
+                f"mode must be one of {REQUEST_MODES}, got {self.mode!r}"
+            )
+        if self.priority not in REQUEST_PRIORITIES:
+            raise WorkloadError(
+                f"priority must be one of {REQUEST_PRIORITIES}, got "
+                f"{self.priority!r}"
+            )
+
+    @property
+    def priority_value(self) -> int:
+        """The numeric priority level (1 / 5 / 10)."""
+        return PRIORITY_VALUES[self.priority]
+
+
+def parse_request_stream(source: str | Iterable[str]) -> list[RequestSpec]:
+    """Parse CSV text (or an iterable of lines) into a request stream.
+
+    Args:
+        source: The CSV content — a string or any iterable of lines —
+            with a header row containing at least ``arrival_offset``.
+
+    Returns:
+        The specs sorted by arrival offset (ties keep file order): a
+        deterministic, replay-ready stream.
+
+    Raises:
+        WorkloadError: On a missing/unknown header, a malformed row, or
+            a duplicate ``request_id``.
+    """
+    lines = io.StringIO(source) if isinstance(source, str) else source
+    reader = csv.DictReader(lines)
+    if reader.fieldnames is None:
+        raise WorkloadError("request stream is empty (no header row)")
+    if "arrival_offset" not in reader.fieldnames:
+        raise WorkloadError(
+            "request stream header must contain 'arrival_offset'; got "
+            f"{reader.fieldnames}"
+        )
+
+    specs: list[RequestSpec] = []
+    seen_ids: set[str] = set()
+    for row_no, row in enumerate(reader, start=1):
+        raw_offset = (row.get("arrival_offset") or "").strip()
+        if not raw_offset:
+            raise WorkloadError(f"row {row_no}: arrival_offset is required")
+        try:
+            offset_ms = float(raw_offset)
+        except ValueError:
+            raise WorkloadError(
+                f"row {row_no}: arrival_offset {raw_offset!r} is not a number"
+            ) from None
+        request_id = (row.get("request_id") or "").strip() or f"req-{row_no}"
+        mode = (row.get("mode") or "").strip() or REQUEST_MODES[0]
+        priority = (row.get("priority") or "").strip() or "mid"
+        try:
+            spec = RequestSpec(
+                request_id=request_id,
+                arrival_offset=offset_ms * _MS,
+                mode=mode,
+                priority=priority,
+            )
+        except WorkloadError as exc:
+            raise WorkloadError(f"row {row_no}: {exc}") from None
+        if spec.request_id in seen_ids:
+            raise WorkloadError(
+                f"row {row_no}: duplicate request_id {spec.request_id!r}"
+            )
+        seen_ids.add(spec.request_id)
+        specs.append(spec)
+
+    # Stable sort: equal offsets keep file order, so replay order is a
+    # pure function of the file content.
+    specs.sort(key=lambda s: s.arrival_offset)
+    return specs
+
+
+def load_request_stream(path: "str | object") -> list[RequestSpec]:
+    """Parse the request-stream CSV at ``path``.
+
+    Raises:
+        WorkloadError: If the file cannot be read or fails to parse.
+    """
+    try:
+        with open(path, encoding="utf-8", newline="") as fh:  # type: ignore[arg-type]
+            return parse_request_stream(fh)
+    except OSError as exc:
+        raise WorkloadError(f"cannot read request stream {path}: {exc}") from exc

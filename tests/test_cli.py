@@ -202,3 +202,43 @@ class TestReportResilience:
         assert rc == 0
         doc = json.loads(report.read_text())
         assert doc["meta"]["resumed"] > 0
+
+
+class TestStream:
+    @pytest.fixture()
+    def dag_file(self, tmp_path):
+        out = tmp_path / "app.json"
+        main(["gen-dag", "--n", "6", "--seed", "3", "--out", str(out)])
+        return str(out)
+
+    def test_replays_csv_and_writes_report(self, dag_file, tmp_path, capsys):
+        from repro.obs import validate_run_report
+
+        csv_path = tmp_path / "reqs.csv"
+        csv_path.write_text(
+            "request_id,arrival_offset,mode,priority\n"
+            "r1,0,interactive,high\n"
+            "r2,900000,batch,low\n"
+            "r3,1800000,,\n"
+        )
+        report = tmp_path / "stream.json"
+        rc = main(
+            ["stream", "--requests", str(csv_path), "--dag", dag_file,
+             "--out", str(report)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 admitted" in out
+        doc = json.loads(report.read_text())
+        validate_run_report(doc)
+        assert doc["counters"]["stream.requests"] == 3
+        assert doc["counters"]["stream.events"] == 18  # 3 requests x 6 tasks
+
+    def test_bad_csv_exit_code(self, dag_file, tmp_path, capsys):
+        csv_path = tmp_path / "reqs.csv"
+        csv_path.write_text("request_id,arrival_offset\nx,not-a-number\n")
+        rc = main(
+            ["stream", "--requests", str(csv_path), "--dag", dag_file]
+        )
+        assert rc == 2
+        assert "row 1" in capsys.readouterr().err

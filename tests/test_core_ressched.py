@@ -175,3 +175,80 @@ class TestSchedulingProperties:
         full_exec = np.array([t.exec_time(32) for t in graph.tasks])
         cp, _ = graph.critical_path(full_exec)
         assert sched.turnaround >= cp - 1e-6
+
+
+class TestReadyFloorsEdgeCases:
+    """Edge cases of the per-task earliest-start floors."""
+
+    def _chain(self, n=4):
+        # Deterministic small graph with at least one edge.
+        return random_task_graph(DagGenParams(n=n, density=1.0), make_rng(8))
+
+    def test_floors_in_the_past_clamp_to_now(self):
+        graph = self._chain()
+        sc = _scenario(capacity=8, now=1_000.0)
+        floors = [-1e9] * graph.n
+        with_floors = schedule_ressched(graph, sc, ready_floors=floors)
+        without = schedule_ressched(graph, sc)
+        assert [
+            (p.task, p.start, p.nprocs, p.duration)
+            for p in with_floors.placements
+        ] == [
+            (p.task, p.start, p.nprocs, p.duration)
+            for p in without.placements
+        ]
+        assert all(p.start >= 1_000.0 for p in with_floors.placements)
+
+    def test_floor_beyond_every_reservation_is_honored(self):
+        graph = self._chain()
+        res = [Reservation(start=0.0, end=5_000.0, nprocs=4, label="r0")]
+        sc = _scenario(capacity=8, reservations=res)
+        far = 1e7  # far past the last reservation's end
+        sched = schedule_ressched(
+            graph, sc, ready_floors=[far] * graph.n
+        )
+        assert all(p.start >= far for p in sched.placements)
+        validate_schedule(sched, sc.capacity, sc.reservations)
+
+    def test_predecessor_finish_beats_earlier_floor(self):
+        graph = self._chain()
+        sc = _scenario(capacity=8)
+        sched = schedule_ressched(graph, sc, ready_floors=[0.0] * graph.n)
+        placed = {p.task: p for p in sched.placements}
+        for i in range(graph.n):
+            for pred in graph.predecessors(i):
+                pf = placed[pred].start + placed[pred].duration
+                assert placed[i].start >= pf - 1e-9
+
+    def test_floor_beats_earlier_predecessor_finish(self):
+        graph = self._chain()
+        sc = _scenario(capacity=8)
+        base = schedule_ressched(graph, sc)
+        horizon = max(
+            p.start + p.duration for p in base.placements
+        )
+        # Floor one sink task past everything else's finish.
+        sinks = [i for i in range(graph.n) if not graph.successors(i)]
+        floors = [0.0] * graph.n
+        floors[sinks[-1]] = horizon + 123.0
+        sched = schedule_ressched(graph, sc, ready_floors=floors)
+        placed = {p.task: p for p in sched.placements}
+        assert placed[sinks[-1]].start >= horizon + 123.0
+
+    def test_wrong_length_is_value_error_not_generation_error(self):
+        graph = self._chain()
+        sc = _scenario(capacity=8)
+        with pytest.raises(ValueError, match="ready_floors"):
+            schedule_ressched(graph, sc, ready_floors=[0.0] * (graph.n + 1))
+        with pytest.raises(ValueError, match="tie_break"):
+            schedule_ressched(graph, sc, tie_break="round-robin")
+
+    def test_deadline_scheduler_validates_floors_the_same_way(self):
+        from repro.core import schedule_deadline
+
+        graph = self._chain()
+        sc = _scenario(capacity=8)
+        with pytest.raises(ValueError, match="ready_floors"):
+            schedule_deadline(
+                graph, sc, 1e6, ready_floors=[0.0] * (graph.n - 1)
+            )

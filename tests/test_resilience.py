@@ -319,7 +319,7 @@ class TestReadyFloors:
         floors[entry] = sc.now + 5 * HOUR
         floored = schedule_ressched(medium_graph, sc, ready_floors=floors)
         assert floored.start_of(entry) >= sc.now + 5 * HOUR
-        with pytest.raises(GenerationError, match="ready_floors"):
+        with pytest.raises(ValueError, match="ready_floors"):
             schedule_ressched(medium_graph, sc, ready_floors=[0.0])
 
     def test_deadline_respects_floor(self, medium_graph):

@@ -1,0 +1,254 @@
+"""Tests for the streamed scheduling engine (repro.experiments.stream)
+and the replayable request-stream loader (repro.workloads.requests)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.calendar import Reservation
+from repro.dag import DagGenParams, random_task_graph
+from repro.errors import WorkloadError
+from repro.experiments.reporting import run_instrumented
+from repro.experiments.stream import (
+    StreamRequest,
+    StreamScheduler,
+    requests_from_specs,
+    schedule_stream_naive,
+)
+from repro.rng import make_rng
+from repro.workloads.requests import (
+    PRIORITY_VALUES,
+    RequestSpec,
+    load_request_stream,
+    parse_request_stream,
+)
+from repro.workloads.reservations import ReservationScenario
+
+DATA = Path(__file__).parent / "data"
+
+
+def _scenario(capacity=32, n_res=6, seed=5):
+    rng = make_rng(seed)
+    res = []
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, 30_000.0))
+        dur = float(rng.uniform(300.0, 4_000.0))
+        res.append(
+            Reservation(
+                start=start,
+                end=start + dur,
+                nprocs=int(rng.integers(1, 4)),
+                label=f"r{i}",
+            )
+        )
+    return ReservationScenario(
+        name="stream-test",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(res),
+        hist_avg_available=capacity / 2,
+    )
+
+
+def _requests(n=8, spacing=400.0, n_shapes=3, n_tasks=7):
+    graphs = [
+        random_task_graph(DagGenParams(n=n_tasks), make_rng(100 + i))
+        for i in range(n_shapes)
+    ]
+    return [
+        StreamRequest(
+            request_id=f"q{k}",
+            arrival_offset=k * spacing,
+            graph=graphs[k % n_shapes],
+        )
+        for k in range(n)
+    ]
+
+
+def _sig(schedule):
+    return [
+        (p.task, p.start, p.nprocs, p.duration) for p in schedule.placements
+    ]
+
+
+class TestStreamScheduler:
+    def test_streamed_equals_naive_bitwise(self):
+        scenario = _scenario()
+        reqs = _requests(10)
+        naive = schedule_stream_naive(scenario, reqs)
+        report = StreamScheduler(scenario).run(reqs)
+        assert report.n_requests == len(reqs)
+        for a, b in zip(naive, report.schedules):
+            assert _sig(a) == _sig(b)
+
+    def test_admissions_accumulate_on_one_calendar(self):
+        scenario = _scenario()
+        reqs = _requests(4)
+        sched = StreamScheduler(scenario)
+        sched.run(reqs)
+        booked = len(sched.calendar.reservations)
+        expected = len(scenario.reservations) + sum(
+            r.graph.n for r in reqs
+        )
+        assert booked == expected
+
+    def test_schedule_now_is_arrival(self):
+        scenario = _scenario()
+        reqs = _requests(3, spacing=500.0)
+        report = StreamScheduler(scenario).run(reqs)
+        for outcome, req in zip(report.outcomes, reqs):
+            assert outcome.arrival == scenario.now + req.arrival_offset
+            assert outcome.schedule.now == outcome.arrival
+
+    def test_negative_offset_rejected(self):
+        scenario = _scenario()
+        g = random_task_graph(DagGenParams(n=5), make_rng(1))
+        bad = StreamRequest(request_id="x", arrival_offset=-1.0, graph=g)
+        with pytest.raises(ValueError, match="arrival_offset"):
+            StreamScheduler(scenario).admit(bad)
+
+    def test_decreasing_offsets_rejected(self):
+        scenario = _scenario()
+        g = random_task_graph(DagGenParams(n=5), make_rng(1))
+        sched = StreamScheduler(scenario)
+        sched.admit(StreamRequest(request_id="a", arrival_offset=100.0, graph=g))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            sched.admit(
+                StreamRequest(request_id="b", arrival_offset=50.0, graph=g)
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            schedule_stream_naive(
+                scenario,
+                [
+                    StreamRequest(request_id="a", arrival_offset=100.0, graph=g),
+                    StreamRequest(request_id="b", arrival_offset=50.0, graph=g),
+                ],
+            )
+
+    def test_report_summary_fields(self):
+        scenario = _scenario()
+        report = StreamScheduler(scenario).run(_requests(5))
+        summary = report.summary()
+        assert summary["n_requests"] == 5
+        assert summary["scheduling_s"] > 0
+        assert summary["requests_per_s"] > 0
+        assert set(summary["latency_ms"]) == {"p50", "p99"}
+        assert np.isfinite(summary["mean_turnaround_s"])
+
+    def test_stream_counters_in_valid_run_report(self):
+        """The stream.* counter family must round-trip the obs schema."""
+        from repro import obs
+
+        scenario = _scenario()
+        reqs = _requests(6)
+        _, report = run_instrumented(
+            "stream", lambda: StreamScheduler(scenario).run(reqs)
+        )
+        doc = json.loads(report.to_json())  # to_json validates
+        obs.validate_run_report(doc)
+        counters = doc["counters"]
+        assert counters["stream.requests"] == 6
+        assert counters["stream.events"] == sum(r.graph.n for r in reqs)
+        assert counters["stream.batched_probes"] >= 1
+        assert counters["stream.probe_tasks"] >= counters["stream.events"] - (
+            counters.get("stream.probe_reused", 0)
+        )
+        assert counters["stream.memo.miss"] >= 1
+
+
+class TestRequestsFromSpecs:
+    def test_round_robin_assignment(self):
+        specs = [
+            RequestSpec(request_id=f"s{i}", arrival_offset=float(i))
+            for i in range(5)
+        ]
+        graphs = [
+            random_task_graph(DagGenParams(n=4), make_rng(i)) for i in range(2)
+        ]
+        reqs = requests_from_specs(specs, graphs)
+        assert [r.graph for r in reqs] == [
+            graphs[0], graphs[1], graphs[0], graphs[1], graphs[0]
+        ]
+        assert [r.request_id for r in reqs] == [s.request_id for s in specs]
+
+    def test_empty_graphs_rejected(self):
+        with pytest.raises(ValueError, match="at least one graph"):
+            requests_from_specs([], [])
+
+
+class TestRequestStreamLoader:
+    def test_fixture_parses_with_defaults_and_sorting(self):
+        specs = load_request_stream(DATA / "stream_requests.csv")
+        assert [s.request_id for s in specs] == [
+            "req-a", "req-b", "req-d", "req-3"
+        ]
+        # Offsets are milliseconds in the file, seconds on the spec.
+        assert [s.arrival_offset for s in specs] == [0.0, 1.5, 2.0, 2.5]
+        assert specs[0].mode == "interactive" and specs[0].priority == "high"
+        # Blank mode/priority fall back to the defaults.
+        assert specs[3].mode == "interactive" and specs[3].priority == "mid"
+        assert specs[2].priority == "mid"
+
+    def test_priority_values(self):
+        assert PRIORITY_VALUES == {"low": 1, "mid": 5, "high": 10}
+        spec = RequestSpec(request_id="x", arrival_offset=0.0, priority="high")
+        assert spec.priority_value == 10
+
+    def test_ties_keep_file_order(self):
+        text = (
+            "request_id,arrival_offset\n"
+            "b,100\n"
+            "a,100\n"
+            "c,50\n"
+        )
+        assert [s.request_id for s in parse_request_stream(text)] == [
+            "c", "b", "a"
+        ]
+
+    def test_extra_columns_ignored(self):
+        text = 'request_id,arrival_offset,body_json\nx,10,"{""k"":1}"\n'
+        (spec,) = parse_request_stream(text)
+        assert spec.request_id == "x"
+        assert spec.arrival_offset == 0.01
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(WorkloadError, match="arrival_offset"):
+            parse_request_stream("request_id,mode\nx,batch\n")
+        with pytest.raises(WorkloadError, match="empty"):
+            parse_request_stream("")
+
+    def test_malformed_rows_name_the_row(self):
+        with pytest.raises(WorkloadError, match="row 2"):
+            parse_request_stream(
+                "request_id,arrival_offset\na,1\nb,not-a-number\n"
+            )
+        with pytest.raises(WorkloadError, match="row 2"):
+            parse_request_stream("request_id,arrival_offset\na,1\nb,\n")
+        with pytest.raises(WorkloadError, match="row 2.*mode"):
+            parse_request_stream(
+                "request_id,arrival_offset,mode\na,1,batch\nb,2,warp\n"
+            )
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError, match="duplicate"):
+            parse_request_stream("request_id,arrival_offset\nx,1\nx,2\n")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(WorkloadError, match="row 1"):
+            parse_request_stream("request_id,arrival_offset\nx,-5\n")
+
+    def test_missing_file_wrapped(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            load_request_stream(tmp_path / "nope.csv")
+
+    def test_specs_drive_a_stream(self):
+        """End-to-end: fixture CSV -> specs -> stream admission."""
+        specs = load_request_stream(DATA / "stream_requests.csv")
+        graphs = [random_task_graph(DagGenParams(n=5), make_rng(3))]
+        reqs = requests_from_specs(specs, graphs)
+        report = StreamScheduler(_scenario()).run(reqs)
+        assert report.n_requests == len(specs)

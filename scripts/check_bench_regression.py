@@ -47,14 +47,36 @@ SPEEDUP_FLOORS: dict[str, float] = {
 MAX_RELATIVE_LOSS = 0.5
 
 
+def bench_sections(report: dict[str, Any]) -> list[str]:
+    """The report's bench sections (entries carrying a speedup)."""
+    return [
+        section
+        for section, entry in report.items()
+        if isinstance(entry, dict) and "speedup" in entry
+    ]
+
+
 def check(
     report: dict[str, Any], baseline: dict[str, Any] | None
 ) -> list[str]:
     """All failed checks, as human-readable messages."""
     failures: list[str] = []
+    # Both directions must cover: a floored section silently dropped
+    # from the report is a regression escape, and a bench section with
+    # no configured floor is ungated — fail loudly on each.
+    for section in bench_sections(report):
+        if section not in SPEEDUP_FLOORS:
+            failures.append(
+                f"{section}: present in report but has no entry in "
+                "SPEEDUP_FLOORS — add a floor so it is gated"
+            )
     for section, floor in SPEEDUP_FLOORS.items():
         if section not in report:
-            failures.append(f"{section}: missing from report")
+            failures.append(
+                f"{section}: has a configured floor but is missing "
+                "from the report — bench sections must not be dropped "
+                "silently"
+            )
             continue
         speedup = float(report[section]["speedup"])
         if speedup < floor:
@@ -90,13 +112,19 @@ def main(argv: list[str] | None = None) -> int:
         json.loads(args.baseline.read_text()) if args.baseline else None
     )
     failures = check(report, baseline)
+    # Always print what was actually checked, pass or fail, so a CI log
+    # shows section coverage at a glance.
+    checked = [s for s in SPEEDUP_FLOORS if s in report]
+    print(f"checked {len(checked)}/{len(SPEEDUP_FLOORS)} floored "
+          f"section(s): {', '.join(checked) if checked else '(none)'}")
+    for section in checked:
+        speedup = float(report[section]["speedup"])
+        floor = SPEEDUP_FLOORS[section]
+        verdict = "ok" if speedup >= floor else "FAIL"
+        print(f"{verdict} {section}: speedup {speedup:.2f} "
+              f"(floor {floor:.2f})")
     for f in failures:
         print(f"FAIL {f}", file=sys.stderr)
-    if not failures:
-        for section in SPEEDUP_FLOORS:
-            if section in report:
-                print(f"ok {section}: speedup "
-                      f"{float(report[section]['speedup']):.2f}")
     return 1 if failures else 0
 
 

@@ -650,6 +650,23 @@ def bench_streamed_throughput(
         pb = [(p.task, p.start, p.finish, p.nprocs) for p in b.placements]
         if pa != pb:
             raise AssertionError("streamed-throughput paths disagree")
+    # Observer-effect guard (untimed): a fully instrumented replay —
+    # aggregates AND event timeline on — must produce the exact same
+    # placements; recording may never perturb the computation.
+    from repro.obs import instrumented as _instrumented
+    from repro.obs import timeline as _tl
+
+    _allocmod.clear_memo()
+    with _tl.recording(sim_epoch=scenario.now) as timeline:
+        with _instrumented():
+            observed = StreamScheduler(scenario).run(requests).schedules
+    for a, b in zip(stream_res, observed):
+        pa = [(p.task, p.start, p.finish, p.nprocs) for p in a.placements]
+        pb = [(p.task, p.start, p.finish, p.nprocs) for p in b.placements]
+        if pa != pb:
+            raise AssertionError(
+                "timeline instrumentation perturbed streamed placements"
+            )
     return {
         "n_requests": n_requests,
         "n_reservations": n_res,
@@ -657,6 +674,7 @@ def bench_streamed_throughput(
         "streamed_s": stream_s,
         "speedup": naive_s / stream_s,
         "requests_per_s": n_requests / stream_s,
+        "timeline_events": len(timeline),
     }
 
 

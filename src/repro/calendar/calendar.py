@@ -43,6 +43,7 @@ from repro.calendar.reservation import Reservation
 from repro.calendar.timeline import StepFunction
 from repro.errors import CalendarError
 from repro.obs import core as _obs
+from repro.obs import timeline as _tl
 from repro.units import TIME_EPS
 
 #: Default for new calendars: maintain the availability profile
@@ -696,6 +697,16 @@ class ResourceCalendar:
             _obs.observe("calendar.batch.requests", len(reqs))
             _obs.incr("cache.calendar.multi.hit", len(reqs) - len(miss))
             _obs.incr("cache.calendar.multi.miss", len(miss))
+        if _tl.ENABLED:
+            # One event per batched probe (the engine issues one batch
+            # per completion event), timed at the earliest request.
+            _tl.emit(
+                "probe_batch",
+                min(e for e, _ in reqs),
+                tasks=len(reqs),
+                candidates=int(sum(d.size for _, d in reqs)),
+                memo_misses=len(miss),
+            )
         if not miss:
             return results  # type: ignore[return-value]
 

@@ -174,10 +174,21 @@ def _run_instrumented_schedule(args: argparse.Namespace, *, keep_events: bool):
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.obs import timeline as tl
 
-    schedule, col = _run_instrumented_schedule(args, keep_events=True)
-    n = obs.write_trace(args.out, col, meta={"algorithm": args.algorithm})
-    print(f"wrote {n} trace records to {args.out}")
+    if args.format == "chrome":
+        # Record the span timeline alongside the aggregates so the run
+        # opens as a nested trace in Perfetto / chrome://tracing.
+        with tl.recording() as timeline:
+            schedule, col = _run_instrumented_schedule(args, keep_events=True)
+        n = tl.write_chrome_trace(
+            args.out, timeline, meta={"algorithm": args.algorithm}
+        )
+        print(f"wrote {n} chrome trace events to {args.out}")
+    else:
+        schedule, col = _run_instrumented_schedule(args, keep_events=True)
+        n = obs.write_trace(args.out, col, meta={"algorithm": args.algorithm})
+        print(f"wrote {n} trace records to {args.out}")
     print(f"turn-around   {schedule.turnaround / HOUR:.2f} h")
     return 0
 
@@ -345,6 +356,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     # Deferred import: the stream driver pulls in the experiment layer.
     from repro.experiments.reporting import run_instrumented
     from repro.experiments.stream import StreamScheduler, requests_from_specs
+    from repro.obs import timeline as tl
     from repro.workloads.requests import load_request_stream
 
     specs = load_request_stream(args.requests)
@@ -363,21 +375,44 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     algorithm = _parse_ressched_algorithm(args.algorithm)
     requests = requests_from_specs(specs, graphs)
-    result, report = run_instrumented(
-        "stream",
-        lambda: StreamScheduler(scenario, algorithm).run(requests),
-        meta={"requests": str(args.requests), "dags": len(graphs)},
-    )
+
+    def _run():
+        scheduler = StreamScheduler(
+            scenario, algorithm, admission_window=args.admission_window
+        )
+        return scheduler.run(requests)
+
+    meta = {"requests": str(args.requests), "dags": len(graphs)}
+    want_timeline = args.timeline or args.trace_out is not None
+    if want_timeline:
+        from repro.obs.slo import SloSeries
+
+        with tl.recording(sim_epoch=scenario.now) as timeline:
+            result, report = run_instrumented("stream", _run, meta=meta)
+        report.timeline = timeline.summary()
+        report.slo = SloSeries.from_events(
+            timeline.events, bucket_s=args.slo_bucket, t0=scenario.now
+        ).to_dict()
+        if args.trace_out is not None:
+            n = tl.write_chrome_trace(
+                args.trace_out, timeline, meta={"requests": str(args.requests)}
+            )
+            print(f"wrote {n} chrome trace events to {args.trace_out}")
+    else:
+        result, report = run_instrumented("stream", _run, meta=meta)
     summary = result.summary()
     print(f"algorithm     {algorithm.name}")
     print(f"platform      {scenario.capacity} processors, "
           f"{scenario.n_reservations} competing reservations")
-    print(f"requests      {summary['n_requests']} admitted")
+    print(f"requests      {summary['admitted']} admitted, "
+          f"{summary['rejected']} rejected")
     print(f"throughput    {summary['requests_per_s']:.1f} requests/s "
           f"({summary['scheduling_s'] * 1e3:.1f} ms scheduling total)")
     print(f"latency       p50 {summary['latency_ms']['p50']:.2f} ms, "
           f"p99 {summary['latency_ms']['p99']:.2f} ms")
-    print(f"turn-around   {summary['mean_turnaround_s'] / HOUR:.2f} h mean")
+    if summary['admitted']:
+        print(f"turn-around   "
+              f"{summary['mean_turnaround_s'] / HOUR:.2f} h mean")
     if args.out:
         Path(args.out).write_text(report.to_json() + "\n")
         print(f"wrote run report to {args.out}")
@@ -496,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", type=str, default="run.trace.jsonl",
         help="output JSONL path (default: ./run.trace.jsonl)",
     )
+    p.add_argument(
+        "--format", choices=("jsonl", "chrome"), default="jsonl",
+        help="jsonl = aggregate span/decision records; chrome = "
+        "Chrome trace-event JSON (opens in Perfetto / chrome://tracing)",
+    )
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser(
@@ -606,6 +646,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", type=str, default=None,
         help="write a RunReport JSON (stream.* counters) here",
+    )
+    p.add_argument(
+        "--timeline", action="store_true",
+        help="record the event timeline; adds the timeline/slo sections "
+        "to the RunReport (implied by --trace-out)",
+    )
+    p.add_argument(
+        "--trace-out", type=str, default=None, dest="trace_out",
+        help="write a Chrome trace-event JSON of the replay here",
+    )
+    p.add_argument(
+        "--slo-bucket", type=float, default=900.0, dest="slo_bucket",
+        help="SLO series bucket width in simulation seconds "
+        "(default: 900)",
+    )
+    p.add_argument(
+        "--admission-window", type=float, default=None,
+        dest="admission_window",
+        help="reject requests whose earliest start exceeds arrival by "
+        "more than this many seconds (default: admit everything)",
     )
     p.set_defaults(func=_cmd_stream)
 

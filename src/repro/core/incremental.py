@@ -53,6 +53,7 @@ from repro.core.ressched import ResSchedAlgorithm, _ressched_decision
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
 from repro.obs import core as _obs
+from repro.obs import timeline as _tl
 from repro.schedule import Schedule, TaskPlacement
 from repro.workloads.reservations import ReservationScenario
 
@@ -219,6 +220,10 @@ class SchedulerState:
             (self._priorities[i], i) for i in range(n) if self._indegree[i] == 0
         ]
         heapq.heapify(self._heap)
+        if _tl.ENABLED and self._heap:
+            _tl.emit(
+                "task_ready", float(now), n=len(self._heap), pending=n
+            )
 
     @property
     def done(self) -> bool:
@@ -264,6 +269,13 @@ class SchedulerState:
             if self._indegree[s] == 0:
                 heapq.heappush(self._heap, (self._priorities[s], s))
                 newly.append(s)
+        if _tl.ENABLED and newly:
+            _tl.emit(
+                "task_ready",
+                f,
+                n=len(newly),
+                pending=self._n - self._n_placed,
+            )
         return newly
 
 
@@ -413,6 +425,15 @@ def schedule_ressched_incremental(
             placements[i] = TaskPlacement(
                 task=i, start=start, nprocs=m, duration=dur
             )
+            if _tl.ENABLED:
+                _tl.emit(
+                    "task_placed",
+                    start,
+                    task=i,
+                    nprocs=m,
+                    duration=dur,
+                    finish=finish,
+                )
             state.complete(i, finish)
             event += 1
 

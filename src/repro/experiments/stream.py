@@ -36,7 +36,14 @@ counter                         meaning
 ``stream.probe_invalidated``    cached probes dropped by a commit
 ``stream.memo.hit`` / ``.miss`` plan-memo hits / misses (repeated DAG
                                 shapes cost zero allocation work)
+``stream.rejected``             requests turned away by admission control
 ==============================  ========================================
+
+When :data:`repro.obs.timeline.ENABLED` is on, every admission also
+emits timed events (``request_arrived``, ``placement_committed`` or
+``request_rejected``) under the request's trace id, and the probe /
+ready-queue layers underneath inherit that trace scope — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -52,6 +59,8 @@ from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
 from repro.dag import TaskGraph
 from repro.obs import core as _obs
 from repro.obs import stopwatch
+from repro.obs import timeline as _tl
+from repro.obs.slo import percentile_nearest_rank
 from repro.schedule import Schedule
 from repro.workloads.requests import RequestSpec
 from repro.workloads.reservations import ReservationScenario
@@ -68,6 +77,8 @@ class StreamRequest:
         graph: The application to schedule.
         mode: ``"interactive"`` or ``"batch"`` (replay metadata).
         priority: ``"low"`` / ``"mid"`` / ``"high"`` (replay metadata).
+        tenant: Owning tenant, carried on timeline events so multi-
+            tenant SLO series can be sliced per tenant.
     """
 
     request_id: str
@@ -75,6 +86,7 @@ class StreamRequest:
     graph: TaskGraph
     mode: str = "interactive"
     priority: str = "mid"
+    tenant: str = "default"
 
 
 @dataclass(frozen=True)
@@ -84,16 +96,21 @@ class StreamOutcome:
     Attributes:
         request: The admitted request.
         arrival: Absolute arrival instant (``epoch + arrival_offset``).
-        schedule: The committed schedule (``schedule.now == arrival``).
+        schedule: The committed schedule (``schedule.now == arrival``);
+            for a rejected request, the tentative schedule that was
+            discarded (its reservations were never booked).
         latency_s: Wall-clock seconds this admission's scheduling took
             (a measurement — not deterministic, excluded from any
             compute-derived result).
+        admitted: Whether the placements were committed; ``False`` when
+            admission control rejected the request.
     """
 
     request: StreamRequest
     arrival: float
     schedule: Schedule
     latency_s: float
+    admitted: bool = True
 
     @property
     def turnaround(self) -> float:
@@ -109,39 +126,51 @@ class StreamReport:
 
     @property
     def n_requests(self) -> int:
-        """Requests admitted."""
+        """Requests seen (admitted + rejected)."""
         return len(self.outcomes)
+
+    @property
+    def n_admitted(self) -> int:
+        """Requests whose placements were committed."""
+        return sum(1 for o in self.outcomes if o.admitted)
+
+    @property
+    def n_rejected(self) -> int:
+        """Requests turned away by admission control."""
+        return sum(1 for o in self.outcomes if not o.admitted)
 
     @property
     def schedules(self) -> list[Schedule]:
         """The committed schedules, in admission order."""
-        return [o.schedule for o in self.outcomes]
+        return [o.schedule for o in self.outcomes if o.admitted]
 
     def latency_percentiles(
         self, qs: Sequence[float] = (50.0, 99.0)
     ) -> dict[str, float]:
         """Scheduling-latency percentiles in milliseconds, keyed
-        ``"p<q>"``."""
-        lat = np.array([o.latency_s for o in self.outcomes])
-        if lat.size == 0:
-            return {f"p{q:g}": float("nan") for q in qs}
+        ``"p<q>"`` — nearest-rank semantics, shared with the SLO series
+        (:func:`repro.obs.slo.percentile_nearest_rank`)."""
+        lat = [o.latency_s for o in self.outcomes]
         return {
-            f"p{q:g}": float(np.percentile(lat, q) * 1e3) for q in qs
+            f"p{q:g}": percentile_nearest_rank(lat, q) * 1e3 for q in qs
         }
 
     def summary(self) -> dict:
         """JSON-ready aggregate numbers for reports."""
         total_latency = sum(o.latency_s for o in self.outcomes)
+        admitted = [o for o in self.outcomes if o.admitted]
         return {
             "n_requests": self.n_requests,
+            "admitted": len(admitted),
+            "rejected": self.n_requests - len(admitted),
             "scheduling_s": total_latency,
             "requests_per_s": (
                 self.n_requests / total_latency if total_latency > 0 else 0.0
             ),
             "latency_ms": self.latency_percentiles(),
             "mean_turnaround_s": (
-                float(np.mean([o.turnaround for o in self.outcomes]))
-                if self.outcomes
+                float(np.mean([o.turnaround for o in admitted]))
+                if admitted
                 else float("nan")
             ),
         }
@@ -166,6 +195,14 @@ class StreamScheduler:
         tie_break: Completion-tie resolution, as in the batch scheduler.
         memo: Optional shared :class:`~repro.core.incremental.PlanMemo`
             (several streams can share one).
+        admission_window: Optional admission-control bound, seconds: a
+            request whose earliest tentative start exceeds
+            ``arrival + admission_window`` is rejected and its
+            placements are discarded (scheduled against a throwaway
+            :meth:`~repro.calendar.calendar.ResourceCalendar.copy`, so
+            the shared calendar is untouched).  ``None`` (the default)
+            admits everything and keeps the bitwise-identical-to-naive
+            fast path.
     """
 
     def __init__(
@@ -176,12 +213,20 @@ class StreamScheduler:
         cpa_stopping: str = "stringent",
         tie_break: str = "fewest",
         memo: PlanMemo | None = None,
+        admission_window: float | None = None,
     ):
+        if admission_window is not None and not admission_window >= 0:
+            raise ValueError(
+                f"admission_window must be >= 0, got {admission_window}"
+            )
         self._scenario = scenario
         self._algorithm = algorithm
         self._cpa_stopping = cpa_stopping
         self._tie_break = tie_break
         self._memo = PlanMemo() if memo is None else memo
+        self._admission_window = (
+            None if admission_window is None else float(admission_window)
+        )
         self._calendar = scenario.calendar()
         self._calendar.availability()  # pre-compile once for the stream
         self._last_offset = 0.0
@@ -229,24 +274,85 @@ class StreamScheduler:
             self._algorithm,
             cpa_stopping=self._cpa_stopping,
         )
-        with stopwatch("stream.admit") as sw:
-            schedule = schedule_ressched_incremental(
-                request.graph,
-                self._scenario,
-                self._algorithm,
-                tie_break=self._tie_break,
-                calendar=self._calendar,
-                now=arrival,
-                plan=plan,
+        if _tl.ENABLED:
+            _tl.emit(
+                "request_arrived",
+                arrival,
+                trace=request.request_id,
+                tenant=request.tenant,
+                tasks=request.graph.n,
+                mode=request.mode,
+                priority=request.priority,
             )
-        if _obs.ENABLED:
-            _obs.incr("stream.requests")
-            _obs.observe("stream.request.tasks", request.graph.n)
+            _tl.push_trace(request.request_id, request.tenant)
+        # With admission control on, schedule tentatively against a
+        # cheap calendar copy; commit = adopt the copy, reject = drop it.
+        target = (
+            self._calendar
+            if self._admission_window is None
+            else self._calendar.copy()
+        )
+        try:
+            with stopwatch("stream.admit") as sw:
+                schedule = schedule_ressched_incremental(
+                    request.graph,
+                    self._scenario,
+                    self._algorithm,
+                    tie_break=self._tie_break,
+                    calendar=target,
+                    now=arrival,
+                    plan=plan,
+                )
+        finally:
+            if _tl.ENABLED:
+                _tl.pop_trace()
+        admitted = True
+        if self._admission_window is not None:
+            first_start = min(
+                (p.start for p in schedule.placements), default=arrival
+            )
+            if first_start - arrival > self._admission_window:
+                admitted = False
+            else:
+                self._calendar = target
+        if admitted:
+            if _obs.ENABLED:
+                _obs.incr("stream.requests")
+                _obs.observe("stream.request.tasks", request.graph.n)
+            if _tl.ENABLED:
+                _tl.emit(
+                    "placement_committed",
+                    # Sim time = scheduled first start, so SLO queue
+                    # depth reads as admitted-but-not-started backlog.
+                    min(
+                        (p.start for p in schedule.placements),
+                        default=arrival,
+                    ),
+                    trace=request.request_id,
+                    tenant=request.tenant,
+                    latency_s=sw.wall_s,
+                    makespan=schedule.turnaround,
+                    tasks=request.graph.n,
+                )
+        else:
+            if _obs.ENABLED:
+                _obs.incr("stream.rejected")
+            if _tl.ENABLED:
+                _tl.emit(
+                    "request_rejected",
+                    arrival,
+                    trace=request.request_id,
+                    tenant=request.tenant,
+                    latency_s=sw.wall_s,
+                    reason="admission-window",
+                    wait_s=first_start - arrival,
+                )
         outcome = StreamOutcome(
             request=request,
             arrival=arrival,
             schedule=schedule,
             latency_s=sw.wall_s,
+            admitted=admitted,
         )
         self._outcomes.append(outcome)
         return outcome

@@ -402,8 +402,9 @@ class UnorderedIterationRule(Rule):
 # REP003 — unguarded obs calls on hot paths
 # ----------------------------------------------------------------------
 
-#: Recording entry points whose *call overhead* the guard removes.
-_OBS_RECORDING = frozenset({"incr", "observe", "decision", "span"})
+#: Recording entry points whose *call overhead* the guard removes
+#: (``emit`` is the timeline's entry point, `repro.obs.timeline`).
+_OBS_RECORDING = frozenset({"incr", "observe", "decision", "span", "emit"})
 
 _ENABLED_RE = re.compile(r"ENABLED$")
 
@@ -543,7 +544,9 @@ class UnguardedObsRule(Rule):
         "recording entry points check ENABLED internally, but the call "
         "itself still costs argument setup on every hot-path hit.  The "
         "scheduling kernels keep the disabled cost to a single inline "
-        "branch by guarding each site with `if _obs.ENABLED:`."
+        "branch by guarding each site with `if _obs.ENABLED:`.  The "
+        "same discipline covers timeline emission (`timeline.emit`, "
+        "guarded by `if _tl.ENABLED:` / `is_enabled()`)."
     )
 
     #: Packages whose code is on the scheduling / execution hot path.
@@ -568,13 +571,13 @@ class UnguardedObsRule(Rule):
                 if node.module == "repro.obs":
                     for alias in node.names:
                         target = alias.asname or alias.name
-                        if alias.name == "core":
+                        if alias.name in ("core", "timeline"):
                             module_aliases.add(target)
                         elif alias.name in _OBS_RECORDING:
                             func_aliases.add(target)
                         elif alias.name == "obs":
                             module_aliases.add(target)
-                elif node.module == "repro.obs.core":
+                elif node.module in ("repro.obs.core", "repro.obs.timeline"):
                     for alias in node.names:
                         target = alias.asname or alias.name
                         if alias.name in _OBS_RECORDING:
@@ -585,7 +588,11 @@ class UnguardedObsRule(Rule):
                             module_aliases.add(alias.asname or "obs")
             elif isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name in ("repro.obs", "repro.obs.core"):
+                    if alias.name in (
+                        "repro.obs",
+                        "repro.obs.core",
+                        "repro.obs.timeline",
+                    ):
                         module_aliases.add(
                             alias.asname or alias.name.split(".")[-1]
                         )

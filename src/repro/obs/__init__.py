@@ -14,9 +14,18 @@ or call :func:`enable` to collect.  Typical scoped use::
         schedule_ressched(graph, scenario)
     print(obs.format_collector(col))
 
+Beyond aggregates, :mod:`repro.obs.timeline` records a bounded ring of
+typed, trace-id-carrying events (request arrivals, probe batches,
+placements, rejections, repairs, span begin/end) exportable as a
+Chrome-trace / Perfetto JSONL, and :mod:`repro.obs.slo` folds those
+events into time-bucketed SLO series (queue depth, latency percentiles,
+rejection rate) with the same bitwise-stable merge guarantee as the
+aggregate collectors.
+
 See ``docs/OBSERVABILITY.md`` for the span-name and counter glossary.
 """
 
+from repro.obs import timeline
 from repro.obs.core import (
     Collector,
     Histogram,
@@ -45,6 +54,8 @@ from repro.obs.report import (
     validate_run_report,
     write_trace,
 )
+from repro.obs.slo import SloSeries, percentile_nearest_rank
+from repro.obs.timeline import Timeline, chrome_trace_events, write_chrome_trace
 
 __all__ = [
     # core
@@ -73,4 +84,11 @@ __all__ = [
     "trace_records",
     "validate_run_report",
     "write_trace",
+    # timeline / slo
+    "timeline",
+    "Timeline",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "SloSeries",
+    "percentile_nearest_rank",
 ]

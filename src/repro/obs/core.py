@@ -36,6 +36,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs import timeline as _timeline
+
 #: Master switch.  ``REPRO_OBS=1`` in the environment enables collection
 #: for the whole process; :func:`enable`/:func:`disable` flip it at
 #: runtime.  Hot paths read this attribute directly.
@@ -394,6 +396,8 @@ class _Span:
 
     def __enter__(self) -> "_Span":
         _SPAN_STACK.append(self.name)
+        if _timeline.ENABLED:
+            _timeline.emit("span_begin", None, name=self.name)
         self._t0 = time.perf_counter()
         self._c0 = time.process_time()
         return self
@@ -404,6 +408,10 @@ class _Span:
         path = "/".join(_SPAN_STACK)
         _SPAN_STACK.pop()
         _CURRENT.add_span(self.name, path, self.wall_s, self.cpu_s)
+        if _timeline.ENABLED:
+            _timeline.emit(
+                "span_end", None, name=self.name, wall_s_span=self.wall_s
+            )
 
 
 class _NoopSpan:
@@ -459,6 +467,8 @@ class stopwatch:
     def __enter__(self) -> "stopwatch":
         if ENABLED:
             _SPAN_STACK.append(self.name)
+            if _timeline.ENABLED:
+                _timeline.emit("span_begin", None, name=self.name)
         self._c0 = time.process_time()
         self._t0 = time.perf_counter()
         return self
@@ -470,3 +480,7 @@ class stopwatch:
             path = "/".join(_SPAN_STACK)
             _SPAN_STACK.pop()
             _CURRENT.add_span(self.name, path, self.wall_s, self.cpu_s)
+            if _timeline.ENABLED:
+                _timeline.emit(
+                    "span_end", None, name=self.name, wall_s_span=self.wall_s
+                )

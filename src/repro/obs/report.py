@@ -96,6 +96,76 @@ RUN_REPORT_SCHEMA: dict[str, Any] = {
         },
         "decisions_dropped": {"type": "integer"},
         "meta": {"type": "object"},
+        # Optional sections, present when the run recorded a timeline
+        # (repro.obs.timeline) and folded it into an SLO series
+        # (repro.obs.slo).
+        "timeline": {
+            "type": "object",
+            "required": ["events", "cap", "dropped", "by_type"],
+            "properties": {
+                "events": {"type": "integer"},
+                "cap": {"type": "integer"},
+                "dropped": {"type": "integer"},
+                "by_type": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer"},
+                },
+                "dropped_by_type": {
+                    "type": "object",
+                    "additionalProperties": {"type": "integer"},
+                },
+            },
+        },
+        "slo": {
+            "type": "object",
+            "required": [
+                "bucket_s",
+                "t0",
+                "requests",
+                "admitted",
+                "rejected",
+                "latency_ms",
+                "buckets",
+            ],
+            "properties": {
+                "bucket_s": {"type": "number"},
+                "t0": {"type": "number"},
+                "requests": {"type": "integer"},
+                "admitted": {"type": "integer"},
+                "rejected": {"type": "integer"},
+                # Percentile values may be null (no latency samples), so
+                # the entries are not typed further here.
+                "latency_ms": {"type": "object"},
+                "buckets": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": [
+                            "t",
+                            "arrivals",
+                            "admitted",
+                            "rejected",
+                            "queue_depth",
+                            "probes",
+                            "probe_tasks",
+                            "rejection_rate",
+                            "latency_ms",
+                        ],
+                        "properties": {
+                            "t": {"type": "number"},
+                            "arrivals": {"type": "integer"},
+                            "admitted": {"type": "integer"},
+                            "rejected": {"type": "integer"},
+                            "queue_depth": {"type": "integer"},
+                            "probes": {"type": "integer"},
+                            "probe_tasks": {"type": "integer"},
+                            "rejection_rate": {"type": "number"},
+                            "latency_ms": {"type": "object"},
+                        },
+                    },
+                },
+            },
+        },
     },
 }
 
@@ -166,16 +236,21 @@ class RunReport:
         wall_s: End-to-end wall time of the run.
         collector: The aggregated instrumentation data.
         meta: Free-form run description (scale, python version, ...).
+        timeline: Optional :meth:`repro.obs.timeline.Timeline.summary`
+            of the run's event timeline.
+        slo: Optional :meth:`repro.obs.slo.SloSeries.to_dict` section.
     """
 
     name: str
     wall_s: float
     collector: Collector
     meta: dict[str, Any] = field(default_factory=dict)
+    timeline: dict[str, Any] | None = None
+    slo: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         snap = self.collector.to_dict()
-        return {
+        doc = {
             "format": "repro-run-report",
             "version": REPORT_VERSION,
             "name": self.name,
@@ -187,6 +262,11 @@ class RunReport:
             "decisions_dropped": snap["decisions_dropped"],
             "meta": dict(self.meta),
         }
+        if self.timeline is not None:
+            doc["timeline"] = self.timeline
+        if self.slo is not None:
+            doc["slo"] = self.slo
+        return doc
 
     def to_json(self) -> str:
         doc = self.to_dict()
@@ -210,6 +290,8 @@ class RunReport:
                 }
             ),
             meta=doc["meta"],
+            timeline=doc.get("timeline"),
+            slo=doc.get("slo"),
         )
 
 

@@ -35,6 +35,7 @@ from repro.calendar import Reservation, ResourceCalendar
 from repro.dag import TaskGraph
 from repro.errors import CalendarError, ExecutionError, RepairError
 from repro.obs import core as _obs
+from repro.obs import timeline as _tl
 from repro.resilience.faults import FaultEvent
 from repro.resilience.repair import (
     REPAIR_POLICIES,
@@ -308,6 +309,14 @@ def execute_resilient(
         if _obs.ENABLED:
             _obs.incr(f"resilience.repairs.{policy}")
             _obs.incr("resilience.repaired_tasks", len(tasks))
+        if _tl.ENABLED:
+            _tl.emit(
+                "repair_triggered",
+                float(t),
+                policy=policy,
+                trigger=trigger,
+                tasks=len(tasks),
+            )
 
     def _repair(t: float, trigger: str, revoked: "dict[int, _Booking]") -> None:
         """Hand revoked (or, for the replanning policies, all unstarted)

@@ -302,6 +302,58 @@ class TestUnguardedObs:
         assert lint_source(src, HOT) == []
 
 
+class TestUnguardedTimeline:
+    """Timeline emission sites follow the same guard discipline as the
+    aggregate counters: a bare ``emit`` on a hot path is a finding; the
+    same call under ``if _tl.ENABLED:`` is clean."""
+
+    OFFENDING = (
+        "from repro.obs import timeline as _tl\n"
+        "def place():\n"
+        "    _tl.emit('task_placed', 0.0, task=1)\n"
+    )
+    CLEAN = (
+        "from repro.obs import timeline as _tl\n"
+        "def place():\n"
+        "    if _tl.ENABLED:\n"
+        "        _tl.emit('task_placed', 0.0, task=1)\n"
+    )
+
+    def test_unguarded_emit_fires_on_hot_path(self):
+        assert ids(lint_source(self.OFFENDING, HOT)) == {"REP003"}
+
+    def test_guarded_emit_is_clean(self):
+        assert lint_source(self.CLEAN, HOT) == []
+
+    def test_cold_package_is_out_of_scope(self):
+        assert lint_source(self.OFFENDING, COLD) == []
+
+    def test_direct_emit_import_fires(self):
+        src = (
+            "from repro.obs.timeline import emit\n"
+            "def place():\n"
+            "    emit('task_placed', 0.0)\n"
+        )
+        assert ids(lint_source(src, HOT)) == {"REP003"}
+
+    def test_plain_module_import_fires(self):
+        src = (
+            "import repro.obs.timeline\n"
+            "def place():\n"
+            "    repro.obs.timeline.emit('task_placed', 0.0)\n"
+        )
+        assert ids(lint_source(src, HOT)) == {"REP003"}
+
+    def test_guard_via_is_enabled_call(self):
+        src = (
+            "from repro.obs import timeline as _tl\n"
+            "def place():\n"
+            "    if _tl.is_enabled():\n"
+            "        _tl.emit('task_placed', 0.0)\n"
+        )
+        assert lint_source(src, HOT) == []
+
+
 # ----------------------------------------------------------------------
 # REP004 — float equality on times (scheduling kernels only)
 # ----------------------------------------------------------------------

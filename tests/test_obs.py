@@ -149,6 +149,50 @@ class TestMerge:
         a.merge(_collector({"x": 2}).to_dict())
         assert a.counters["x"] == 3
 
+    def test_merge_snapshot_with_missing_keys(self):
+        # A partial snapshot (e.g. from an older writer) merges as if
+        # the absent sections were empty rather than raising.
+        a = _collector({"x": 1}, hist_values=(1.0,))
+        a.merge({"counters": {"x": 2, "y": 5}})
+        assert a.counters == {"x": 3, "y": 5}
+        assert a.hists["h"].count == 1
+        assert a.decisions_dropped == 0
+        a.merge({})
+        assert a.counters == {"x": 3, "y": 5}
+
+    def test_merge_snapshot_ignores_extra_keys(self):
+        a = _collector({"x": 1})
+        a.merge(
+            {
+                "counters": {"x": 1},
+                "format": "repro-run-report",
+                "some_future_section": {"ignored": True},
+            }
+        )
+        assert a.counters == {"x": 2}
+        assert "some_future_section" not in a.to_dict()
+
+    def test_histogram_merge_empty_operands(self):
+        empty = obs_core.Histogram()
+        empty.merge(obs_core.Histogram())
+        assert empty.count == 0
+        d = empty.to_dict()
+        assert d["min"] is None and d["max"] is None and d["buckets"] == {}
+
+        populated = obs_core.Histogram()
+        for v in (0.5, 8.0):
+            populated.observe(v)
+        single = populated.to_dict()
+
+        # empty -> populated and populated -> empty both equal the
+        # single-stream histogram.
+        into_populated = obs_core.Histogram.from_dict(single)
+        into_populated.merge(obs_core.Histogram())
+        assert into_populated.to_dict() == single
+        from_empty = obs_core.Histogram()
+        from_empty.merge(obs_core.Histogram.from_dict(single))
+        assert from_empty.to_dict() == single
+
     def test_histogram_buckets_and_stats(self):
         h = obs_core.Histogram()
         for v in (0.0, 1.0, 1.5, 3.0, 1000.0):

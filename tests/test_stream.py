@@ -134,10 +134,73 @@ class TestStreamScheduler:
         report = StreamScheduler(scenario).run(_requests(5))
         summary = report.summary()
         assert summary["n_requests"] == 5
+        assert summary["admitted"] == 5
+        assert summary["rejected"] == 0
         assert summary["scheduling_s"] > 0
         assert summary["requests_per_s"] > 0
         assert set(summary["latency_ms"]) == {"p50", "p99"}
         assert np.isfinite(summary["mean_turnaround_s"])
+
+    def test_latency_percentiles_are_nearest_rank(self):
+        from repro.obs.slo import percentile_nearest_rank
+
+        scenario = _scenario()
+        report = StreamScheduler(scenario).run(_requests(7))
+        lat = [o.latency_s for o in report.outcomes]
+        got = report.latency_percentiles((50.0, 95.0, 99.0))
+        for key, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            assert got[key] == percentile_nearest_rank(lat, q) * 1e3
+            # Nearest rank selects, never interpolates.
+            assert got[key] / 1e3 in lat
+
+
+class TestAdmissionControl:
+    def test_zero_window_rejects_requests_that_must_wait(self):
+        scenario = _scenario()
+        reqs = _requests(6)
+        sched = StreamScheduler(scenario, admission_window=0.0)
+        report = sched.run(reqs)
+        assert report.n_requests == 6
+        assert report.n_admitted + report.n_rejected == 6
+        assert report.n_rejected > 0
+        # Rejections must leave the shared calendar untouched: only
+        # admitted requests' tasks are booked.
+        booked = len(sched.calendar.reservations)
+        expected = len(scenario.reservations) + sum(
+            o.request.graph.n for o in report.outcomes if o.admitted
+        )
+        assert booked == expected
+        assert len(report.schedules) == report.n_admitted
+        summary = report.summary()
+        assert summary["admitted"] == report.n_admitted
+        assert summary["rejected"] == report.n_rejected
+
+    def test_infinite_window_equals_no_window_bitwise(self):
+        reqs = _requests(5)
+        plain = StreamScheduler(_scenario()).run(reqs)
+        windowed = StreamScheduler(
+            _scenario(), admission_window=float("inf")
+        ).run(reqs)
+        assert windowed.n_rejected == 0
+        for a, b in zip(plain.schedules, windowed.schedules):
+            assert _sig(a) == _sig(b)
+
+    def test_rejected_outcome_keeps_tentative_schedule(self):
+        scenario = _scenario()
+        report = StreamScheduler(scenario, admission_window=0.0).run(
+            _requests(4)
+        )
+        for outcome in report.outcomes:
+            if not outcome.admitted:
+                # The tentative plan is retained for diagnostics even
+                # though nothing was committed.
+                assert outcome.schedule.placements
+                first = min(p.start for p in outcome.schedule.placements)
+                assert first - outcome.arrival > 0.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="admission_window"):
+            StreamScheduler(_scenario(), admission_window=-5.0)
 
     def test_stream_counters_in_valid_run_report(self):
         """The stream.* counter family must round-trip the obs schema."""

@@ -39,6 +39,12 @@ SPEEDUP_FLOORS: dict[str, float] = {
     # clears 5x; quick sizes shrink the stream, and the advantage grows
     # with stream length).
     "streamed_throughput": 2.0,
+    # Robustness-layer overhead gate: the ReservationService at fault
+    # rate zero with unlimited quotas reduces to the bare stream, so its
+    # "speedup" (bare_s / service_rate0_s) is an overhead ratio.  The
+    # floor guarantees the CAS-token/journal/quota machinery costs less
+    # than 15% on the fault-free fast path (1 / 1.15 ~= 0.87).
+    "service_faulted_stream": 0.87,
 }
 
 #: When comparing against a same-size baseline, each section may lose at

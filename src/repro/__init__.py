@@ -50,14 +50,17 @@ from repro.dag import (
 )
 from repro.errors import (
     CalendarError,
+    CommitConflictError,
     ExecutionError,
     FaultError,
     GenerationError,
     InfeasibleError,
     InvalidDagError,
+    QuotaError,
     RepairError,
     ReproError,
     ScheduleValidationError,
+    ServiceError,
     WorkloadError,
 )
 from repro.model import AmdahlModel, DowneyModel, SpeedupModel
@@ -105,6 +108,9 @@ __all__ = [
     "ExecutionError",
     "FaultError",
     "RepairError",
+    "ServiceError",
+    "QuotaError",
+    "CommitConflictError",
     # rng
     "make_rng",
     "derive_rng",

@@ -678,6 +678,112 @@ def bench_streamed_throughput(
     }
 
 
+def bench_service_faulted_stream(
+    *, n_requests: int, n_res: int, repeats: int
+) -> dict[str, Any]:
+    """Robustness-layer overhead: bare stream vs ReservationService.
+
+    The same stream as ``streamed_throughput`` is replayed twice: once
+    through the bare ``StreamScheduler`` and once through the
+    fault-tolerant ``ReservationService`` at fault rate zero with
+    unlimited quotas — the configuration the reduction proof covers, so
+    placements are asserted bitwise-identical before timing.  The
+    reported ``speedup`` is ``bare_s / service_rate0_s``: the floor in
+    ``check_bench_regression.py`` guarantees the CAS/journal/quota
+    machinery costs < 15% on the fault-free fast path.  A third,
+    untimed-for-speedup replay at a nonzero fault rate with per-tenant
+    quotas exercises the full pipeline (revocation, rebooking, commit
+    retries) and reports its volume counters.
+    """
+    from repro.experiments.stream import StreamRequest, StreamScheduler
+    from repro.resilience.faults import FaultModel
+    from repro.service import ReservationService, ServiceConfig, TenantQuota
+    from repro.workloads.reservations import ReservationScenario
+
+    capacity = 64
+    rng = make_rng(7)
+    horizon = 333.0 * n_res
+    reservations = []
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, horizon))
+        dur = float(rng.uniform(60.0, 3_600.0))
+        nprocs = int(rng.integers(1, max(2, capacity // 16)))
+        reservations.append(
+            Reservation(start=start, end=start + dur, nprocs=nprocs, label=f"r{i}")
+        )
+    scenario = ReservationScenario(
+        name="service-bench",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(reservations),
+        hist_avg_available=capacity / 2,
+    )
+    graphs = [
+        random_task_graph(
+            DagGenParams(n=8, max_seq_time=3_600.0), make_rng(1000 + i)
+        )
+        for i in range(4)
+    ]
+    tenants = ("acme", "globex", "initech")
+    requests = [
+        StreamRequest(
+            request_id=f"req-{k}",
+            arrival_offset=k * 1_200.0,
+            graph=graphs[k % len(graphs)],
+            mode="batch" if k % 3 else "interactive",
+            tenant=tenants[k % len(tenants)],
+        )
+        for k in range(n_requests)
+    ]
+
+    def bare_path() -> list:
+        _allocmod.clear_memo()
+        return StreamScheduler(scenario).run(requests).schedules
+
+    def service_rate0_path() -> list:
+        _allocmod.clear_memo()
+        return ReservationService(scenario).run(requests).schedules
+
+    bare_s, bare_res = _best_of(bare_path, repeats)
+    svc_s, svc_res = _best_of(service_rate0_path, repeats)
+    # Reduction proof before timing is trusted: rate-0 + unlimited
+    # quotas must be bitwise-identical to the bare stream.
+    for a, b in zip(bare_res, svc_res):
+        pa = [(p.task, p.start, p.finish, p.nprocs) for p in a.placements]
+        pb = [(p.task, p.start, p.finish, p.nprocs) for p in b.placements]
+        if pa != pb:
+            raise AssertionError("service rate-0 path diverged from stream")
+    # Full-pipeline replay: faults, quotas and shedding all active.
+    _allocmod.clear_memo()
+    faulted_t0 = time.perf_counter()
+    faulted = ReservationService(
+        scenario,
+        config=ServiceConfig(
+            default_quota=TenantQuota(max_active=max(4, n_requests // 8)),
+            shed_backlog=max(8, n_requests // 4),
+            commit_latency=300.0,
+            retry_backoff_base=30.0,
+        ),
+        fault_model=FaultModel.from_rate(6.0),
+        seed=11,
+    ).run(requests)
+    faulted_s = time.perf_counter() - faulted_t0
+    return {
+        "n_requests": n_requests,
+        "n_reservations": n_res,
+        "bare_s": bare_s,
+        "service_rate0_s": svc_s,
+        "speedup": bare_s / svc_s,
+        "faulted_s": faulted_s,
+        "faulted_admitted": faulted.n_admitted,
+        "faulted_rejected": faulted.n_rejected,
+        "faults_applied": faulted.faults_applied,
+        "revocations": faulted.revocations,
+        "rebooked": faulted.rebooked,
+        "commit_retries": sum(o.retries for o in faulted.outcomes),
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -700,6 +806,9 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             "streamed_throughput": {
                 "n_requests": 100, "n_res": 1000, "repeats": 1,
             },
+            "service_faulted_stream": {
+                "n_requests": 100, "n_res": 1000, "repeats": 1,
+            },
         }
     else:
         sizes = {
@@ -714,6 +823,9 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             "cpa_allocation": {"n_tasks": 150, "q": 64, "repeats": 3},
             "table4_cell": {"dag_instances": 6, "n_workers": 4, "repeats": 5},
             "streamed_throughput": {
+                "n_requests": 300, "n_res": 2000, "repeats": 2,
+            },
+            "service_faulted_stream": {
                 "n_requests": 300, "n_res": 2000, "repeats": 2,
             },
         }
@@ -751,6 +863,11 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
     )
     _echo("streamed_throughput", report["streamed_throughput"],
           "naive_s", "streamed_s")
+    report["service_faulted_stream"] = bench_service_faulted_stream(
+        **sizes["service_faulted_stream"]
+    )
+    _echo("service_faulted_stream", report["service_faulted_stream"],
+          "bare_s", "service_rate0_s")
     return report
 
 

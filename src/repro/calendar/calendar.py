@@ -156,8 +156,41 @@ class ResourceCalendar:
         """All reservations, in insertion order."""
         return tuple(self._reservations)
 
+    @property
+    def generation(self) -> int:
+        """Monotone commit generation, bumped on every profile mutation.
+
+        Tentative-then-commit callers (the online service's optimistic-
+        concurrency path) use this as a CAS token: capture it before
+        planning against a :meth:`copy`, and adopt the copy only if the
+        authoritative calendar's generation is unchanged.
+        """
+        return self._generation
+
     def __len__(self) -> int:
         return len(self._reservations)
+
+    def remove(self, reservation: Reservation) -> None:
+        """Withdraw a previously registered reservation.
+
+        Removes the first reservation equal to ``reservation`` (the
+        cancel / booking-revocation primitive of the online service) and
+        starts a new commit generation; the availability profile is
+        recompiled lazily on the next query.
+
+        Raises:
+            CalendarError: if no equal reservation is registered.
+        """
+        try:
+            self._reservations.remove(reservation)
+        except ValueError:
+            raise CalendarError(
+                f"cannot remove unregistered reservation {reservation}"
+            ) from None
+        if _obs.ENABLED:
+            _obs.incr("calendar.remove")
+        self._profile = None
+        self._invalidate_caches()
 
     def add(self, reservation: Reservation) -> None:
         """Register a reservation.

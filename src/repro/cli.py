@@ -419,6 +419,96 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Deferred import: the service pulls in the stream + resilience
+    # layers.
+    from repro.experiments.reporting import run_instrumented
+    from repro.experiments.stream import requests_from_specs
+    from repro.obs import timeline as tl
+    from repro.resilience.faults import FaultModel
+    from repro.service import ReservationService, ServiceConfig, TenantQuota
+    from repro.workloads.requests import load_request_stream
+
+    specs = load_request_stream(args.requests)
+    graphs = [from_json(Path(p).read_text()) for p in args.dag]
+    params = preset(args.preset)
+    if args.log:
+        with open(args.log) as fh:
+            jobs = parse_swf(fh)
+    else:
+        jobs = generate_log(params, make_rng(args.seed))
+    rng = make_rng(args.seed + 1)
+    now = pick_scheduling_time(jobs, rng)
+    scenario = build_reservation_scenario(
+        jobs, params.n_procs, phi=args.phi, now=now, method=args.method,
+        rng=rng,
+    )
+    algorithm = _parse_ressched_algorithm(args.algorithm)
+    requests = requests_from_specs(specs, graphs)
+    model = FaultModel.from_rate(args.faults) if args.faults > 0 else None
+    config = ServiceConfig(
+        default_quota=TenantQuota(
+            max_active=args.quota_active,
+            max_cpu_hours=args.quota_cpu_hours,
+        ),
+        admission_window=args.admission_window,
+        shed_backlog=args.shed_backlog,
+        commit_latency=args.commit_latency,
+        commit_retry_cap=args.retry_cap,
+    )
+
+    def _run():
+        service = ReservationService(
+            scenario,
+            algorithm,
+            config=config,
+            fault_model=model,
+            seed=args.seed,
+            journal_path=args.journal,
+            dead_letter_path=args.dead_letter,
+        )
+        return service.run(requests, stop_after=args.stop_after)
+
+    meta = {
+        "requests": str(args.requests),
+        "dags": len(graphs),
+        "fault_rate": args.faults,
+    }
+    want_timeline = args.timeline or args.trace_out is not None
+    if want_timeline:
+        with tl.recording(sim_epoch=scenario.now) as timeline:
+            result, report = run_instrumented("serve", _run, meta=meta)
+        report.timeline = timeline.summary()
+        if args.trace_out is not None:
+            n = tl.write_chrome_trace(
+                args.trace_out, timeline, meta={"requests": str(args.requests)}
+            )
+            print(f"wrote {n} chrome trace events to {args.trace_out}")
+    else:
+        result, report = run_instrumented("serve", _run, meta=meta)
+    summary = result.summary()
+    # The digest pins the run's compute-derived state; CI compares it
+    # across a kill-and-resume pair to prove crash-safe identity.
+    report.meta["service"] = summary
+    print(f"algorithm     {algorithm.name}")
+    print(f"platform      {scenario.capacity} processors, "
+          f"{scenario.n_reservations} competing reservations")
+    print(f"requests      {summary['admitted']} admitted, "
+          f"{summary['rejected']} rejected, "
+          f"{summary['dead_letter']} dead-lettered"
+          + (f", {summary['resumed']} resumed from journal"
+             if summary["resumed"] else ""))
+    print(f"faults        {summary['faults_applied']} applied "
+          f"({summary['faults_denied']} denied), "
+          f"{summary['revocations']} revocations, "
+          f"{summary['rebooked']} re-bookings")
+    print(f"digest        {summary['digest']}")
+    if args.out:
+        Path(args.out).write_text(report.to_json() + "\n")
+        print(f"wrote run report to {args.out}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Deferred import: the checker is pure stdlib but cold-start weight
     # belongs only to the command that needs it.
@@ -668,6 +758,95 @@ def build_parser() -> argparse.ArgumentParser:
         "more than this many seconds (default: admit everything)",
     )
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser(
+        "serve",
+        help="fault-tolerant multi-tenant service replay with quotas, "
+        "fault injection and a crash-safe journal",
+    )
+    p.add_argument(
+        "--requests", type=str, required=True,
+        help="request-stream CSV "
+        "(request_id,arrival_offset,mode,priority,tenant)",
+    )
+    p.add_argument(
+        "--dag", action="append", required=True,
+        help="DAG JSON path; repeat to round-robin several applications",
+    )
+    p.add_argument(
+        "--log", type=str, default=None,
+        help="SWF log path (default: generate from --preset)",
+    )
+    p.add_argument("--preset", type=str, default="SDSC_BLUE")
+    p.add_argument("--phi", type=float, default=0.2)
+    p.add_argument(
+        "--method", choices=("linear", "expo", "real"), default="expo"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm", type=str, default="BL_CPAR_BD_CPAR")
+    p.add_argument(
+        "--faults", type=float, default=0.0,
+        help="fault intensity in events/day (FaultModel.from_rate); "
+        "0 disables injection (default)",
+    )
+    p.add_argument(
+        "--quota-active", type=int, default=None, dest="quota_active",
+        help="per-tenant cap on concurrently active requests",
+    )
+    p.add_argument(
+        "--quota-cpu-hours", type=float, default=None,
+        dest="quota_cpu_hours",
+        help="per-tenant cap on booked CPU-hours",
+    )
+    p.add_argument(
+        "--shed-backlog", type=int, default=None, dest="shed_backlog",
+        help="backlog depth at which batch traffic is load-shed "
+        "(default: no shedding)",
+    )
+    p.add_argument(
+        "--admission-window", type=float, default=None,
+        dest="admission_window",
+        help="reject requests whose earliest start exceeds arrival by "
+        "more than this many seconds (default: admit everything)",
+    )
+    p.add_argument(
+        "--commit-latency", type=float, default=0.0,
+        dest="commit_latency",
+        help="simulated plan-to-commit seconds; faults inside the "
+        "window force CAS retries (default: 0, atomic commits)",
+    )
+    p.add_argument(
+        "--retry-cap", type=int, default=8, dest="retry_cap",
+        help="commit retries before a request is dead-lettered",
+    )
+    p.add_argument(
+        "--journal", type=str, default=None,
+        help="fsync'd admission-journal path; an existing journal for "
+        "the same stream resumes it",
+    )
+    p.add_argument(
+        "--dead-letter", type=str, default=None, dest="dead_letter",
+        help="quarantine JSONL path (default: <journal>.deadletter)",
+    )
+    p.add_argument(
+        "--stop-after", type=int, default=None, dest="stop_after",
+        help="process at most this many requests then exit (crash "
+        "simulation for resume testing)",
+    )
+    p.add_argument(
+        "--out", type=str, default=None,
+        help="write a RunReport JSON (service.* counters + digest) here",
+    )
+    p.add_argument(
+        "--timeline", action="store_true",
+        help="record the event timeline; adds the timeline section to "
+        "the RunReport (implied by --trace-out)",
+    )
+    p.add_argument(
+        "--trace-out", type=str, default=None, dest="trace_out",
+        help="write a Chrome trace-event JSON of the replay here",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "lint",

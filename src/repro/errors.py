@@ -24,17 +24,11 @@ class GenerationError(ReproError):
     """Random instance generation was given inconsistent parameters."""
 
 
-class ExecutionError(GenerationError):
+class ExecutionError(ReproError):
     """Executing or repairing a planned schedule failed structurally.
 
     Raised by :mod:`repro.sim.execution` and :mod:`repro.resilience` for
     mismatched graphs, missing RNGs, and broken engine invariants.
-
-    Transitionally derives from :class:`GenerationError`: the execution
-    layer historically raised that class, so existing ``except
-    GenerationError`` handlers keep working for one release.  Catch
-    :class:`ExecutionError` going forward; the base will become
-    :class:`ReproError` in the next release.
     """
 
 
@@ -79,3 +73,30 @@ class ScheduleValidationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload log could not be parsed or is internally inconsistent."""
+
+
+class ServiceError(ReproError):
+    """An online-service request or configuration is invalid.
+
+    The :mod:`repro.service` layer (and the stream driver beneath it)
+    treats malformed client input — out-of-order arrivals, negative
+    offsets, inconsistent service configuration — as a client error the
+    caller must be able to catch as a :class:`ReproError`, not as a
+    programming error.
+    """
+
+
+class QuotaError(ServiceError):
+    """A tenant quota is misconfigured (non-positive limits)."""
+
+
+class CommitConflictError(ServiceError):
+    """A tentative placement was invalidated by a concurrent commit.
+
+    Raised internally by the optimistic-concurrency commit path of
+    :class:`repro.service.ReservationService` when the shared calendar's
+    generation moved past the CAS token captured at planning time; the
+    service retries with bounded deterministic backoff and surfaces the
+    final failure as a dead-letter, so user code normally never sees
+    this class escape.
+    """

@@ -57,6 +57,7 @@ from repro.calendar import ResourceCalendar
 from repro.core.incremental import PlanMemo, schedule_ressched_incremental
 from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
 from repro.dag import TaskGraph
+from repro.errors import ServiceError
 from repro.obs import core as _obs
 from repro.obs import stopwatch
 from repro.obs import timeline as _tl
@@ -216,7 +217,7 @@ class StreamScheduler:
         admission_window: float | None = None,
     ):
         if admission_window is not None and not admission_window >= 0:
-            raise ValueError(
+            raise ServiceError(
                 f"admission_window must be >= 0, got {admission_window}"
             )
         self._scenario = scenario
@@ -247,33 +248,78 @@ class StreamScheduler:
         """Admissions so far, in order."""
         return tuple(self._outcomes)
 
-    def admit(self, request: StreamRequest) -> StreamOutcome:
-        """Schedule one request at its arrival instant and book it.
+    def tentative_schedule(
+        self,
+        request: StreamRequest,
+        *,
+        arrival: float,
+        calendar: ResourceCalendar,
+    ) -> Schedule:
+        """Plan ``request`` at ``arrival`` against ``calendar``.
 
-        Raises:
-            ValueError: If the request arrives out of order (offsets
-                must be non-decreasing) or before the stream epoch.
+        The pure planning half of :meth:`admit`: builds (or reuses) the
+        memoized plan and runs the incremental engine against the given
+        calendar — normally a :meth:`~repro.calendar.calendar.ResourceCalendar.copy`
+        of the shared one, so nothing is committed until the caller
+        adopts it.  :class:`repro.service.ReservationService` composes
+        this with :meth:`adopt` for its optimistic-concurrency commits.
         """
-        offset = float(request.arrival_offset)
-        if offset < 0:
-            raise ValueError(
-                f"request {request.request_id!r}: arrival_offset must be "
-                f">= 0, got {offset}"
-            )
-        if offset < self._last_offset:
-            raise ValueError(
-                f"request {request.request_id!r} arrives at offset "
-                f"{offset} after a request at {self._last_offset}; "
-                "admit requests in non-decreasing arrival order"
-            )
-        self._last_offset = offset
-        arrival = self._scenario.now + offset
         plan = self._memo.plan(
             request.graph,
             self._scenario,
             self._algorithm,
             cpa_stopping=self._cpa_stopping,
         )
+        return schedule_ressched_incremental(
+            request.graph,
+            self._scenario,
+            self._algorithm,
+            tie_break=self._tie_break,
+            calendar=calendar,
+            now=arrival,
+            plan=plan,
+        )
+
+    def adopt(self, calendar: ResourceCalendar) -> None:
+        """Make ``calendar`` the shared booking state.
+
+        The commit half of a tentative-then-commit admission: the caller
+        planned against a copy and, with the commit still valid, swaps
+        the copy in.
+
+        Raises:
+            ServiceError: If the calendar's capacity disagrees with the
+                shared one (it cannot describe the same platform).
+        """
+        if calendar.capacity != self._calendar.capacity:
+            raise ServiceError(
+                f"cannot adopt a calendar with capacity "
+                f"{calendar.capacity}; the stream's platform has "
+                f"{self._calendar.capacity}"
+            )
+        self._calendar = calendar
+
+    def admit(self, request: StreamRequest) -> StreamOutcome:
+        """Schedule one request at its arrival instant and book it.
+
+        Raises:
+            ServiceError: If the request arrives out of order (offsets
+                must be non-decreasing) or before the stream epoch.
+        """
+        offset = float(request.arrival_offset)
+        if offset < 0:
+            raise ServiceError(
+                f"request {request.request_id!r}: arrival_offset must be "
+                f">= 0, got {offset}"
+            )
+        if offset < self._last_offset:
+            raise ServiceError(
+                f"request {request.request_id!r} arrives at offset "
+                f"{offset} after a request at {self._last_offset}; "
+                "admit requests in non-decreasing arrival order"
+            )
+        self._last_offset = offset
+        arrival = self._scenario.now + offset
         if _tl.ENABLED:
             _tl.emit(
                 "request_arrived",
@@ -294,14 +340,8 @@ class StreamScheduler:
         )
         try:
             with stopwatch("stream.admit") as sw:
-                schedule = schedule_ressched_incremental(
-                    request.graph,
-                    self._scenario,
-                    self._algorithm,
-                    tie_break=self._tie_break,
-                    calendar=target,
-                    now=arrival,
-                    plan=plan,
+                schedule = self.tentative_schedule(
+                    request, arrival=arrival, calendar=target
                 )
         finally:
             if _tl.ENABLED:
@@ -387,7 +427,7 @@ def schedule_stream_naive(
     for request in requests:
         offset = float(request.arrival_offset)
         if offset < 0 or offset < last_offset:
-            raise ValueError(
+            raise ServiceError(
                 f"request {request.request_id!r}: arrival offsets must be "
                 "non-negative and non-decreasing"
             )
@@ -420,7 +460,7 @@ def requests_from_specs(
     stream driver.
     """
     if not graphs:
-        raise ValueError("requests_from_specs needs at least one graph")
+        raise ServiceError("requests_from_specs needs at least one graph")
     return [
         StreamRequest(
             request_id=spec.request_id,
@@ -428,6 +468,7 @@ def requests_from_specs(
             graph=graphs[k % len(graphs)],
             mode=spec.mode,
             priority=spec.priority,
+            tenant=spec.tenant,
         )
         for k, spec in enumerate(specs)
     ]

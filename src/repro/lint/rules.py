@@ -768,6 +768,24 @@ _ALLOWED_BUILTIN_RAISES = frozenset(
 
 _BROAD_CATCHES = frozenset({"Exception", "BaseException"})
 
+#: Packages whose public entry points face operators, not library
+#: callers: every deliberate failure must be a taxonomy class so the
+#: CLI's single ``except ReproError`` boundary catches it.  Even
+#: argument validation raises ServiceError/WorkloadError here.
+_STRICT_TAXONOMY_MODULES = ("repro.service", "repro.experiments.stream")
+
+#: Raises that stay allowed in strict modules: pure control flow plus
+#: programming-error signals that no caller treats as a service failure.
+_STRICT_ALLOWED_RAISES = frozenset(
+    {
+        "NotImplementedError",
+        "AssertionError",
+        "KeyboardInterrupt",
+        "StopIteration",
+        "SystemExit",
+    }
+)
+
 
 @register
 class BareExceptionRule(Rule):
@@ -835,7 +853,20 @@ class BareExceptionRule(Rule):
         if d is None:
             return
         name = d[-1]
-        if name in taxonomy or name in _ALLOWED_BUILTIN_RAISES:
+        if name in taxonomy:
+            return
+        if name in _ALLOWED_BUILTIN_RAISES:
+            if _module_in(
+                ctx.module, _STRICT_TAXONOMY_MODULES
+            ) and name not in _STRICT_ALLOWED_RAISES:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"raise of {name} in a strict-taxonomy module; "
+                    "online-service failures must come from "
+                    "repro.errors (ServiceError, QuotaError, ...) so "
+                    "the CLI boundary catches them",
+                )
             return
         if not name[:1].isupper():
             return  # re-raising a caught exception object (`raise exc`)

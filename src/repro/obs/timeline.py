@@ -24,6 +24,9 @@ consumers — the Chrome-trace exporter here and the SLO folder in
 ``task_ready``            tasks entered a ready queue
 ``task_placed``           one task was placed on the calendar
 ``repair_triggered``      the resilience engine repaired a fault
+``fault_applied``         a mid-stream fault perturbed the calendar
+``commit_conflict``       a CAS commit found its token stale (retry)
+``request_quarantined``   a request exhausted retries (dead-letter)
 ``span_begin/span_end``   an obs span opened / closed (trace nesting)
 ``mark``                  free-form annotation
 ========================  ==============================================
@@ -61,6 +64,9 @@ EVENT_TYPES: frozenset[str] = frozenset(
         "task_ready",
         "task_placed",
         "repair_triggered",
+        "fault_applied",
+        "commit_conflict",
+        "request_quarantined",
         "span_begin",
         "span_end",
         "mark",

@@ -1,0 +1,27 @@
+"""Fault-tolerant multi-tenant online reservation service.
+
+Public surface of the robustness layer over the streamed engine — see
+:mod:`repro.service.core` for the admission pipeline and
+:mod:`repro.service.journal` for the crash-safety machinery.
+"""
+
+from repro.service.config import ServiceConfig, TenantQuota
+from repro.service.core import (
+    OUTCOME_STATUSES,
+    ReservationService,
+    ServiceOutcome,
+    ServiceReport,
+)
+from repro.service.journal import DeadLetter, DeadLetterLog, ServiceJournal
+
+__all__ = [
+    "OUTCOME_STATUSES",
+    "DeadLetter",
+    "DeadLetterLog",
+    "ReservationService",
+    "ServiceConfig",
+    "ServiceJournal",
+    "ServiceOutcome",
+    "ServiceReport",
+    "TenantQuota",
+]

@@ -1,0 +1,204 @@
+"""Crash-safe admission journal and dead-letter quarantine.
+
+The service checkpoints every processed record — admissions, rejections,
+and applied faults — into an append-only JSON-lines journal, fsync'd per
+record like the sweep journal in :mod:`repro.experiments.parallel`.  A
+service restarted over the same journal replays the records to rebuild
+its booking state bitwise and continues from the first unprocessed
+request; the resumed run is indistinguishable from an uninterrupted one.
+
+The journal header carries a *fingerprint* of the run's deterministic
+inputs (requests, seed, fault model, config), so a journal can never be
+replayed against a different stream: a mismatch raises
+:class:`~repro.errors.ServiceError` instead of silently producing a
+franken-state.
+
+Requests that repeatedly raise (poison requests) or exhaust their
+commit-retry budget are *quarantined*: recorded as :class:`DeadLetter`
+lines in a sibling JSON-lines file with a structured reason, never
+retried, and never allowed to poison subsequent admissions.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import asdict, dataclass
+from typing import Any, Iterator
+
+from repro.errors import ServiceError
+
+
+def encode_payload(obj: Any) -> dict[str, str]:
+    """Pickle-in-JSON: exact round-trip for arbitrary objects (floats
+    stay bitwise-equal, tuples stay tuples) inside one JSON line."""
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"codec": "pickle", "data": base64.b64encode(raw).decode("ascii")}
+
+
+def decode_payload(payload: dict[str, str]) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    if payload.get("codec") != "pickle":
+        raise ServiceError(
+            f"unknown journal codec {payload.get('codec')!r}"
+        )
+    return pickle.loads(base64.b64decode(payload["data"]))
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """One quarantined request.
+
+    Attributes:
+        request_id: The poisoned request.
+        tenant: Its owning tenant.
+        arrival: Absolute arrival instant.
+        reason: Structured reason string — ``"placement-error: <exc>"``
+            for repeated scheduling failures, ``"commit-retries-
+            exhausted"`` for CAS starvation.
+        attempts: Attempts burned before quarantine.
+    """
+
+    request_id: str
+    tenant: str
+    arrival: float
+    reason: str
+    attempts: int
+
+
+class ServiceJournal:
+    """Append-only, fsync'd JSON-lines checkpoint of a service run.
+
+    Line 1 is a header naming the format and the run fingerprint; each
+    subsequent line is one processed record (``outcome`` or ``fault``) in
+    the exact order the service processed it.  Loading tolerates a
+    truncated final line — a crash may have interrupted the last write;
+    everything before it is trusted.
+    """
+
+    FORMAT = "repro-service-journal"
+    VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._records: list[dict[str, Any]] = []
+
+    @property
+    def records(self) -> tuple[dict[str, Any], ...]:
+        """Records loaded by :meth:`open`, in processed order."""
+        return tuple(self._records)
+
+    def open(self, fingerprint: str) -> bool:
+        """Load an existing journal or start a fresh one.
+
+        Returns:
+            ``True`` if an existing journal was loaded (its records are
+            then available via :attr:`records`), ``False`` if a new one
+            was created.
+
+        Raises:
+            ServiceError: If the file exists but is not a service
+                journal, or its fingerprint disagrees with this run's —
+                replaying it would rebuild state for a different stream.
+        """
+        if not os.path.exists(self.path):
+            self._append(
+                {
+                    "format": self.FORMAT,
+                    "version": self.VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+            return False
+        with open(self.path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            self._append(
+                {
+                    "format": self.FORMAT,
+                    "version": self.VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+            return False
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"{self.path}: not a service journal"
+            ) from None
+        if header.get("format") != self.FORMAT:
+            raise ServiceError(
+                f"{self.path}: unexpected journal format "
+                f"{header.get('format')!r}"
+            )
+        if header.get("fingerprint") != fingerprint:
+            raise ServiceError(
+                f"{self.path}: journal fingerprint "
+                f"{header.get('fingerprint')!r} does not match this "
+                f"run's {fingerprint!r}; refusing to resume a different "
+                "stream"
+            )
+        self._records = []
+        for line in lines[1:]:
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                break  # truncated tail of an interrupted write
+            self._records.append(rec)
+        return True
+
+    def _append(self, rec: dict[str, Any]) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def record_outcome(self, outcome: Any) -> None:
+        """Checkpoint one processed request outcome."""
+        self._append({"type": "outcome", "payload": encode_payload(outcome)})
+
+    def record_fault(self, idx: int) -> None:
+        """Checkpoint that fault ``idx`` of the deterministic trace was
+        applied (the trace itself regenerates from the seed, so the
+        index is the whole record)."""
+        self._append({"type": "fault", "idx": idx})
+
+
+class DeadLetterLog:
+    """Append-only JSON-lines quarantine file, fsync'd per record."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, letter: DeadLetter) -> None:
+        """Record one quarantined request."""
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(asdict(letter)) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> list[DeadLetter]:
+        """Read back every quarantined request (empty if no file)."""
+        if not os.path.exists(self.path):
+            return []
+        letters: list[DeadLetter] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh.read().splitlines():
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # truncated tail of an interrupted write
+                letters.append(DeadLetter(**doc))
+        return letters
+
+
+def iter_outcome_payloads(
+    records: tuple[dict[str, Any], ...],
+) -> Iterator[Any]:
+    """Decode the outcome payloads of loaded journal records, in order."""
+    for rec in records:
+        if rec.get("type") == "outcome":
+            yield decode_payload(rec["payload"])

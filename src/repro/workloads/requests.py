@@ -4,7 +4,7 @@ An arrival-driven experiment replays a *request stream*: rows of
 
 .. code-block:: text
 
-    request_id,arrival_offset,mode,priority[,...]
+    request_id,arrival_offset,mode,priority,tenant[,...]
 
 where
 
@@ -15,7 +15,9 @@ where
   (this library's time unit) on the parsed spec;
 * ``mode`` *(optional)* — ``"interactive"`` (default) or ``"batch"``;
 * ``priority`` *(optional)* — ``"low"``, ``"mid"`` (default) or
-  ``"high"``, mapping to the numeric levels 1 / 5 / 10.
+  ``"high"``, mapping to the numeric levels 1 / 5 / 10;
+* ``tenant`` *(optional)* — owning tenant (default ``"default"``),
+  the admission-quota and timeline-trace scope of the online service.
 
 Extra columns (e.g. a ``body_json`` payload) are ignored, so fixture
 files from other tools replay unchanged.  Parsing is deterministic: the
@@ -42,6 +44,10 @@ REQUEST_PRIORITIES = ("low", "mid", "high")
 #: Numeric level per priority label.
 PRIORITY_VALUES = {"low": 1, "mid": 5, "high": 10}
 
+#: Tenant assigned when the CSV has no ``tenant`` column (or a blank
+#: cell) — matches :class:`repro.experiments.stream.StreamRequest`.
+DEFAULT_TENANT = "default"
+
 #: Milliseconds per second — the CSV offsets are milliseconds, the
 #: library's time unit is seconds.
 _MS = 1e-3
@@ -57,16 +63,21 @@ class RequestSpec:
             the CSV's milliseconds).
         mode: ``"interactive"`` or ``"batch"``.
         priority: ``"low"``, ``"mid"`` or ``"high"``.
+        tenant: Owning tenant — the per-tenant quota and timeline-trace
+            scope downstream.
     """
 
     request_id: str
     arrival_offset: float
     mode: str = "interactive"
     priority: str = "mid"
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if not self.request_id:
             raise WorkloadError("request_id must be non-empty")
+        if not self.tenant:
+            raise WorkloadError("tenant must be non-empty")
         if self.arrival_offset < 0:
             raise WorkloadError(
                 f"arrival_offset must be >= 0, got {self.arrival_offset}"
@@ -127,12 +138,14 @@ def parse_request_stream(source: str | Iterable[str]) -> list[RequestSpec]:
         request_id = (row.get("request_id") or "").strip() or f"req-{row_no}"
         mode = (row.get("mode") or "").strip() or REQUEST_MODES[0]
         priority = (row.get("priority") or "").strip() or "mid"
+        tenant = (row.get("tenant") or "").strip() or DEFAULT_TENANT
         try:
             spec = RequestSpec(
                 request_id=request_id,
                 arrival_offset=offset_ms * _MS,
                 mode=mode,
                 priority=priority,
+                tenant=tenant,
             )
         except WorkloadError as exc:
             raise WorkloadError(f"row {row_no}: {exc}") from None

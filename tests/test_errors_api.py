@@ -21,6 +21,9 @@ class TestErrorHierarchy:
             errors.ExecutionError,
             errors.FaultError,
             errors.RepairError,
+            errors.ServiceError,
+            errors.QuotaError,
+            errors.CommitConflictError,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -35,11 +38,15 @@ class TestErrorHierarchy:
         assert issubclass(errors.FaultError, errors.ExecutionError)
         assert issubclass(errors.RepairError, errors.ExecutionError)
 
-    def test_execution_error_transitional_alias(self):
-        """One-release compatibility: code catching GenerationError from
-        the executor keeps working until the next release."""
-        with pytest.raises(errors.GenerationError):
-            raise errors.ExecutionError("x")
+    def test_execution_error_migration_complete(self):
+        """The PR 3 transitional base is gone: ExecutionError now sits
+        directly under ReproError, not under GenerationError."""
+        assert not issubclass(errors.ExecutionError, errors.GenerationError)
+        assert errors.ExecutionError.__bases__ == (errors.ReproError,)
+
+    def test_service_errors_specialize_service_error(self):
+        assert issubclass(errors.QuotaError, errors.ServiceError)
+        assert issubclass(errors.CommitConflictError, errors.ServiceError)
 
 
 class TestPublicApi:

@@ -467,6 +467,36 @@ class TestBareException:
         )
         assert run(src) == []
 
+    def test_value_error_fires_in_strict_service_module(self):
+        """Service-facing packages must raise taxonomy classes even for
+        argument validation — the CLI boundary only catches ReproError."""
+        src = "def f(n):\n    raise ValueError(n)\n"
+        assert ids(lint_source(src, "repro/service/core.py")) == {"REP005"}
+        assert ids(lint_source(src, "repro/experiments/stream.py")) == {
+            "REP005"
+        }
+        # Non-strict modules keep the validation allowance.
+        assert lint_source(src, "repro/calendar/calendar.py") == []
+
+    def test_taxonomy_raise_clean_in_strict_module(self):
+        src = (
+            "from repro.errors import ServiceError\n"
+            "def f():\n"
+            "    raise ServiceError('bad request')\n"
+        )
+        assert lint_source(src, "repro/service/core.py") == []
+
+    def test_control_flow_raises_allowed_in_strict_module(self):
+        src = (
+            "def f():\n"
+            "    raise StopIteration\n"
+            "def g():\n"
+            "    raise SystemExit(0)\n"
+            "def h():\n"
+            "    raise NotImplementedError\n"
+        )
+        assert lint_source(src, "repro/service/core.py") == []
+
 
 # ----------------------------------------------------------------------
 # REP006 — mutation without generation bump

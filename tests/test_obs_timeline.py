@@ -21,6 +21,7 @@ import pytest
 from repro.calendar import Reservation
 from repro.cli import main
 from repro.dag import DagGenParams, random_task_graph
+from repro.errors import ServiceError
 from repro.experiments.stream import StreamRequest, StreamScheduler
 from repro.obs import (
     SchemaError,
@@ -553,7 +554,7 @@ class TestStreamTimeline:
         assert all(o.admitted for o in report.outcomes)
 
     def test_negative_admission_window_rejected(self):
-        with pytest.raises(ValueError, match="admission_window"):
+        with pytest.raises(ServiceError, match="admission_window"):
             StreamScheduler(_scenario(), admission_window=-1.0)
 
     def test_rejected_requests_counted_in_obs(self):

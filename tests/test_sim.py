@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.calendar import Reservation
 from repro.core import ResSchedAlgorithm, schedule_ressched
 from repro.dag import DagGenParams, random_task_graph
-from repro.errors import ExecutionError, GenerationError
+from repro.errors import ExecutionError, GenerationError, ReproError
 from repro.rng import make_rng
 from repro.sim import (
     ExactRuntime,
@@ -161,14 +161,17 @@ class TestValidation:
         with pytest.raises(ExecutionError, match="rng"):
             execute_schedule(schedule, medium_graph, sc, UniformNoise(0.9, 1.1))
 
-    def test_execution_error_is_catchable_as_generation_error(
+    def test_execution_error_taxonomy_migration_complete(
         self, medium_graph, small_graph
     ):
-        """Transitional: the pre-taxonomy exception type keeps working
-        for one release."""
+        """The transitional ``GenerationError`` base is gone:
+        :class:`ExecutionError` now derives directly from
+        :class:`ReproError`, as the one-release deprecation promised."""
+        assert issubclass(ExecutionError, ReproError)
+        assert not issubclass(ExecutionError, GenerationError)
         sc = _scenario()
         schedule = schedule_ressched(medium_graph, sc)
-        with pytest.raises(GenerationError):
+        with pytest.raises(ReproError):
             execute_schedule(schedule, small_graph, sc)
 
 

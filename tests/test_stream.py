@@ -11,7 +11,7 @@ import pytest
 
 from repro.calendar import Reservation
 from repro.dag import DagGenParams, random_task_graph
-from repro.errors import WorkloadError
+from repro.errors import ServiceError, WorkloadError
 from repro.experiments.reporting import run_instrumented
 from repro.experiments.stream import (
     StreamRequest,
@@ -108,7 +108,7 @@ class TestStreamScheduler:
         scenario = _scenario()
         g = random_task_graph(DagGenParams(n=5), make_rng(1))
         bad = StreamRequest(request_id="x", arrival_offset=-1.0, graph=g)
-        with pytest.raises(ValueError, match="arrival_offset"):
+        with pytest.raises(ServiceError, match="arrival_offset"):
             StreamScheduler(scenario).admit(bad)
 
     def test_decreasing_offsets_rejected(self):
@@ -116,11 +116,11 @@ class TestStreamScheduler:
         g = random_task_graph(DagGenParams(n=5), make_rng(1))
         sched = StreamScheduler(scenario)
         sched.admit(StreamRequest(request_id="a", arrival_offset=100.0, graph=g))
-        with pytest.raises(ValueError, match="non-decreasing"):
+        with pytest.raises(ServiceError, match="non-decreasing"):
             sched.admit(
                 StreamRequest(request_id="b", arrival_offset=50.0, graph=g)
             )
-        with pytest.raises(ValueError, match="non-negative"):
+        with pytest.raises(ServiceError, match="non-negative"):
             schedule_stream_naive(
                 scenario,
                 [
@@ -199,8 +199,45 @@ class TestAdmissionControl:
                 assert first - outcome.arrival > 0.0
 
     def test_negative_window_rejected(self):
-        with pytest.raises(ValueError, match="admission_window"):
+        with pytest.raises(ServiceError, match="admission_window"):
             StreamScheduler(_scenario(), admission_window=-5.0)
+
+    def test_fully_blocked_platform_rejects_whole_stream(self):
+        """Zero-width window on a fully booked platform: every request
+        must wait, so every request is rejected and nothing books."""
+        blocked = ReservationScenario(
+            name="blocked",
+            capacity=8,
+            now=0.0,
+            reservations=(
+                Reservation(start=0.0, end=50_000.0, nprocs=8, label="block"),
+            ),
+            hist_avg_available=4,
+        )
+        sched = StreamScheduler(blocked, admission_window=0.0)
+        report = sched.run(_requests(5))
+        assert report.n_rejected == 5 and report.n_admitted == 0
+        assert report.schedules == []
+        assert len(sched.calendar.reservations) == 1
+
+    def test_rejections_leave_generation_unchanged(self):
+        """A rejected request plans against a throwaway copy: the shared
+        calendar's commit generation must not move (stale CAS tokens
+        would otherwise conflict on rejected work)."""
+        blocked = ReservationScenario(
+            name="blocked",
+            capacity=8,
+            now=0.0,
+            reservations=(
+                Reservation(start=0.0, end=50_000.0, nprocs=8, label="block"),
+            ),
+            hist_avg_available=4,
+        )
+        sched = StreamScheduler(blocked, admission_window=0.0)
+        gen0 = sched.calendar.generation
+        report = sched.run(_requests(4))
+        assert report.n_rejected == 4
+        assert sched.calendar.generation == gen0
 
     def test_stream_counters_in_valid_run_report(self):
         """The stream.* counter family must round-trip the obs schema."""
@@ -239,7 +276,7 @@ class TestRequestsFromSpecs:
         assert [r.request_id for r in reqs] == [s.request_id for s in specs]
 
     def test_empty_graphs_rejected(self):
-        with pytest.raises(ValueError, match="at least one graph"):
+        with pytest.raises(ServiceError, match="at least one graph"):
             requests_from_specs([], [])
 
 
@@ -255,6 +292,25 @@ class TestRequestStreamLoader:
         # Blank mode/priority fall back to the defaults.
         assert specs[3].mode == "interactive" and specs[3].priority == "mid"
         assert specs[2].priority == "mid"
+        # Tenant column: blank cells fall back to the default tenant.
+        assert [s.tenant for s in specs] == [
+            "acme", "default", "globex", "acme"
+        ]
+
+    def test_tenant_column_optional(self):
+        text = "request_id,arrival_offset,tenant\na,1,acme\nb,2,\n"
+        specs = parse_request_stream(text)
+        assert specs[0].tenant == "acme"
+        assert specs[1].tenant == "default"
+        # Files without the column still parse (tenant defaults).
+        (spec,) = parse_request_stream("request_id,arrival_offset\nx,1\n")
+        assert spec.tenant == "default"
+
+    def test_tenant_flows_through_to_stream_requests(self):
+        specs = load_request_stream(DATA / "stream_requests.csv")
+        graphs = [random_task_graph(DagGenParams(n=4), make_rng(9))]
+        reqs = requests_from_specs(specs, graphs)
+        assert [r.tenant for r in reqs] == [s.tenant for s in specs]
 
     def test_priority_values(self):
         assert PRIORITY_VALUES == {"low": 1, "mid": 5, "high": 10}

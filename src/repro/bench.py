@@ -784,6 +784,98 @@ def bench_service_faulted_stream(
     }
 
 
+def bench_sharded_throughput(
+    *, n_requests: int, n_res: int, n_shards: int, repeats: int
+) -> dict[str, Any]:
+    """Streamed admission on a dense calendar: K shards vs one.
+
+    The regime where sharding pays: a *dense* advance-reservation
+    calendar (``n_res`` competing bookings → hundreds of thousands of
+    profile segments) receiving wide fork-join sweeps.  Unsharded,
+    every commit splices the full O(S)-segment profile and invalidates
+    the whole platform's probe memos; sharded, a commit splices one
+    shard's O(S/K) profile and the facade's generation-tagged probe
+    cache re-issues only that shard's leg on the next probe — the other
+    K - 1 legs of every retained probe stay provably current.
+
+    Both pristine calendars are built once (the K-shard water-filled
+    partition is expensive and untimed); every timed run adopts a fresh
+    ``.copy()`` so repeats are independent.  ``speedup`` is the K = 1
+    wall-clock over the K = ``n_shards`` wall-clock on the *identical*
+    request stream, and the K = 1 report digest is asserted equal to
+    the plain unsharded engine's digest — the facade's bitwise
+    K = 1 reduction, gated here and in ``check_bench_regression.py``.
+    """
+    from repro.dag.templates import parameter_sweep
+    from repro.experiments.stream import StreamRequest, StreamScheduler
+    from repro.shard import ShardedCalendar
+    from repro.workloads.reservations import ReservationScenario
+
+    capacity = 64
+    rng = make_rng(7)
+    horizon = 333.0 * n_res
+    reservations = []
+    for i in range(n_res):
+        start = float(rng.uniform(0.0, horizon))
+        dur = float(rng.uniform(60.0, 3_600.0))
+        nprocs = int(rng.integers(1, max(2, capacity // 16)))
+        reservations.append(
+            Reservation(start=start, end=start + dur, nprocs=nprocs, label=f"r{i}")
+        )
+    scenario = ReservationScenario(
+        name="shard-bench",
+        capacity=capacity,
+        now=0.0,
+        reservations=tuple(reservations),
+        hist_avg_available=capacity / 2,
+    )
+    graphs = [
+        parameter_sweep(make_rng(1000 + i), n_points=14, stages_per_point=1)
+        for i in range(4)
+    ]
+    requests = [
+        StreamRequest(
+            request_id=f"req-{k}",
+            arrival_offset=k * 2_400.0,
+            graph=graphs[k % len(graphs)],
+        )
+        for k in range(n_requests)
+    ]
+
+    base_k1 = ShardedCalendar.partition(
+        capacity, scenario.reservations, n_shards=1
+    )
+    base_k = ShardedCalendar.partition(
+        capacity, scenario.reservations, n_shards=n_shards
+    )
+
+    def run_on(base: ShardedCalendar) -> Any:
+        _allocmod.clear_memo()
+        return StreamScheduler(scenario, calendar=base.copy()).run(requests)
+
+    _allocmod.clear_memo()
+    unsharded_digest = StreamScheduler(scenario).run(requests).digest()
+    k1_s, k1_report = _best_of(lambda: run_on(base_k1), repeats)
+    sharded_s, k_report = _best_of(lambda: run_on(base_k), repeats)
+    if k1_report.digest() != unsharded_digest:
+        raise AssertionError(
+            "K=1 sharded stream digest diverged from the unsharded engine"
+        )
+    return {
+        "n_requests": n_requests,
+        "n_reservations": n_res,
+        "n_shards": n_shards,
+        "unsharded_digest": unsharded_digest,
+        "k1_digest": k1_report.digest(),
+        "k1_s": k1_s,
+        "sharded_s": sharded_s,
+        "speedup": k1_s / sharded_s,
+        "requests_per_s_k1": n_requests / k1_s,
+        "requests_per_s": n_requests / sharded_s,
+        "admitted": sum(1 for o in k_report.outcomes if o.admitted),
+    }
+
+
 # ----------------------------------------------------------------------
 # Harness
 # ----------------------------------------------------------------------
@@ -809,6 +901,10 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             "service_faulted_stream": {
                 "n_requests": 100, "n_res": 1000, "repeats": 1,
             },
+            "sharded_throughput": {
+                "n_requests": 40, "n_res": 40000, "n_shards": 8,
+                "repeats": 1,
+            },
         }
     else:
         sizes = {
@@ -827,6 +923,10 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
             },
             "service_faulted_stream": {
                 "n_requests": 300, "n_res": 2000, "repeats": 2,
+            },
+            "sharded_throughput": {
+                "n_requests": 60, "n_res": 100000, "n_shards": 8,
+                "repeats": 2,
             },
         }
     report: dict[str, Any] = {
@@ -868,6 +968,11 @@ def run_benchmarks(*, quick: bool = False) -> dict[str, Any]:
     )
     _echo("service_faulted_stream", report["service_faulted_stream"],
           "bare_s", "service_rate0_s")
+    report["sharded_throughput"] = bench_sharded_throughput(
+        **sizes["sharded_throughput"]
+    )
+    _echo("sharded_throughput", report["sharded_throughput"],
+          "k1_s", "sharded_s")
     return report
 
 

@@ -670,6 +670,8 @@ class ResourceCalendar:
     def earliest_starts_batch(
         self,
         requests: "Sequence[tuple[float, Sequence[float] | np.ndarray]]",
+        *,
+        prechecked: bool = False,
     ) -> list[np.ndarray]:
         """Several :meth:`earliest_starts_multi` probes in one fused sweep.
 
@@ -688,31 +690,50 @@ class ResourceCalendar:
         memo is shared in both directions — batch results are stored
         under the per-call keys and vice versa.
 
+        Args:
+            requests: ``(earliest, durations)`` pairs.
+            prechecked: The caller vouches every request is already a
+                ``(float, positive 1-D float array no wider than this
+                calendar's capacity)`` pair, so per-request validation is
+                skipped.  :class:`~repro.shard.ShardedCalendar` validates
+                a batch once at the facade and fans the same objects out
+                to every shard leg with this flag — without it each leg
+                would re-validate identical requests K times per probe.
+
         Returns:
             One starts array per request, in request order.
         """
         if _obs.ENABLED:
             with _obs.span("calendar.query.earliest_batch"):
-                return self._earliest_starts_batch(requests)
-        return self._earliest_starts_batch(requests)
+                return self._earliest_starts_batch(
+                    requests, prechecked=prechecked
+                )
+        return self._earliest_starts_batch(requests, prechecked=prechecked)
 
     def _earliest_starts_batch(
         self,
         requests: "Sequence[tuple[float, Sequence[float] | np.ndarray]]",
+        *,
+        prechecked: bool = False,
     ) -> list[np.ndarray]:
-        reqs: list[tuple[float, np.ndarray]] = []
-        for earliest, durations in requests:
-            d = np.asarray(durations, dtype=float)
-            if d.ndim != 1 or d.size == 0:
-                raise CalendarError("durations must be a non-empty 1-D array")
-            if d.size > self._capacity:
-                raise CalendarError(
-                    f"durations imply up to {d.size} processors but "
-                    f"capacity is {self._capacity}"
-                )
-            if not np.all(d > 0):
-                raise CalendarError("all durations must be positive")
-            reqs.append((float(earliest), d))
+        if prechecked:
+            reqs: list[tuple[float, np.ndarray]] = list(requests)
+        else:
+            reqs = []
+            for earliest, durations in requests:
+                d = np.asarray(durations, dtype=float)
+                if d.ndim != 1 or d.size == 0:
+                    raise CalendarError(
+                        "durations must be a non-empty 1-D array"
+                    )
+                if d.size > self._capacity:
+                    raise CalendarError(
+                        f"durations imply up to {d.size} processors but "
+                        f"capacity is {self._capacity}"
+                    )
+                if not np.all(d > 0):
+                    raise CalendarError("all durations must be positive")
+                reqs.append((float(earliest), d))
         if not reqs:
             return []
 

@@ -378,11 +378,22 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     def _run():
         scheduler = StreamScheduler(
-            scenario, algorithm, admission_window=args.admission_window
+            scenario,
+            algorithm,
+            admission_window=args.admission_window,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
         )
-        return scheduler.run(requests)
+        try:
+            return scheduler.run(requests)
+        finally:
+            scheduler.close()
 
-    meta = {"requests": str(args.requests), "dags": len(graphs)}
+    meta = {
+        "requests": str(args.requests),
+        "dags": len(graphs),
+        "shards": args.shards or 1,
+    }
     want_timeline = args.timeline or args.trace_out is not None
     if want_timeline:
         from repro.obs.slo import SloSeries
@@ -401,6 +412,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     else:
         result, report = run_instrumented("stream", _run, meta=meta)
     summary = result.summary()
+    # The summary carries the placement digest, so a report written by a
+    # sharded replay can be diffed against a serial one in CI.
+    report.meta["stream"] = summary
     print(f"algorithm     {algorithm.name}")
     print(f"platform      {scenario.capacity} processors, "
           f"{scenario.n_reservations} competing reservations")
@@ -466,13 +480,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             journal_path=args.journal,
             dead_letter_path=args.dead_letter,
+            shards=args.shards,
+            shard_workers=args.shard_workers,
         )
-        return service.run(requests, stop_after=args.stop_after)
+        try:
+            return service.run(requests, stop_after=args.stop_after)
+        finally:
+            service.close()
 
     meta = {
         "requests": str(args.requests),
         "dags": len(graphs),
         "fault_rate": args.faults,
+        "shards": args.shards or 1,
     }
     want_timeline = args.timeline or args.trace_out is not None
     if want_timeline:
@@ -757,6 +777,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject requests whose earliest start exceeds arrival by "
         "more than this many seconds (default: admit everything)",
     )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="partition the platform into this many calendar shards "
+        "(default: unsharded; --shards 1 is bitwise identical)",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=0, dest="shard_workers",
+        help="probe fan-out worker processes (0 = serial fan-out; "
+        "any count is bitwise identical)",
+    )
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser(
@@ -845,6 +875,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-out", type=str, default=None, dest="trace_out",
         help="write a Chrome trace-event JSON of the replay here",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None,
+        help="partition the platform into this many calendar shards; "
+        "faults then land per-shard and commits go two-phase "
+        "(default: unsharded; --shards 1 is bitwise identical)",
+    )
+    p.add_argument(
+        "--shard-workers", type=int, default=0, dest="shard_workers",
+        help="probe fan-out worker processes (0 = serial fan-out; "
+        "any count is bitwise identical)",
     )
     p.set_defaults(func=_cmd_serve)
 

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -58,6 +58,9 @@ from repro.schedule import Schedule, TaskPlacement
 from repro.workloads.reservations import ReservationScenario
 
 from repro.calendar import ResourceCalendar
+
+if TYPE_CHECKING:  # import cycle guard (typing only)
+    from repro.shard import ShardedCalendar
 
 
 @dataclass(frozen=True)
@@ -288,7 +291,7 @@ def schedule_ressched_incremental(
     cpa_stopping: str = "stringent",
     tie_break: str = "fewest",
     ready_floors: "Sequence[float] | None" = None,
-    calendar: ResourceCalendar | None = None,
+    calendar: "ResourceCalendar | ShardedCalendar | None" = None,
     now: float | None = None,
     plan: ResschedPlan | None = None,
 ) -> Schedule:
@@ -310,8 +313,10 @@ def schedule_ressched_incremental(
         ready_floors: Optional per-task earliest-start floors.
         calendar: Target calendar to place into; the task reservations
             are committed into it, so a stream driver passes one shared
-            calendar across calls.  Defaults to a fresh
-            ``scenario.calendar()``.
+            calendar across calls.  Accepts a
+            :class:`~repro.shard.ShardedCalendar` (probes then fan out
+            per shard and placements route to their hosting shard).
+            Defaults to a fresh ``scenario.calendar()``.
         now: Scheduling instant override (a request's arrival time);
             defaults to ``scenario.now``.
         plan: Precomputed :class:`ResschedPlan` (from :class:`PlanMemo`);
@@ -370,10 +375,23 @@ def schedule_ressched_incremental(
                 )
                 for i, starts in zip(fresh, batch):
                     windows = starts + tables[i][: int(bounds[i])]
+                    # A sharded calendar probes processor counts no
+                    # single shard can host as +inf; those entries are
+                    # statically infeasible forever, so they never
+                    # constrain the invalidation envelope.  All-finite
+                    # (unsharded) probes take the first branch bitwise.
+                    hi = float(windows.max())
+                    if not np.isfinite(hi):
+                        finite = windows[np.isfinite(windows)]
+                        hi = (
+                            float(finite.max())
+                            if finite.size
+                            else float(starts.min())
+                        )
                     probes[i] = (
                         starts,
                         float(starts.min()),
-                        float(windows.max()),
+                        hi,
                         event,
                     )
                 if prov is not None:

@@ -100,3 +100,22 @@ class CommitConflictError(ServiceError):
     final failure as a dead-letter, so user code normally never sees
     this class escape.
     """
+
+
+class ShardCommitError(CommitConflictError):
+    """A two-phase cross-shard commit found stale shard legs.
+
+    Raised by :meth:`repro.shard.ShardedCalendar.validate_commit` when
+    one or more shards a staged copy wrote to advanced their generation
+    counters since the copy was taken.  Only the conflicting legs abort
+    — the instance records which shards were stale in
+    :attr:`stale_shards` so the service's retry/backoff machinery (which
+    already handles :class:`CommitConflictError`) can re-plan against
+    fresh shard state.
+    """
+
+    def __init__(
+        self, message: str, *, stale_shards: tuple[int, ...] = ()
+    ) -> None:
+        super().__init__(message)
+        self.stale_shards = stale_shards

@@ -53,9 +53,12 @@ from typing import Sequence
 
 import numpy as np
 
+import hashlib
+
 from repro.calendar import ResourceCalendar
 from repro.core.incremental import PlanMemo, schedule_ressched_incremental
 from repro.core.ressched import ResSchedAlgorithm, schedule_ressched
+from repro.shard import ShardedCalendar, ShardProbePool
 from repro.dag import TaskGraph
 from repro.errors import ServiceError
 from repro.obs import core as _obs
@@ -156,6 +159,26 @@ class StreamReport:
             f"p{q:g}": percentile_nearest_rank(lat, q) * 1e3 for q in qs
         }
 
+    def digest(self) -> str:
+        """SHA-256 over the deterministic outcome content.
+
+        Covers request ids, admission dispositions, and every committed
+        placement's ``(task, start, nprocs, duration)`` — exactly the
+        compute-derived results, no wall-clock measurements.  Two runs
+        with the same digest placed every task identically; the K=1
+        sharded-vs-unsharded and pooled-vs-serial equivalences are
+        asserted on this value.
+        """
+        h = hashlib.sha256()
+        for o in self.outcomes:
+            h.update(o.request.request_id.encode())
+            h.update(b"+" if o.admitted else b"-")
+            for p in o.schedule.placements:
+                h.update(
+                    f"{p.task}:{p.start!r}:{p.nprocs}:{p.duration!r};".encode()
+                )
+        return h.hexdigest()
+
     def summary(self) -> dict:
         """JSON-ready aggregate numbers for reports."""
         total_latency = sum(o.latency_s for o in self.outcomes)
@@ -164,6 +187,7 @@ class StreamReport:
             "n_requests": self.n_requests,
             "admitted": len(admitted),
             "rejected": self.n_requests - len(admitted),
+            "digest": self.digest(),
             "scheduling_s": total_latency,
             "requests_per_s": (
                 self.n_requests / total_latency if total_latency > 0 else 0.0
@@ -204,6 +228,26 @@ class StreamScheduler:
             the shared calendar is untouched).  ``None`` (the default)
             admits everything and keeps the bitwise-identical-to-naive
             fast path.
+        shards: ``None`` (default) books into one unsharded calendar;
+            an integer K partitions the platform into a
+            :class:`~repro.shard.ShardedCalendar` of K shards (placement
+            probes fan out and reduce per shard; each placement is
+            hosted wholly by one shard).  ``shards=1`` is bitwise
+            identical to the unsharded engine — the facade
+            short-circuits to its single shard.
+        shard_workers: With ``shards``, fan the per-shard probe legs out
+            to this many worker processes via
+            :class:`~repro.shard.ShardProbePool` (0 = serial fan-out).
+            Results are bitwise identical at any worker count; call
+            :meth:`close` when done to release the workers.
+        calendar: Optional pre-built booking calendar to adopt instead
+            of constructing one from the scenario — it must cover the
+            scenario's capacity and competing reservations (the caller
+            vouches; nothing is re-validated).  The benchmarks use this
+            to amortize one expensive :meth:`ShardedCalendar.partition`
+            over many timed runs (each run adopts a fresh ``.copy()``),
+            and a restore path can hand a journal-rebuilt calendar
+            straight in.  Mutually exclusive with ``shards``.
     """
 
     def __init__(
@@ -215,10 +259,21 @@ class StreamScheduler:
         tie_break: str = "fewest",
         memo: PlanMemo | None = None,
         admission_window: float | None = None,
+        shards: int | None = None,
+        shard_workers: int = 0,
+        calendar: "ResourceCalendar | ShardedCalendar | None" = None,
     ):
         if admission_window is not None and not admission_window >= 0:
             raise ServiceError(
                 f"admission_window must be >= 0, got {admission_window}"
+            )
+        if shards is None and shard_workers:
+            raise ServiceError(
+                "shard_workers requires a sharded calendar (shards >= 1)"
+            )
+        if calendar is not None and shards is not None:
+            raise ServiceError(
+                "pass either a pre-built calendar or a shard count, not both"
             )
         self._scenario = scenario
         self._algorithm = algorithm
@@ -228,7 +283,20 @@ class StreamScheduler:
         self._admission_window = (
             None if admission_window is None else float(admission_window)
         )
-        self._calendar = scenario.calendar()
+        self._pool: ShardProbePool | None = None
+        if calendar is not None:
+            self._calendar = calendar
+        elif shards is None:
+            self._calendar = scenario.calendar()
+        else:
+            self._calendar = ShardedCalendar.partition(
+                scenario.capacity,
+                scenario.reservations,
+                n_shards=int(shards),
+            )
+            if shard_workers:
+                self._pool = ShardProbePool(self._calendar, int(shard_workers))
+                self._calendar.attach_pool(self._pool)
         self._calendar.availability()  # pre-compile once for the stream
         self._last_offset = 0.0
         self._outcomes: list[StreamOutcome] = []
@@ -239,9 +307,15 @@ class StreamScheduler:
         return self._scenario
 
     @property
-    def calendar(self) -> ResourceCalendar:
+    def calendar(self) -> "ResourceCalendar | ShardedCalendar":
         """The shared calendar holding everything booked so far."""
         return self._calendar
+
+    def close(self) -> None:
+        """Release the shard probe pool, if one was created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     @property
     def outcomes(self) -> tuple[StreamOutcome, ...]:
@@ -253,7 +327,7 @@ class StreamScheduler:
         request: StreamRequest,
         *,
         arrival: float,
-        calendar: ResourceCalendar,
+        calendar: "ResourceCalendar | ShardedCalendar",
     ) -> Schedule:
         """Plan ``request`` at ``arrival`` against ``calendar``.
 
@@ -280,22 +354,34 @@ class StreamScheduler:
             plan=plan,
         )
 
-    def adopt(self, calendar: ResourceCalendar) -> None:
+    def adopt(self, calendar: "ResourceCalendar | ShardedCalendar") -> None:
         """Make ``calendar`` the shared booking state.
 
         The commit half of a tentative-then-commit admission: the caller
         planned against a copy and, with the commit still valid, swaps
-        the copy in.
+        the copy in.  A staged :class:`~repro.shard.ShardedCalendar`
+        copy of the current shared calendar goes through the two-phase
+        protocol instead — only its touched shard legs are swapped in
+        (:meth:`~repro.shard.ShardedCalendar.commit`), which raises
+        :class:`~repro.errors.ShardCommitError` on stale legs.
 
         Raises:
             ServiceError: If the calendar's capacity disagrees with the
                 shared one (it cannot describe the same platform).
         """
-        if calendar.capacity != self._calendar.capacity:
+        base = self._calendar
+        if (
+            isinstance(base, ShardedCalendar)
+            and isinstance(calendar, ShardedCalendar)
+            and calendar.parent is base
+        ):
+            base.commit(calendar)
+            return
+        if calendar.capacity != base.capacity:
             raise ServiceError(
                 f"cannot adopt a calendar with capacity "
                 f"{calendar.capacity}; the stream's platform has "
-                f"{self._calendar.capacity}"
+                f"{base.capacity}"
             )
         self._calendar = calendar
 
@@ -354,7 +440,7 @@ class StreamScheduler:
             if first_start - arrival > self._admission_window:
                 admitted = False
             else:
-                self._calendar = target
+                self.adopt(target)
         if admitted:
             if _obs.ENABLED:
                 _obs.incr("stream.requests")

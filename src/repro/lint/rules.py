@@ -772,7 +772,13 @@ _BROAD_CATCHES = frozenset({"Exception", "BaseException"})
 #: callers: every deliberate failure must be a taxonomy class so the
 #: CLI's single ``except ReproError`` boundary catches it.  Even
 #: argument validation raises ServiceError/WorkloadError here.
-_STRICT_TAXONOMY_MODULES = ("repro.service", "repro.experiments.stream")
+_STRICT_TAXONOMY_MODULES = (
+    "repro.service",
+    "repro.experiments.stream",
+    # The sharded calendar backs both of the above: its probe/commit
+    # failures surface straight through service retry loops.
+    "repro.shard",
+)
 
 #: Raises that stay allowed in strict modules: pure control flow plus
 #: programming-error signals that no caller treats as a service failure.

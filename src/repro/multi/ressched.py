@@ -10,18 +10,30 @@ Bottom levels use BL_CPAR semantics with a platform-wide yardstick: CPA
 allocations computed for the *largest* per-cluster historical
 availability — a task can never use more processors than one cluster
 offers, so pooling the clusters' P' values would overestimate.
+
+The platform is held as a :class:`~repro.shard.ShardedCalendar` with one
+shard per cluster: probes go through
+:meth:`~repro.shard.ShardedCalendar.probe_shards` (heterogeneous
+per-cluster execution-time vectors, no facade reduce — the
+``(completion, j + 1, idx)`` reduce below is cluster-aware) and commits
+through :meth:`~repro.shard.ShardedCalendar.reserve_in`.  The previous
+code path — a bare ``dict[str, ResourceCalendar]`` probed cluster by
+cluster — is deprecated and was removed; it answered the same queries
+serially with no shard observability, and :mod:`repro.shard` subsumes
+it (bitwise: the facade routes each leg to the same
+``earliest_starts_multi`` / ``reserve`` calls).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.calendar import ResourceCalendar
 from repro.cpa import cpa_allocation
 from repro.dag import TaskGraph
 from repro.errors import GenerationError
 from repro.multi.scenario import MultiClusterScenario
 from repro.multi.schedule import MultiPlacement, MultiSchedule
+from repro.shard import ShardedCalendar
 
 
 def _cluster_q(cluster) -> int:
@@ -71,9 +83,8 @@ def schedule_ressched_multi(
     bl = graph.bottom_levels(bl_alloc.exec_times_array)
     order = sorted(range(graph.n), key=lambda i: (-bl[i], i))
 
-    calendars: dict[str, ResourceCalendar] = {
-        c.name: c.calendar() for c in scenario.clusters
-    }
+    # One shard per cluster; shard id == cluster position.
+    platform = ShardedCalendar([c.calendar() for c in scenario.clusters])
     exec_tables = {
         c.name: [graph.task(i).exec_times(c.capacity) for i in range(graph.n)]
         for c in scenario.clusters
@@ -88,20 +99,25 @@ def schedule_ressched_multi(
             assert placement is not None, "bottom-level order broke precedence"
             ready = max(ready, placement.finish)
 
+        requests = [
+            (ready, exec_tables[c.name][i][: int(bounds[c.name][i])])
+            for c in scenario.clusters
+        ]
+        answers = platform.probe_shards(requests)
         best: tuple[tuple[float, int, int], str, float, float] | None = None
         for idx, cluster in enumerate(scenario.clusters):
-            name = cluster.name
-            b = int(bounds[name][i])
-            durations = exec_tables[name][i][:b]
-            starts = calendars[name].earliest_starts_multi(ready, durations)
+            durations = requests[idx][1]
+            starts = answers[idx]
             completions = starts + durations
             j = int(np.argmin(completions))
             key = (float(completions[j]), j + 1, idx)
             if best is None or key < best[0]:
-                best = (key, name, float(starts[j]), float(durations[j]))
+                best = (
+                    key, cluster.name, float(starts[j]), float(durations[j])
+                )
         assert best is not None
-        (_, m, _), name, start, dur = best
-        calendars[name].reserve(start, dur, m, label=graph.task(i).name)
+        (_, m, shard), name, start, dur = best
+        platform.reserve_in(shard, start, dur, m, label=graph.task(i).name)
         placements[i] = MultiPlacement(
             task=i, cluster=name, start=start, nprocs=m, duration=dur
         )

@@ -48,7 +48,12 @@ from repro.calendar import Reservation, ResourceCalendar
 from repro.core.incremental import PlanMemo
 from repro.core.ressched import ResSchedAlgorithm
 from repro.dag import TaskGraph
-from repro.errors import CalendarError, RepairError, ServiceError
+from repro.errors import (
+    CalendarError,
+    RepairError,
+    ServiceError,
+    ShardCommitError,
+)
 from repro.experiments.stream import StreamRequest, StreamScheduler
 from repro.obs import core as _obs
 from repro.obs import stopwatch
@@ -63,6 +68,7 @@ from repro.service.journal import (
     ServiceJournal,
     decode_payload,
 )
+from repro.shard import ShardedCalendar
 from repro.units import DAY
 from repro.workloads.reservations import ReservationScenario
 
@@ -278,6 +284,19 @@ class ReservationService:
         cpa_stopping: CPA stopping criterion for plan building.
         tie_break: Completion-tie resolution, as in the batch scheduler.
         memo: Optional shared :class:`~repro.core.incremental.PlanMemo`.
+        shards: ``None`` (default) books into one unsharded calendar;
+            an integer K partitions the platform into a
+            :class:`~repro.shard.ShardedCalendar`.  Sharded, commits
+            use the two-phase per-shard-token protocol: a mid-flight
+            fault conflicts an admission only when it touched a shard
+            the admission's staged legs wrote to, and downtime faults
+            are hosted wholly by a deterministic shard (trace index mod
+            K) so repairs rebook across shards.  ``shards=1`` reduces
+            bitwise to the unsharded service.
+        shard_workers: With ``shards``, fan the per-shard probe legs
+            out to this many worker processes (0 = serial); bitwise
+            identical at any worker count.  Call :meth:`close` when
+            done to release the workers.
     """
 
     def __init__(
@@ -293,6 +312,8 @@ class ReservationService:
         cpa_stopping: str = "stringent",
         tie_break: str = "fewest",
         memo: PlanMemo | None = None,
+        shards: int | None = None,
+        shard_workers: int = 0,
     ) -> None:
         self._scenario = scenario
         self._config = ServiceConfig() if config is None else config
@@ -304,6 +325,8 @@ class ReservationService:
             cpa_stopping=cpa_stopping,
             tie_break=tie_break,
             memo=memo,
+            shards=shards,
+            shard_workers=shard_workers,
         )
         self._journal = (
             None if journal_path is None else ServiceJournal(journal_path)
@@ -338,9 +361,13 @@ class ReservationService:
         return self._scheduler
 
     @property
-    def calendar(self) -> ResourceCalendar:
+    def calendar(self) -> "ResourceCalendar | ShardedCalendar":
         """The shared calendar holding everything booked so far."""
         return self._scheduler.calendar
+
+    def close(self) -> None:
+        """Release the probe worker pool, if one is attached."""
+        self._scheduler.close()
 
     @property
     def config(self) -> ServiceConfig:
@@ -539,7 +566,23 @@ class ReservationService:
             # window invalidate the CAS token.
             self._apply_faults_until(now + cfg.commit_latency)
             cal = self._scheduler.calendar
-            if cal is not base or cal.generation != token:
+            if cal is not base:
+                conflicted = True
+            elif isinstance(base, ShardedCalendar) and isinstance(
+                target, ShardedCalendar
+            ):
+                # Two-phase sharded commit: compare only the shard legs
+                # the staged copy wrote to against the live generation
+                # vector.  A fault that landed on an untouched shard
+                # does not abort this admission.
+                try:
+                    base.validate_commit(target)
+                    conflicted = False
+                except ShardCommitError:
+                    conflicted = True
+            else:
+                conflicted = cal.generation != token
+            if conflicted:
                 conflicts += 1
                 if _obs.ENABLED:
                     _obs.incr("service.commit.conflict")
@@ -742,19 +785,19 @@ class ReservationService:
             and self._faults[self._fault_pos].time <= t
         ):
             idx = self._fault_pos
-            self._apply_fault(self._faults[idx])
+            self._apply_fault(self._faults[idx], idx)
             if self._journal is not None and not self._restoring:
                 self._journal.record_fault(idx)
             self._fault_pos = idx + 1
 
-    def _apply_fault(self, fault: FaultEvent) -> None:
+    def _apply_fault(self, fault: FaultEvent, idx: int) -> None:
         self._faults_applied += 1
         if _obs.ENABLED and not self._restoring:
             _obs.incr(f"service.faults.{fault.kind}")
         if fault.kind == "cancel":
             self._apply_cancel(fault)
         else:
-            self._apply_arrival(fault)
+            self._apply_arrival(fault, idx)
         if _tl.ENABLED and not self._restoring:
             _tl.emit(
                 "fault_applied",
@@ -772,12 +815,15 @@ class ReservationService:
             self._ext.remove(target)
             self._scheduler.calendar.remove(target)
 
-    def _apply_arrival(self, fault: FaultEvent) -> None:
+    def _apply_arrival(self, fault: FaultEvent, idx: int) -> None:
         """An arrival/downtime window: clip it to the capacity left by
         non-displaceable occupancy, then revoke conflicting unstarted
         bookings (latest start first) until it fits, and rebook them."""
         t = fault.time
         cal = self._scheduler.calendar
+        if isinstance(cal, ShardedCalendar) and cal.n_shards > 1:
+            self._apply_arrival_sharded(fault, idx, cal)
+            return
         requested = fault.reservation
         # Non-displaceable occupancy: external windows plus bookings
         # already running at the fault instant.
@@ -827,18 +873,91 @@ class ReservationService:
             if rid in revoked:
                 self._rebook(rid, revoked[rid], t)
 
+    def _apply_arrival_sharded(
+        self, fault: FaultEvent, idx: int, cal: ShardedCalendar
+    ) -> None:
+        """A sharded arrival/downtime window lands wholly on one shard
+        — trace index mod K, deterministic across restores — so a big
+        enough fault takes the whole shard out.  The window is clipped
+        to the capacity left by non-displaceable occupancy *on that
+        shard*, conflicting unstarted bookings hosted there are revoked
+        (latest start first), and the rebooking probe runs through the
+        facade — so repairs land on whichever shard answers earliest,
+        migrating work off the faulted shard (``shard.rebalances``)."""
+        t = fault.time
+        k = idx % cal.n_shards
+        shard = cal.shards[k]
+        requested = fault.reservation
+        # Non-displaceable occupancy on shard k: everything hosted there
+        # minus unstarted committed bookings (matched by value; a
+        # value-equal twin on the same shard is interchangeable for
+        # capacity accounting).
+        hosted = list(shard.reservations)
+        for rid in self._order:
+            for res in self._committed[rid].reservations.values():
+                if res.start > t and res in hosted:
+                    hosted.remove(res)
+        probe = ResourceCalendar(shard.capacity, tuple(hosted))
+        free = probe.min_available(requested.start, requested.end)
+        m = min(requested.nprocs, free)
+        if m < 1:
+            self._faults_denied += 1
+            if _obs.ENABLED and not self._restoring:
+                _obs.incr("service.faults.denied")
+            return
+        admitted = Reservation(
+            start=requested.start,
+            end=requested.end,
+            nprocs=m,
+            label=requested.label,
+        )
+        revoked: dict[str, dict[int, Reservation]] = {}
+        while True:
+            try:
+                cal.add_to_shard(k, admitted)
+                break
+            except CalendarError:
+                victim = self._pick_victim(t, admitted, hosted_by=shard)
+                if victim is None:  # pragma: no cover - defensive
+                    raise RepairError(
+                        f"fault {admitted.label!r} cannot be honored: no "
+                        f"revocable bookings left on shard {k}"
+                    ) from None
+                rid, task = victim
+                res = self._committed[rid].reservations.pop(task)
+                cal.remove_from_shard(k, res)
+                revoked.setdefault(rid, {})[task] = res
+                self._revocations += 1
+                if _obs.ENABLED and not self._restoring:
+                    _obs.incr("service.revocations")
+        self._ext.append(admitted)
+        for rid in self._order:
+            if rid in revoked:
+                self._rebook(rid, revoked[rid], t, origin_shard=k)
+
     def _pick_victim(
-        self, t: float, window: Reservation
+        self,
+        t: float,
+        window: Reservation,
+        *,
+        hosted_by: ResourceCalendar | None = None,
     ) -> tuple[str, int] | None:
         """The next booking to revoke: unstarted, overlapping the
         contested window, latest ``(start, request, task)`` first —
-        later work yields to earlier work, deterministically."""
+        later work yields to earlier work, deterministically.  With
+        ``hosted_by``, only bookings hosted by that shard calendar
+        qualify (the sharded fault path frees the contested shard)."""
+        members = (
+            None if hosted_by is None else list(hosted_by.reservations)
+        )
         best: tuple[float, str, int] | None = None
         for rid in self._order:
             for task, res in self._committed[rid].reservations.items():
                 if res.start <= t:
                     continue  # running bookings are contracts
                 if res.start >= window.end or res.end <= window.start:
+                    continue
+                if members is not None and res not in members:
                     continue
                 key = (res.start, rid, task)
                 if best is None or key > best:
@@ -848,17 +967,29 @@ class ReservationService:
         return best[1], best[2]
 
     def _rebook(
-        self, rid: str, revoked: dict[int, Reservation], t: float
+        self,
+        rid: str,
+        revoked: dict[int, Reservation],
+        t: float,
+        *,
+        origin_shard: int | None = None,
     ) -> None:
         """Re-place a request's revoked tasks at the earliest feasible
         starts, cascading along precedence edges: a still-booked task
         whose (moved) predecessor now finishes after its start moves
         too.  The cascade never reaches started tasks — a started task's
-        predecessors finished before ``t``, so none of them moved."""
+        predecessors finished before ``t``, so none of them moved.
+
+        Sharded (``origin_shard`` set): the earliest-start probe runs
+        through the facade reduce, so a repair may land on a different
+        shard than it was revoked from — counted as a
+        ``shard.rebalances`` migration."""
         creq = self._committed[rid]
         graph = creq.request.graph
         cal = self._scheduler.calendar
+        sharded = isinstance(cal, ShardedCalendar) and cal.n_shards > 1
         for task in graph.topological_order:
+            origin = origin_shard
             old = revoked.get(task)
             if old is None:
                 current = creq.reservations.get(task)
@@ -867,6 +998,9 @@ class ReservationService:
                 floor = self._pred_floor(creq, graph, task, t)
                 if floor <= current.start:
                     continue  # precedence still satisfied in place
+                if sharded:
+                    assert isinstance(cal, ShardedCalendar)
+                    origin = cal.shard_of(current)
                 cal.remove(current)
                 old = current
             else:
@@ -877,6 +1011,14 @@ class ReservationService:
                 start, duration, old.nprocs, label=old.label
             )
             self._rebooked += 1
+            if (
+                sharded
+                and origin is not None
+                and isinstance(cal, ShardedCalendar)
+                and cal.last_commit_shard != origin
+            ):
+                if _obs.ENABLED and not self._restoring:
+                    _obs.incr("shard.rebalances")
             if _obs.ENABLED and not self._restoring:
                 _obs.incr("service.rebooked")
 
@@ -914,7 +1056,7 @@ class ReservationService:
                             f"is at {self._fault_pos}; the journal does "
                             "not match this run's fault trace"
                         )
-                    self._apply_fault(self._faults[idx])
+                    self._apply_fault(self._faults[idx], idx)
                     self._fault_pos = idx + 1
                 elif rec.get("type") == "outcome":
                     outcome = decode_payload(rec["payload"])

@@ -532,7 +532,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Deferred import: the checker is pure stdlib but cold-start weight
     # belongs only to the command that needs it.
-    from repro.lint import all_rules, format_findings, lint_paths
+    from repro.lint import (
+        all_rules,
+        baseline_key,
+        format_findings,
+        lint_project,
+        load_baseline,
+    )
 
     if args.explain:
         for rule in all_rules():
@@ -542,7 +548,17 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if not args.paths:
         print("error: lint needs at least one path", file=sys.stderr)
         return 2
-    findings = lint_paths(args.paths)
+    findings = lint_project(args.paths, cache_path=args.cache)
+    if args.baseline:
+        known = load_baseline(args.baseline)
+        baselined = [f for f in findings if baseline_key(f) in known]
+        findings = [f for f in findings if baseline_key(f) not in known]
+        if baselined:
+            print(
+                f"{len(baselined)} baselined finding(s) suppressed "
+                f"by {args.baseline}",
+                file=sys.stderr,
+            )
     text = format_findings(findings, fmt=args.format)
     if args.out:
         Path(args.out).write_text(text + "\n")
@@ -891,7 +907,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="determinism & invariant checks (AST rules REP001-REP006)",
+        help="determinism & invariant checks (per-module + "
+        "interprocedural rules REP001-REP010)",
     )
     p.add_argument(
         "paths", nargs="*",
@@ -904,6 +921,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", type=str, default=None,
         help="write the findings report here instead of stdout",
+    )
+    p.add_argument(
+        "--baseline", type=str, default=None,
+        help="a prior `--format json` report; findings recorded there "
+        "are suppressed, only new ones fail the run (warn-first "
+        "adoption of new rules)",
+    )
+    p.add_argument(
+        "--cache", type=str, default=None,
+        help="analysis cache file keyed by content digests; warm runs "
+        "re-analyze only changed modules",
     )
     p.add_argument(
         "--explain", action="store_true",

@@ -352,9 +352,7 @@ def schedule_deadline(
             f"({graph.n}), got {len(ready_floors)}"
         )
 
-    # One span per schedule call, not per task: the disabled-mode no-op
-    # span costs a single call per whole schedule.
-    with _obs.span(f"deadline.{spec.name}"):  # lint: ignore[REP003] — once per schedule call
+    def _solve() -> DeadlineResult:
         if spec.kind == "hybrid":
             lam = min(max(lam_start, 0.0), 1.0)
             while True:
@@ -385,3 +383,10 @@ def schedule_deadline(
             deadline=deadline,
             lam=None,
         )
+
+    # One span per whole schedule call; with obs disabled even the
+    # no-op span call is skipped.
+    if not _obs.ENABLED:
+        return _solve()
+    with _obs.span(f"deadline.{spec.name}"):
+        return _solve()

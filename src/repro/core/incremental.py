@@ -360,10 +360,9 @@ def schedule_ressched_incremental(
     probes: dict[int, tuple[np.ndarray, float, float, int]] = {}
     placements: list[TaskPlacement | None] = [None] * graph.n
     prov: list[dict] | None = [] if _obs.ENABLED else None
-    event = 0
-    # One span per schedule call, not per task: the disabled-mode no-op
-    # span costs a single call per whole schedule.
-    with _obs.span(f"ressched.{algorithm.name}.incremental"):  # lint: ignore[REP003] — once per schedule call
+
+    def _run() -> None:
+        event = 0
         while not state.done:
             fresh = [i for i in state.ready_tasks() if i not in probes]
             if fresh:
@@ -454,6 +453,14 @@ def schedule_ressched_incremental(
                 )
             state.complete(i, finish)
             event += 1
+
+    # One span per whole schedule call, not per event; with obs disabled
+    # even the no-op span call is skipped.
+    if _obs.ENABLED:
+        with _obs.span(f"ressched.{algorithm.name}.incremental"):
+            _run()
+    else:
+        _run()
 
     return Schedule(
         graph=graph,

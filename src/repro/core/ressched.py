@@ -123,9 +123,8 @@ def schedule_ressched(
 
     placements: list[TaskPlacement | None] = [None] * graph.n
     prov: list[dict] | None = [] if _obs.ENABLED else None
-    # One span per schedule call, not per task: the disabled-mode no-op
-    # span costs a single call per whole schedule.
-    with _obs.span(f"ressched.{algorithm.name}"):  # lint: ignore[REP003] — once per schedule call
+
+    def _place_all() -> None:
         for i in order:
             ready = now if ready_floors is None else max(now, float(ready_floors[i]))
             for pred in graph.predecessors(i):
@@ -157,6 +156,14 @@ def schedule_ressched(
             # via the fast path (no strict capacity re-validation).
             cal.reserve_known_feasible(start, dur, m, label=graph.task(i).name)
             placements[i] = TaskPlacement(task=i, start=start, nprocs=m, duration=dur)
+
+    # One span per whole schedule call, not per task; with obs disabled
+    # even the no-op span call is skipped.
+    if _obs.ENABLED:
+        with _obs.span(f"ressched.{algorithm.name}"):
+            _place_all()
+    else:
+        _place_all()
 
     return Schedule(
         graph=graph,

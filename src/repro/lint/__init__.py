@@ -9,15 +9,24 @@ static-analysis pass over the source tree built on :mod:`ast`, with a
 pluggable rule registry, per-line suppression comments, and JSON or
 human-readable output.
 
+Two layers:
+
+* per-module rules (REP001–REP006, :mod:`repro.lint.rules`) match one
+  parsed module at a time;
+* interprocedural rules (REP007–REP010,
+  :mod:`repro.lint.rules_project`) run over the project-wide call graph
+  and per-function summaries built by :mod:`repro.lint.project`, so the
+  commit-protocol / cross-process-state / obs-vocabulary contracts that
+  span functions and modules are machine-checked too.
+
 Run it as ``repro lint src/repro`` (a CI gate) or programmatically::
 
-    from repro.lint import lint_paths
-    findings = lint_paths(["src/repro"])
+    from repro.lint import lint_project
+    findings = lint_project(["src/repro"])
 
-Rules live in :mod:`repro.lint.rules`; the framework (finding model,
-suppressions, registry, runner) in :mod:`repro.lint.core`.  See
-``docs/STATIC_ANALYSIS.md`` for each rule's rationale and the
-suppression syntax.
+The framework (finding model, suppressions, registry, runner) lives in
+:mod:`repro.lint.core`.  See ``docs/STATIC_ANALYSIS.md`` for each
+rule's rationale and the suppression syntax.
 """
 
 from __future__ import annotations
@@ -27,24 +36,41 @@ from repro.lint.core import (
     LintError,
     Rule,
     all_rules,
+    baseline_key,
     format_findings,
     lint_file,
     lint_paths,
     lint_source,
+    load_baseline,
     register,
 )
+from repro.lint.project import (
+    Project,
+    ProjectRule,
+    analyze_project,
+    analyze_sources,
+    lint_project,
+)
 
-# Importing the rules module populates the registry.
+# Importing the rule modules populates the registry.
 from repro.lint import rules as _rules  # noqa: F401  (side-effect import)
+from repro.lint import rules_project as _rules_project  # noqa: F401
 
 __all__ = [
     "Finding",
     "LintError",
+    "Project",
+    "ProjectRule",
     "Rule",
     "all_rules",
+    "analyze_project",
+    "analyze_sources",
+    "baseline_key",
     "format_findings",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
     "register",
 ]

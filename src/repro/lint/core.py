@@ -317,3 +317,49 @@ def format_findings(
     lines = [f.render() for f in sorted(findings)]
     lines.append(f"{len(findings)} finding(s)")
     return "\n".join(lines)
+
+
+def baseline_key(finding: Finding) -> tuple[str, str, str]:
+    """The identity a finding is baselined under: (path, rule, message).
+
+    Line and column are deliberately excluded so that unrelated edits
+    shifting code up or down do not invalidate an adopted baseline.
+    """
+    return (finding.path, finding.rule_id, finding.message)
+
+
+def load_baseline(path: str | Path) -> set[tuple[str, str, str]]:
+    """Load a ``--format json`` findings report as a baseline key set.
+
+    The baseline file is simply a prior ``repro lint --format json
+    --out <file>`` artifact — adopting a new rule warn-first means
+    recording today's findings there and gating only on *new* ones.
+
+    Raises:
+        LintError: if the file is unreadable or not a findings report.
+    """
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read lint baseline {p}: {exc}") from exc
+    except ValueError as exc:
+        raise LintError(f"lint baseline {p} is not valid JSON: {exc}") from exc
+    items = doc.get("findings") if isinstance(doc, dict) else None
+    if not isinstance(items, list):
+        raise LintError(
+            f"lint baseline {p} has no 'findings' list (expected a "
+            f"`repro lint --format json` report)"
+        )
+    keys: set[tuple[str, str, str]] = set()
+    for item in items:
+        if not isinstance(item, dict):
+            raise LintError(f"lint baseline {p}: non-object finding entry")
+        keys.add(
+            (
+                str(item.get("path", "")),
+                str(item.get("rule", "")),
+                str(item.get("message", "")),
+            )
+        )
+    return keys

@@ -1,0 +1,1615 @@
+"""Interprocedural analysis engine for :mod:`repro.lint`.
+
+PR 5's rules are scope-local AST matchers; the protocols PRs 8–9 rest
+on — the optimistic-concurrency CAS commit discipline and the two-phase
+cross-shard commit — span functions and modules.  This module adds the
+machinery to check them:
+
+* :class:`Project` — a project-wide pass over every analyzed module that
+  builds a module/symbol table (functions, classes, methods, nested
+  closures, import aliases) and an intra-package call graph, resolving
+  calls through ``self``, annotated parameters, local instances, import
+  aliases and enclosing-closure names.
+* :class:`FunctionSummary` — per-function facts the rules consume: what
+  the function does with staged calendar copies (``.copy()`` values and
+  whether they reach ``validate_commit``/``commit``/``adopt``), which
+  conflict exceptions it catches and whether a retry loop encloses the
+  handler, which obs recording calls it makes and whether an ``ENABLED``
+  guard dominates them, and which module-level globals it reads.
+* Fixed-point propagation along call edges: parameters that *consume* a
+  staged copy (pass it on to a committing callee, store it, return it),
+  functions that transitively reach an unguarded obs recording call,
+  functions whose every project call site is guard-dominated, and the
+  closure of code reachable from process-pool worker entry points.
+
+The project rules (REP007–REP010, :mod:`repro.lint.rules_project`) are
+thin queries over these summaries.  Like the per-module framework,
+everything here is dependency-free stdlib (:mod:`ast`, :mod:`hashlib`).
+
+Speed: :func:`lint_project` keys a per-module findings cache on the file
+content digest (plus a salt over the checker's own sources), so warm CI
+runs re-hash and re-report instead of re-analyzing.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    _parse_suppressions,
+    all_rules,
+    iter_python_files,
+    lint_source,
+    module_name_for_path,
+)
+from repro.lint.rules import (
+    _OBS_NAMED,
+    _dotted,
+    _ends_in_jump,
+    _mentions_enabled,
+    collect_guard_names,
+    collect_obs_aliases,
+)
+
+__all__ = [
+    "CallSite",
+    "CatchSite",
+    "FunctionSummary",
+    "ModuleSummary",
+    "ObsSite",
+    "Project",
+    "ProjectRule",
+    "StagedCopy",
+    "analyze_project",
+    "analyze_sources",
+    "lint_project",
+]
+
+
+#: Methods that *consume* a staged calendar copy: the CAS/commit entry
+#: points of the protocol (PR 8/9).
+CONSUME_METHODS = frozenset({"commit", "validate_commit", "adopt"})
+
+#: Attribute names whose value is a live calendar (``self._calendar``,
+#: ``scheduler.calendar``, ``scenario.calendar()``).
+CALENDAR_ATTRS = frozenset({"calendar", "_calendar"})
+
+#: The calendar classes whose ``.copy()`` creates a staged value.
+CALENDAR_CLASSES = frozenset({"ResourceCalendar", "ShardedCalendar"})
+
+#: Conflict exceptions that may only be caught inside a bounded retry
+#: loop (or re-raised).
+CONFLICT_CLASSES = frozenset({"ShardCommitError", "CommitConflictError"})
+
+#: Obs entry point -> vocabulary kind (REP009).
+OBS_KINDS = {
+    "incr": "counter",
+    "observe": "histogram",
+    "span": "span",
+    "stopwatch": "span",
+    "emit": "event",
+}
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project analysis.
+
+    Subclasses implement :meth:`check_project`; the per-module
+    :meth:`check` is a no-op so project rules stay registered in the
+    same catalog (``repro lint --explain``) without firing on
+    single-module runs.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Yield findings over the analyzed project."""
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# Summary data model
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    raw: tuple[str, ...]
+    #: Resolved project-function qualname, or None for external calls.
+    callee: str | None
+    #: Whether an ``ENABLED`` guard dominates the call site.
+    guarded: bool
+    #: Positional argument local-variable names (None for non-names).
+    pos_names: tuple[str | None, ...] = ()
+    #: Keyword argument local-variable names.
+    kw_names: tuple[tuple[str, str], ...] = ()
+    #: Positional slots that are themselves ``<calendar>.copy()`` exprs.
+    pos_copies: tuple[int, ...] = ()
+    #: Keyword slots that are themselves ``<calendar>.copy()`` exprs.
+    kw_copies: tuple[str, ...] = ()
+
+
+@dataclass
+class CatchSite:
+    """One ``except`` handler and its retry context."""
+
+    node: ast.ExceptHandler
+    classes: tuple[str, ...]
+    in_loop: bool
+    reraises: bool
+
+
+@dataclass
+class ObsSite:
+    """One obs recording/naming call."""
+
+    node: ast.Call
+    kind: str
+    #: Exact name, a ``*`` pattern (f-strings), or None (dynamic).
+    name: str | None
+    guarded: bool
+
+
+@dataclass
+class StagedCopy:
+    """One local variable holding a staged calendar copy."""
+
+    name: str
+    node: ast.AST
+    #: Locally consumed (reached commit/validate/adopt/return/store).
+    consumed: bool = False
+    #: Mutated or passed onward (work was planned into the copy).
+    used: bool = False
+    #: Attribute-store sites (``x.attr = staged``) — commit bypass
+    #: candidates when the function never validates.
+    stores: list[ast.AST] = field(default_factory=list)
+    #: Deferred consumption: (callee qualname, callee param name); the
+    #: copy counts as consumed if the callee param consumes after
+    #: propagation.
+    pending: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project rules know about one function."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    calls: list[CallSite] = field(default_factory=list)
+    catches: list[CatchSite] = field(default_factory=list)
+    obs_sites: list[ObsSite] = field(default_factory=list)
+    staged: list[StagedCopy] = field(default_factory=list)
+    #: Parameter names that locally consume a staged value.
+    consuming_params: set[str] = field(default_factory=set)
+    #: Deferred parameter consumption: (param, callee, callee param).
+    param_flows: list[tuple[str, str, str]] = field(default_factory=list)
+    #: The function performs CAS validation (validate_commit / commit /
+    #: a generation-token comparison).
+    validates: bool = False
+    #: Module-level data globals read (own module).
+    global_reads: dict[str, int] = field(default_factory=dict)
+    #: Module-global writes: (module, name) pairs this function rebinds
+    #: (bare ``global`` rebinds and ``modalias.NAME = ...`` stores).
+    global_writes: set[tuple[str, str]] = field(default_factory=set)
+    #: Parameter order (self excluded for methods).
+    params: tuple[str, ...] = ()
+    is_method: bool = False
+
+    @property
+    def unguarded_obs(self) -> list[ObsSite]:
+        """Locally unguarded obs recording sites."""
+        return [s for s in self.obs_sites if not s.guarded]
+
+
+@dataclass
+class ModuleSummary:
+    """Per-module symbol table entry."""
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    #: qualname -> summary, for every (possibly nested) function.
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: Module-level data globals: name -> mutable?
+    globals: dict[str, bool] = field(default_factory=dict)
+    #: Names of module-level string-keyed registries handled elsewhere.
+    suppressions_source: str = ""
+
+
+# ----------------------------------------------------------------------
+# Guard-domination map
+# ----------------------------------------------------------------------
+
+
+class _GuardMap:
+    """Computes, for every ``ast.Call`` in a function body, whether an
+    ``ENABLED`` guard dominates it (the REP003 walker generalized from
+    "flag unguarded obs calls" to "label every call")."""
+
+    def __init__(self, guard_names: set[str]) -> None:
+        self.guard_names = guard_names
+        self.state: dict[int, bool] = {}
+
+    def _is_guard_test(self, test: ast.expr) -> bool:
+        if _mentions_enabled(test):
+            return True
+        for node in ast.walk(test):
+            if isinstance(node, ast.Name) and node.id in self.guard_names:
+                return True
+        return False
+
+    def _mark(self, node: ast.AST, guarded: bool) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self.state[id(sub)] = guarded
+
+    def walk(self, body: Sequence[ast.stmt], guarded: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If) and self._is_guard_test(stmt.test):
+                self._mark(stmt.test, guarded)
+                self.walk(stmt.body, True)
+                self.walk(stmt.orelse, True)
+                if _ends_in_jump(list(stmt.body)) or _ends_in_jump(
+                    list(stmt.orelse)
+                ):
+                    guarded = True
+                continue
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # nested scopes get their own summary and map
+            blocks: list[list[ast.stmt]] = []
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, attr, None)
+                if (
+                    isinstance(sub, list)
+                    and sub
+                    and isinstance(sub[0], ast.stmt)
+                ):
+                    blocks.append(sub)
+            handlers = list(getattr(stmt, "handlers", []) or [])
+            cases = list(getattr(stmt, "cases", []) or [])
+            if blocks or handlers or cases:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(
+                        child, (ast.stmt, ast.ExceptHandler, ast.match_case)
+                    ):
+                        continue
+                    self._mark(child, guarded)
+            else:
+                self._mark(stmt, guarded)
+            for sub_body in blocks:
+                self.walk(sub_body, guarded)
+            for handler in handlers:
+                if isinstance(handler, ast.ExceptHandler):
+                    self.walk(handler.body, guarded)
+            for case in cases:
+                if isinstance(case, ast.match_case):
+                    self.walk(case.body, guarded)
+
+
+# ----------------------------------------------------------------------
+# Per-module symbol collection
+# ----------------------------------------------------------------------
+
+
+def _annotation_class(node: ast.expr | None) -> str | None:
+    """Bare class name out of a parameter annotation, if recognizable.
+
+    Handles ``X``, ``pkg.X``, ``"X"`` (string annotations) and
+    ``Optional[X]`` / ``X | None`` shapes.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value.strip().strip('"').strip("'")
+        return name.split(".")[-1].split("[")[0] or None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_class(node.left)
+        return left if left not in (None, "None") else _annotation_class(
+            node.right
+        )
+    if isinstance(node, ast.Subscript):
+        d = _dotted(node.value)
+        if d is not None and d[-1] in ("Optional",):
+            return _annotation_class(
+                node.slice if isinstance(node.slice, ast.expr) else None
+            )
+    return None
+
+
+def _annotation_elem_class(node: ast.expr | None) -> str | None:
+    """Element class for container annotations (``list[X]`` etc.)."""
+    if isinstance(node, ast.Subscript):
+        d = _dotted(node.value)
+        if d is not None and d[-1] in (
+            "list",
+            "tuple",
+            "List",
+            "Tuple",
+            "Sequence",
+            "Iterable",
+        ):
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            if isinstance(inner, ast.expr):
+                return _annotation_class(inner)
+    return None
+
+
+@dataclass
+class _FunctionEnv:
+    """Name-resolution environment for one function body."""
+
+    module: str
+    #: Bare callable name -> candidate dotted qualname.
+    callables: dict[str, str]
+    #: Name -> module dotted path (import aliases).
+    modules: dict[str, str]
+    #: Name -> class candidate qualname.
+    classes: dict[str, str]
+    #: Parameter name -> annotated class bare name.
+    param_classes: dict[str, str]
+    #: Parameter name -> element class bare name (list[X] params).
+    param_elem_classes: dict[str, str]
+    self_name: str | None
+    self_class: str | None
+
+
+class _ModuleCollector:
+    """First pass over one module: symbols, imports, globals."""
+
+    def __init__(self, summary: ModuleSummary) -> None:
+        self.s = summary
+        self.import_callables: dict[str, str] = {}
+        self.import_modules: dict[str, str] = {}
+        self.import_classes: dict[str, str] = {}
+        self.module_functions: dict[str, str] = {}
+        #: class qualname -> {method name -> qualname}
+        self.class_methods: dict[str, dict[str, str]] = {}
+        #: bare class name -> qualname (module-local classes)
+        self.local_classes: dict[str, str] = {}
+        self.obs_module_aliases: set[str] = set()
+        self.obs_func_aliases: set[str] = set()
+        self.guard_names: set[str] = set()
+
+    def collect(self) -> None:
+        tree = self.s.tree
+        self.obs_module_aliases, self.obs_func_aliases = collect_obs_aliases(
+            tree, _OBS_NAMED
+        )
+        self.guard_names = collect_guard_names(tree)
+        for node in tree.body:
+            self._collect_import(node)
+        self._collect_globals(tree)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions[node.name] = (
+                    f"{self.s.name}.{node.name}"
+                )
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{self.s.name}.{node.name}"
+                self.local_classes[node.name] = qual
+                methods: dict[str, str] = {}
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        methods[item.name] = f"{qual}.{item.name}"
+                self.class_methods[qual] = methods
+
+    def _collect_import(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.asname or alias.name.split(".")[0]
+                self.import_modules[target] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                target = alias.asname or alias.name
+                dotted = f"{node.module}.{alias.name}"
+                if alias.name[:1].isupper():
+                    self.import_classes[target] = dotted
+                else:
+                    # Could be a function or a submodule; record both
+                    # interpretations, resolution checks membership.
+                    self.import_callables[target] = dotted
+                    self.import_modules.setdefault(target, dotted)
+
+    def _collect_globals(self, tree: ast.Module) -> None:
+        counts: dict[str, int] = {}
+        mutable: set[str] = set()
+        for node in tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for t in targets:
+                elts = (
+                    list(t.elts)
+                    if isinstance(t, (ast.Tuple, ast.List))
+                    else [t]
+                )
+                for elt in elts:
+                    if isinstance(elt, ast.Name):
+                        counts[elt.id] = counts.get(elt.id, 0) + 1
+                        if value is not None and _is_mutable_value(value):
+                            mutable.add(elt.id)
+        # `global NAME` rebinds and NAME[...]= / NAME.mutator() writes
+        # anywhere in the module make a global mutable.
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Global):
+                mutable.update(n for n in node.names if n in counts)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                tgts = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in tgts:
+                    base = t
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if (
+                        base is not t
+                        and isinstance(base, ast.Name)
+                        and base.id in counts
+                    ):
+                        mutable.add(base.id)
+        for name in sorted(counts):
+            if counts[name] > 1:
+                mutable.add(name)
+            self.s.globals[name] = name in mutable
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(
+        value,
+        (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        d = _dotted(value.func)
+        return d is not None and d[-1] in (
+            "dict",
+            "list",
+            "set",
+            "defaultdict",
+            "OrderedDict",
+            "Counter",
+            "deque",
+        )
+    return False
+
+
+# ----------------------------------------------------------------------
+# Per-function summarization
+# ----------------------------------------------------------------------
+
+
+def _calendarish_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    env: _FunctionEnv,
+) -> set[str]:
+    """Local names (flow-insensitively) bound to a live calendar."""
+    known: set[str] = set()
+    for pname, cls in env.param_classes.items():
+        if cls in CALENDAR_CLASSES:
+            known.add(pname)
+
+    def calish(node: ast.expr) -> bool:
+        d = _dotted(node)
+        if d is not None:
+            if d[-1] in CALENDAR_ATTRS:
+                return True
+            if len(d) == 1 and d[0] in known:
+                return True
+            return False
+        if isinstance(node, ast.Call):
+            fd = _dotted(node.func)
+            if fd is None:
+                return False
+            if fd[-1] in CALENDAR_CLASSES:
+                return True
+            if fd[-1] in CALENDAR_ATTRS:  # scenario.calendar()
+                return True
+            if fd[-1] == "copy":
+                inner = node.func
+                if isinstance(inner, ast.Attribute):
+                    return calish(inner.value)
+            return False
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if calish(node.value):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name) and t.id not in known:
+                            known.add(t.id)
+                            changed = True
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if calish(node.value) and isinstance(node.target, ast.Name):
+                    if node.target.id not in known:
+                        known.add(node.target.id)
+                        changed = True
+    return known
+
+
+def _is_staged_copy_expr(node: ast.expr, calendarish: set[str]) -> bool:
+    """``<calendar>.copy()`` — the staging primitive."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "copy"
+    ):
+        return False
+    base = node.func.value
+    d = _dotted(base)
+    if d is None:
+        return False
+    if d[-1] in CALENDAR_ATTRS:
+        return True
+    return len(d) == 1 and d[0] in calendarish
+
+
+class _FunctionAnalyzer:
+    """Second pass: summarize one function body."""
+
+    def __init__(
+        self,
+        summary: FunctionSummary,
+        env: _FunctionEnv,
+        collector: _ModuleCollector,
+        class_registry: dict[str, str],
+        method_registry: dict[str, dict[str, str]],
+    ) -> None:
+        self.sum = summary
+        self.env = env
+        self.col = collector
+        self.class_registry = class_registry
+        self.method_registry = method_registry
+        self.guard_map = _GuardMap(collector.guard_names)
+        self.calendarish = _calendarish_names(summary.node, env)
+        self.local_instances: dict[str, str] = {}
+        self.local_names: set[str] = set()
+        self._staged_by_name: dict[str, StagedCopy] = {}
+
+    # -- resolution ----------------------------------------------------
+
+    def _resolve_class(self, bare: str) -> str | None:
+        qual = self.env.classes.get(bare)
+        if qual is not None and qual in self.method_registry:
+            return qual
+        return self.class_registry.get(bare)
+
+    def resolve_call(self, call: ast.Call) -> str | None:
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            cand = self.env.callables.get(fn.id)
+            if cand is not None:
+                return cand
+            cls = self._resolve_class(fn.id)
+            if cls is not None:
+                init = self.method_registry.get(cls, {}).get("__init__")
+                return init if init is not None else f"{cls}.__init__"
+            return None
+        if not isinstance(fn, ast.Attribute):
+            return None
+        base = fn.value
+        # obj[i].meth(...) on a container-annotated parameter
+        if isinstance(base, ast.Subscript) and isinstance(
+            base.value, ast.Name
+        ):
+            elem = self.env.param_elem_classes.get(base.value.id)
+            if elem is not None:
+                cls = self._resolve_class(elem)
+                if cls is not None:
+                    return self.method_registry.get(cls, {}).get(fn.attr)
+            return None
+        if not isinstance(base, ast.Name):
+            return None
+        b = base.id
+        if b == self.env.self_name and self.env.self_class is not None:
+            return self.method_registry.get(self.env.self_class, {}).get(
+                fn.attr
+            )
+        cls_bare = self.env.param_classes.get(b) or self.local_instances.get(
+            b
+        )
+        if cls_bare is not None:
+            cls = self._resolve_class(cls_bare)
+            if cls is not None:
+                return self.method_registry.get(cls, {}).get(fn.attr)
+            return None
+        mod = self.env.modules.get(b)
+        if mod is not None:
+            return f"{mod}.{fn.attr}"
+        return None
+
+    # -- obs classification --------------------------------------------
+
+    def _obs_kind(self, call: ast.Call) -> str | None:
+        fn = call.func
+        if isinstance(fn, ast.Attribute) and fn.attr in OBS_KINDS:
+            base = _dotted(fn.value)
+            if base is not None and base[-1] in self.col.obs_module_aliases:
+                return OBS_KINDS[fn.attr]
+        if isinstance(fn, ast.Name) and fn.id in self.col.obs_func_aliases:
+            return OBS_KINDS.get(fn.id)
+        return None
+
+    @staticmethod
+    def _obs_name(call: ast.Call) -> str | None:
+        if not call.args:
+            return None
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            return arg.value
+        if isinstance(arg, ast.JoinedStr):
+            parts: list[str] = []
+            for piece in arg.values:
+                if isinstance(piece, ast.Constant) and isinstance(
+                    piece.value, str
+                ):
+                    parts.append(piece.value)
+                else:
+                    parts.append("*")
+            pattern = "".join(parts)
+            while "**" in pattern:
+                pattern = pattern.replace("**", "*")
+            return pattern
+        return None
+
+    # -- analysis ------------------------------------------------------
+
+    def run(self) -> None:
+        func = self.sum.node
+        self.guard_map.walk(func.body, False)
+        self._collect_local_names(func)
+        loop_stack = 0
+        self._walk_statements(func.body, loop_stack)
+        self._collect_param_consumption()
+
+    def _collect_local_names(self, func: ast.AST) -> None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store,)
+            ):
+                self.local_names.add(node.id)
+            elif isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Call
+            ):
+                d = _dotted(node.value.func)
+                if d is not None and (
+                    d[-1] in self.env.classes or d[-1] in self.class_registry
+                ):
+                    for t in node.targets:
+                        if isinstance(t, ast.Name):
+                            self.local_instances[t.id] = d[-1]
+
+    def _walk_statements(
+        self, body: Sequence[ast.stmt], loops: int
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # summarized separately
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            in_loop = isinstance(stmt, (ast.For, ast.AsyncFor, ast.While))
+            if isinstance(stmt, ast.Try):
+                for handler in stmt.handlers:
+                    self._record_catch(handler, loops > 0)
+            self._scan_statement(stmt)
+            for attr in ("body", "orelse", "finalbody"):
+                sub = getattr(stmt, attr, None)
+                if (
+                    isinstance(sub, list)
+                    and sub
+                    and isinstance(sub[0], ast.stmt)
+                ):
+                    self._walk_statements(sub, loops + (1 if in_loop else 0))
+            for handler in getattr(stmt, "handlers", []) or []:
+                if isinstance(handler, ast.ExceptHandler):
+                    self._walk_statements(handler.body, loops)
+            for case in getattr(stmt, "cases", []) or []:
+                if isinstance(case, ast.match_case):
+                    self._walk_statements(case.body, loops)
+
+    def _record_catch(self, handler: ast.ExceptHandler, in_loop: bool) -> None:
+        names: list[str] = []
+        if handler.type is not None:
+            exprs = (
+                list(handler.type.elts)
+                if isinstance(handler.type, ast.Tuple)
+                else [handler.type]
+            )
+            for expr in exprs:
+                d = _dotted(expr)
+                if d is not None:
+                    names.append(d[-1])
+        reraises = any(
+            isinstance(n, ast.Raise) for n in ast.walk(handler)
+        )
+        self.sum.catches.append(
+            CatchSite(
+                node=handler,
+                classes=tuple(names),
+                in_loop=in_loop,
+                reraises=reraises,
+            )
+        )
+
+    def _scan_statement(self, stmt: ast.stmt) -> None:
+        # Staged-copy creation.
+        if isinstance(stmt, ast.Assign) and _is_staged_copy_expr(
+            stmt.value, self.calendarish
+        ):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name):
+                    staged = self._staged_by_name.get(t.id)
+                    if staged is None:
+                        staged = StagedCopy(name=t.id, node=stmt)
+                        self._staged_by_name[t.id] = staged
+                        self.sum.staged.append(staged)
+        # Attribute stores of locals (commit bypass candidates).
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            targets = (
+                list(stmt.targets)
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            if isinstance(value, ast.Name):
+                staged = self._staged_by_name.get(value.id)
+                if staged is not None:
+                    for t in targets:
+                        if isinstance(t, ast.Attribute):
+                            staged.consumed = True
+                            staged.stores.append(stmt)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            for sub in ast.walk(stmt.value):
+                if isinstance(sub, ast.Name):
+                    staged = self._staged_by_name.get(sub.id)
+                    if staged is not None:
+                        staged.consumed = True
+        # Header-level call scan (every call in this statement's own
+        # expressions; nested-block statements re-scan their bodies so
+        # guard state stays per-site via the guard map).
+        for sub in self._own_exprs(stmt):
+            for node in ast.walk(sub):
+                if isinstance(node, ast.Call):
+                    self._record_call(node)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    self._record_global_read(node)
+        # Bare `global` rebinds.
+        if isinstance(stmt, ast.Global):
+            for name in stmt.names:
+                self.sum.global_writes.add((self.sum.module, name))
+        # modalias.NAME = ... stores (cross-module runtime mutation).
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            tgts = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            for t in tgts:
+                elts = (
+                    list(t.elts)
+                    if isinstance(t, (ast.Tuple, ast.List))
+                    else [t]
+                )
+                for elt in elts:
+                    if isinstance(elt, ast.Attribute) and isinstance(
+                        elt.value, ast.Name
+                    ):
+                        mod = self.env.modules.get(elt.value.id)
+                        if mod is not None:
+                            self.sum.global_writes.add((mod, elt.attr))
+                    elif isinstance(elt, ast.Subscript):
+                        base = elt.value
+                        while isinstance(base, ast.Subscript):
+                            base = base.value
+                        if (
+                            isinstance(base, ast.Name)
+                            and base.id not in self.local_names
+                            and base.id in self.col.s.globals
+                        ):
+                            self.sum.global_writes.add(
+                                (self.sum.module, base.id)
+                            )
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> Iterator[ast.AST]:
+        has_blocks = any(
+            isinstance(getattr(stmt, attr, None), list)
+            and getattr(stmt, attr)
+            and isinstance(getattr(stmt, attr)[0], ast.stmt)
+            for attr in ("body", "orelse", "finalbody")
+        ) or bool(getattr(stmt, "handlers", None)) or bool(
+            getattr(stmt, "cases", None)
+        )
+        if not has_blocks:
+            yield stmt
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                continue
+            if isinstance(child, ast.match_case):
+                continue
+            yield child
+
+    def _record_global_read(self, node: ast.Name) -> None:
+        name = node.id
+        if name in self.local_names or name in self.env.callables:
+            return
+        if name in self.env.modules or name in self.env.classes:
+            return
+        if name not in self.col.s.globals:
+            return
+        if name not in self.sum.global_reads:
+            self.sum.global_reads[name] = int(
+                getattr(node, "lineno", 0)
+            )
+
+    def _record_call(self, call: ast.Call) -> None:
+        guarded = self.guard_map.state.get(id(call), False)
+        kind = self._obs_kind(call)
+        if kind is not None:
+            self.sum.obs_sites.append(
+                ObsSite(
+                    node=call,
+                    kind=kind,
+                    name=self._obs_name(call),
+                    guarded=guarded,
+                )
+            )
+        raw = _dotted(call.func) or ()
+        callee = self.resolve_call(call)
+        pos_names: list[str | None] = []
+        pos_copies: list[int] = []
+        for i, arg in enumerate(call.args):
+            pos_names.append(arg.id if isinstance(arg, ast.Name) else None)
+            if _is_staged_copy_expr(arg, self.calendarish):
+                pos_copies.append(i)
+        kw_names: list[tuple[str, str]] = []
+        kw_copies: list[str] = []
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue
+            if isinstance(kw.value, ast.Name):
+                kw_names.append((kw.arg, kw.value.id))
+            if _is_staged_copy_expr(kw.value, self.calendarish):
+                kw_copies.append(kw.arg)
+        site = CallSite(
+            node=call,
+            raw=raw,
+            callee=callee,
+            guarded=guarded,
+            pos_names=tuple(pos_names),
+            kw_names=tuple(kw_names),
+            pos_copies=tuple(pos_copies),
+            kw_copies=tuple(kw_copies),
+        )
+        self.sum.calls.append(site)
+        self._track_consumption(site)
+        self._track_validation(call)
+
+    def _track_validation(self, call: ast.Call) -> None:
+        fn = call.func
+        if isinstance(fn, ast.Attribute) and fn.attr in (
+            "validate_commit",
+            "commit",
+        ):
+            self.sum.validates = True
+
+    def _track_consumption(self, site: CallSite) -> None:
+        call = site.node
+        fn = call.func
+        consume_attr = isinstance(fn, ast.Attribute) and (
+            fn.attr in CONSUME_METHODS
+        )
+        for slot, argname in enumerate(site.pos_names):
+            if argname is None:
+                continue
+            staged = self._staged_by_name.get(argname)
+            if staged is None:
+                continue
+            staged.used = True
+            if consume_attr:
+                staged.consumed = True
+            elif site.callee is not None:
+                staged.pending.append(
+                    (site.callee, f"@{slot}")
+                )
+        for kwname, argname in site.kw_names:
+            staged = self._staged_by_name.get(argname)
+            if staged is None:
+                continue
+            staged.used = True
+            if consume_attr:
+                staged.consumed = True
+            elif site.callee is not None:
+                staged.pending.append((site.callee, kwname))
+        # A method call *on* the staged value mutates it.
+        if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+            staged = self._staged_by_name.get(fn.value.id)
+            if staged is not None and fn.attr != "copy":
+                staged.used = True
+        # Generation-token comparison counts as validation.
+        # (handled in _track_validation / compare scan below)
+
+    def _collect_param_consumption(self) -> None:
+        params = set(self.sum.params)
+        for site in self.sum.calls:
+            fn = site.node.func
+            consume_attr = isinstance(fn, ast.Attribute) and (
+                fn.attr in CONSUME_METHODS
+            )
+            for slot, argname in enumerate(site.pos_names):
+                if argname is None or argname not in params:
+                    continue
+                if consume_attr:
+                    self.sum.consuming_params.add(argname)
+                elif site.callee is not None:
+                    self.sum.param_flows.append(
+                        (argname, site.callee, f"@{slot}")
+                    )
+            for kwname, argname in site.kw_names:
+                if argname not in params:
+                    continue
+                if consume_attr:
+                    self.sum.consuming_params.add(argname)
+                elif site.callee is not None:
+                    self.sum.param_flows.append((argname, site.callee, kwname))
+        func = self.sum.node
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Name
+            ):
+                if node.value.id in params:
+                    for t in node.targets:
+                        if isinstance(t, ast.Attribute):
+                            self.sum.consuming_params.add(node.value.id)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id in params:
+                        self.sum.consuming_params.add(sub.id)
+            elif isinstance(node, ast.Compare):
+                for part in [node.left, *node.comparators]:
+                    if (
+                        isinstance(part, ast.Attribute)
+                        and part.attr == "generation"
+                    ):
+                        self.sum.validates = True
+
+
+# ----------------------------------------------------------------------
+# The project
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Project:
+    """The analyzed project: module summaries plus propagated facts."""
+
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    #: class bare name -> qualname (project-wide, unique names only).
+    class_registry: dict[str, str] = field(default_factory=dict)
+    #: class qualname -> {method -> function qualname}.
+    method_registry: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: (module, global) pairs rebound at runtime from *any* function.
+    runtime_mutated: set[tuple[str, str]] = field(default_factory=set)
+    #: (module, global) pairs written by worker-reachable code (i.e.
+    #: synchronized through the op-log replay path).
+    worker_synced: set[tuple[str, str]] = field(default_factory=set)
+    #: Worker entry points (functions shipped to executor.submit).
+    worker_roots: set[str] = field(default_factory=set)
+    #: Functions reachable from worker roots over resolved call edges.
+    worker_reachable: set[str] = field(default_factory=set)
+    #: qualname -> witness "path:line" of a reachable unguarded obs
+    #: recording call (transitive; None key absent means guarded).
+    reaches_unguarded_obs: dict[str, str] = field(default_factory=dict)
+    #: Functions whose every project call site is ENABLED-guarded.
+    always_guarded: set[str] = field(default_factory=set)
+    #: All call sites by callee qualname.
+    call_sites_of: dict[str, list[tuple[str, CallSite]]] = field(
+        default_factory=dict
+    )
+
+    # -- helpers for rules --------------------------------------------
+
+    def module_of(self, qualname: str) -> ModuleSummary | None:
+        parts = qualname.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            mod = self.modules.get(".".join(parts[:i]))
+            if mod is not None:
+                return mod
+        return None
+
+    def path_of(self, qualname: str) -> str:
+        mod = self.module_of(qualname)
+        return mod.path if mod is not None else "<unknown>"
+
+    def finding(
+        self, rule_id: str, summary: FunctionSummary, node: ast.AST,
+        message: str,
+    ) -> Finding:
+        mod = self.modules[summary.module]
+        return Finding(
+            path=mod.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Functions reachable from ``roots`` over resolved call edges."""
+        seen = set(roots) & set(self.functions)
+        frontier = sorted(seen)
+        while frontier:
+            nxt: list[str] = []
+            for qual in frontier:
+                for site in self.functions[qual].calls:
+                    if site.callee is not None and site.callee not in seen:
+                        seen.add(site.callee)
+                        nxt.append(site.callee)
+            frontier = sorted(nxt)
+        return seen
+
+    def param_consumes(self, qualname: str, slot_or_name: str) -> bool:
+        """Whether the callee's parameter (``@i`` positional or a
+        keyword name) consumes a staged value after propagation."""
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return False
+        name = slot_or_name
+        if slot_or_name.startswith("@"):
+            idx = int(slot_or_name[1:])
+            if idx >= len(fn.params):
+                return False
+            name = fn.params[idx]
+        return name in fn.consuming_params
+
+
+def _summarize_module(path: str, source: str, tree: ast.Module) -> tuple[
+    ModuleSummary, _ModuleCollector
+]:
+    summary = ModuleSummary(
+        name=module_name_for_path(path),
+        path=path,
+        source=source,
+        tree=tree,
+    )
+    collector = _ModuleCollector(summary)
+    collector.collect()
+    return summary, collector
+
+
+def _function_summaries(
+    summary: ModuleSummary,
+    collector: _ModuleCollector,
+    class_registry: dict[str, str],
+    method_registry: dict[str, dict[str, str]],
+) -> None:
+    """Summarize every function (methods and nested closures included)."""
+
+    base_callables: dict[str, str] = dict(collector.import_callables)
+    base_callables.update(collector.module_functions)
+    base_classes: dict[str, str] = dict(collector.import_classes)
+    base_classes.update(collector.local_classes)
+
+    def visit(
+        nodes: Iterable[ast.stmt],
+        prefix: str,
+        class_qual: str | None,
+        class_bare: str | None,
+        enclosing: dict[str, str],
+    ) -> None:
+        defs = [
+            n
+            for n in nodes
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        local_env = dict(enclosing)
+        if class_qual is None:
+            for d in defs:
+                local_env[d.name] = f"{prefix}.{d.name}"
+        for node in nodes:
+            if isinstance(node, ast.ClassDef):
+                visit(
+                    node.body,
+                    f"{prefix}.{node.name}",
+                    f"{prefix}.{node.name}",
+                    node.name,
+                    local_env,
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{node.name}"
+                args = node.args.posonlyargs + node.args.args
+                is_method = class_qual is not None and bool(args)
+                self_name = args[0].arg if is_method else None
+                # Positional slots first (``@i`` indexing), then the
+                # keyword-only params (reachable by name only).
+                payload = (
+                    args[1:] if is_method else args
+                ) + node.args.kwonlyargs
+                params = tuple(a.arg for a in payload)
+                param_classes: dict[str, str] = {}
+                param_elems: dict[str, str] = {}
+                for a in payload:
+                    cls = _annotation_class(a.annotation)
+                    if cls is not None:
+                        param_classes[a.arg] = cls
+                    elem = _annotation_elem_class(a.annotation)
+                    if elem is not None:
+                        param_elems[a.arg] = elem
+                fsum = FunctionSummary(
+                    qualname=qual,
+                    module=summary.name,
+                    name=node.name,
+                    class_name=class_bare,
+                    node=node,
+                    params=params,
+                    is_method=is_method,
+                )
+                env = _FunctionEnv(
+                    module=summary.name,
+                    callables=local_env,
+                    modules=collector.import_modules,
+                    classes=base_classes,
+                    param_classes=param_classes,
+                    param_elem_classes=param_elems,
+                    self_name=self_name,
+                    self_class=class_qual,
+                )
+                analyzer = _FunctionAnalyzer(
+                    fsum, env, collector, class_registry, method_registry
+                )
+                analyzer.run()
+                summary.functions[qual] = fsum
+                # Nested closures see the enclosing env plus siblings.
+                nested_env = dict(local_env)
+                for d in [
+                    n
+                    for n in node.body
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ]:
+                    nested_env[d.name] = f"{qual}.{d.name}"
+                visit(node.body, qual, None, None, nested_env)
+
+    visit(summary.tree.body, summary.name, None, None, base_callables)
+
+
+def analyze_sources(
+    sources: Sequence[tuple[str, str]],
+) -> Project:
+    """Build a :class:`Project` from ``(path, source)`` pairs.
+
+    Sources must already be syntax-valid (run the module rules first —
+    :func:`repro.lint.core.lint_source` raises ``LintError`` with a
+    location for broken files).
+    """
+    project = Project()
+    collectors: dict[str, _ModuleCollector] = {}
+    for path, source in sorted(sources):
+        tree = ast.parse(source, filename=path)
+        summary, collector = _summarize_module(path, source, tree)
+        project.modules[summary.name] = summary
+        collectors[summary.name] = collector
+
+    # Global class/method registries (bare names must be unique to
+    # resolve; duplicates are dropped rather than guessed).
+    seen_classes: dict[str, str | None] = {}
+    for mod_name in sorted(project.modules):
+        collector = collectors[mod_name]
+        for bare, qual in sorted(collector.local_classes.items()):
+            if bare in seen_classes:
+                seen_classes[bare] = None
+            else:
+                seen_classes[bare] = qual
+        for qual, methods in sorted(collector.class_methods.items()):
+            project.method_registry[qual] = methods
+    for bare in sorted(seen_classes):
+        qual = seen_classes[bare]
+        if qual is not None:
+            project.class_registry[bare] = qual
+
+    for mod_name in sorted(project.modules):
+        summary = project.modules[mod_name]
+        collector = collectors[mod_name]
+        # Resolve imported class aliases to project classes.
+        for alias, dotted in sorted(collector.import_classes.items()):
+            bare = dotted.split(".")[-1]
+            if bare in project.class_registry:
+                collector.import_classes[alias] = project.class_registry[
+                    bare
+                ]
+        _function_summaries(
+            summary, collector, project.class_registry,
+            project.method_registry,
+        )
+        project.functions.update(summary.functions)
+
+    _finalize(project)
+    return project
+
+
+def _finalize(project: Project) -> None:
+    """Resolve calls against the full function table and run the
+    fixed-point propagations."""
+    functions = project.functions
+
+    # Re-check call resolutions: a candidate ("repro.x.y") only counts
+    # if it names a real project function.
+    for qual in sorted(functions):
+        fsum = functions[qual]
+        for site in fsum.calls:
+            if site.callee is not None and site.callee not in functions:
+                # Module-attr candidates may point at a class: route to
+                # its __init__ when we know it.
+                init = project.method_registry.get(site.callee, {}).get(
+                    "__init__"
+                )
+                site.callee = init
+        for site in fsum.calls:
+            if site.callee is not None:
+                project.call_sites_of.setdefault(site.callee, []).append(
+                    (qual, site)
+                )
+
+    # Runtime-mutated globals (any function writing them).
+    for qual in sorted(functions):
+        for target in sorted(functions[qual].global_writes):
+            project.runtime_mutated.add(target)
+
+    # Consuming-parameter fixed point.
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(functions):
+            fsum = functions[qual]
+            for param, callee, slot in fsum.param_flows:
+                if param in fsum.consuming_params:
+                    continue
+                if project.param_consumes(callee, slot):
+                    fsum.consuming_params.add(param)
+                    changed = True
+
+    # Staged-copy pending consumption.
+    for qual in sorted(functions):
+        for staged in functions[qual].staged:
+            if staged.consumed:
+                continue
+            for callee, slot in staged.pending:
+                if project.param_consumes(callee, slot):
+                    staged.consumed = True
+                    break
+
+    # Worker reachability: roots are first arguments of executor
+    # .submit(...) calls, closed over resolved call edges.
+    for qual in sorted(functions):
+        fsum = functions[qual]
+        for site in fsum.calls:
+            fn = site.node.func
+            if not (isinstance(fn, ast.Attribute) and fn.attr == "submit"):
+                continue
+            if not site.node.args:
+                continue
+            first = site.node.args[0]
+            d = _dotted(first)
+            if d is None:
+                continue
+            mod = project.modules.get(fsum.module)
+            if mod is None:
+                continue
+            # Resolve like a call: bare name through the function env is
+            # gone here, so fall back to module-level lookup.
+            cand = f"{fsum.module}.{d[-1]}"
+            if cand in functions:
+                project.worker_roots.add(cand)
+    frontier = sorted(project.worker_roots)
+    project.worker_reachable = set(frontier)
+    while frontier:
+        nxt: list[str] = []
+        for qual in frontier:
+            fsum = functions.get(qual)
+            if fsum is None:
+                continue
+            for site in fsum.calls:
+                if (
+                    site.callee is not None
+                    and site.callee not in project.worker_reachable
+                ):
+                    project.worker_reachable.add(site.callee)
+                    nxt.append(site.callee)
+        frontier = sorted(nxt)
+
+    # Worker-synchronized globals: written by worker-reachable code.
+    for qual in sorted(project.worker_reachable):
+        fsum = functions.get(qual)
+        if fsum is None:
+            continue
+        for target in sorted(fsum.global_writes):
+            project.worker_synced.add(target)
+
+    # Transitive unguarded-obs fixed point with witnesses.
+    reaches = project.reaches_unguarded_obs
+    for qual in sorted(functions):
+        fsum = functions[qual]
+        local = fsum.unguarded_obs
+        if local:
+            site = local[0]
+            path = project.modules[fsum.module].path
+            reaches[qual] = f"{path}:{int(getattr(site.node, 'lineno', 0))}"
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(functions):
+            if qual in reaches:
+                continue
+            fsum = functions[qual]
+            for site in fsum.calls:
+                if site.guarded or site.callee is None:
+                    continue
+                witness = reaches.get(site.callee)
+                if witness is not None:
+                    reaches[qual] = witness
+                    changed = True
+                    break
+
+    # Functions guard-dominated at every project call site.
+    for qual in sorted(project.call_sites_of):
+        sites = project.call_sites_of[qual]
+        if sites and all(site.guarded for _, site in sites):
+            project.always_guarded.add(qual)
+
+
+def analyze_project(paths: Iterable[str | Path]) -> Project:
+    """Parse and analyze every ``.py`` file under ``paths``."""
+    sources: list[tuple[str, str]] = []
+    for f in iter_python_files(paths):
+        sources.append((str(f), f.read_text(encoding="utf-8")))
+    return analyze_sources(sources)
+
+
+# ----------------------------------------------------------------------
+# Interprocedural REP003 refinement
+# ----------------------------------------------------------------------
+
+
+def interprocedurally_guarded_lines(
+    project: Project,
+) -> set[tuple[str, int]]:
+    """(path, line) pairs of locally-unguarded obs calls that *are*
+    guard-dominated once call edges are followed: every project call
+    site of the enclosing (module-private) function sits under an
+    ``ENABLED`` guard.  REP010 retires REP003's scope-local blind spot
+    by dropping these findings in project runs.
+    """
+    dominated: set[tuple[str, int]] = set()
+    for qual in sorted(project.always_guarded):
+        fsum = project.functions.get(qual)
+        if fsum is None or not fsum.name.startswith("_"):
+            # Public functions may have callers outside the analyzed
+            # tree; only private helpers are safely dominated.
+            continue
+        path = project.modules[fsum.module].path
+        for site in fsum.obs_sites:
+            if not site.guarded:
+                dominated.add(
+                    (path, int(getattr(site.node, "lineno", 0)))
+                )
+    return dominated
+
+
+# ----------------------------------------------------------------------
+# Project runner with content-digest cache
+# ----------------------------------------------------------------------
+
+_CACHE_VERSION = 1
+
+
+def _checker_salt() -> str:
+    """Digest over the checker's own sources, so editing a rule
+    invalidates every cache entry."""
+    h = hashlib.sha256()
+    here = Path(__file__).resolve().parent
+    for name in sorted(p.name for p in here.glob("*.py")):
+        h.update((here / name).read_bytes())
+    return h.hexdigest()
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _load_cache(cache_path: Path | None) -> dict[str, object]:
+    if cache_path is None or not cache_path.exists():
+        return {}
+    try:
+        doc = json.loads(cache_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(doc, dict):
+        return {}
+    if doc.get("version") != _CACHE_VERSION:
+        return {}
+    if doc.get("salt") != _checker_salt():
+        return {}
+    return doc
+
+
+def _finding_from_dict(item: dict[str, object]) -> Finding:
+    line = item.get("line", 0)
+    col = item.get("col", 0)
+    return Finding(
+        path=str(item.get("path", "")),
+        line=line if isinstance(line, int) else 0,
+        col=col if isinstance(col, int) else 0,
+        rule_id=str(item.get("rule", "")),
+        message=str(item.get("message", "")),
+    )
+
+
+def lint_project(
+    paths: Iterable[str | Path],
+    *,
+    rules: Sequence[Rule] | None = None,
+    respect_suppressions: bool = True,
+    cache_path: str | Path | None = None,
+) -> list[Finding]:
+    """Run module rules *and* the interprocedural pass over ``paths``.
+
+    The project pass analyzes every file together (symbol table, call
+    graph, summaries); per-module findings are cached by content digest
+    under ``cache_path`` (best-effort: unreadable/stale caches are
+    ignored, failures to write never fail the run).
+    """
+    active = list(rules) if rules is not None else all_rules()
+    module_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+
+    files: list[tuple[str, str, str]] = []  # (path, source, digest)
+    for f in iter_python_files(paths):
+        source = f.read_text(encoding="utf-8")
+        files.append((str(f), source, _digest(source)))
+
+    cpath = Path(cache_path) if cache_path is not None else None
+    cache = _load_cache(cpath)
+    cached_files = cache.get("files")
+    if not isinstance(cached_files, dict):
+        cached_files = {}
+
+    project_digest = _digest(
+        json.dumps([(p, d) for p, _, d in files], sort_keys=True)
+    )
+
+    findings: list[Finding] = []
+    out_files: dict[str, dict[str, object]] = {}
+    for path, source, digest in files:
+        module_findings: list[Finding] | None = None
+        entry = cached_files.get(path)
+        if isinstance(entry, dict) and entry.get("digest") == digest:
+            raw_items = entry.get("findings")
+            if isinstance(raw_items, list):
+                module_findings = [
+                    _finding_from_dict(item)
+                    for item in raw_items
+                    if isinstance(item, dict)
+                ]
+        if module_findings is None:
+            module_findings = lint_source(
+                source,
+                path,
+                rules=module_rules,
+                respect_suppressions=respect_suppressions,
+            )
+        out_files[path] = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in sorted(module_findings)],
+        }
+        findings.extend(module_findings)
+
+    cached_project = cache.get("project")
+    project_entry: dict[str, object] | None = None
+    project_findings: list[Finding] = []
+    dominated: set[tuple[str, int]] = set()
+    if (
+        isinstance(cached_project, dict)
+        and cached_project.get("digest") == project_digest
+    ):
+        raw_findings = cached_project.get("findings")
+        raw_dominated = cached_project.get("dominated")
+        if isinstance(raw_findings, list) and isinstance(
+            raw_dominated, list
+        ):
+            project_findings = [
+                _finding_from_dict(item)
+                for item in raw_findings
+                if isinstance(item, dict)
+            ]
+            dominated = {
+                (str(pair[0]), int(pair[1]))
+                for pair in raw_dominated
+                if isinstance(pair, list) and len(pair) == 2
+            }
+            project_entry = dict(cached_project)
+    if project_entry is None:
+        project = analyze_sources([(p, s) for p, s, _ in files])
+        project_findings = []
+        for rule in project_rules:
+            project_findings.extend(rule.check_project(project))
+        if respect_suppressions:
+            sup_by_path = {
+                path: _parse_suppressions(source)
+                for path, source, _ in files
+            }
+            project_findings = [
+                f
+                for f in project_findings
+                if f.path not in sup_by_path
+                or not sup_by_path[f.path].covers(f)
+            ]
+        dominated = interprocedurally_guarded_lines(project)
+        project_entry = {
+            "digest": project_digest,
+            "findings": [f.to_dict() for f in sorted(project_findings)],
+            "dominated": sorted([p, ln] for p, ln in dominated),
+        }
+
+    findings = [
+        f
+        for f in findings
+        if not (f.rule_id == "REP003" and (f.path, f.line) in dominated)
+    ]
+    findings.extend(project_findings)
+
+    if cpath is not None:
+        doc = {
+            "version": _CACHE_VERSION,
+            "salt": _checker_salt(),
+            "files": out_files,
+            "project": project_entry,
+        }
+        try:
+            cpath.write_text(
+                json.dumps(doc, indent=None, sort_keys=True),
+                encoding="utf-8",
+            )
+        except OSError:
+            pass
+
+    return sorted(findings)

@@ -406,7 +406,80 @@ class UnorderedIterationRule(Rule):
 #: (``emit`` is the timeline's entry point, `repro.obs.timeline`).
 _OBS_RECORDING = frozenset({"incr", "observe", "decision", "span", "emit"})
 
+#: The recording vocabulary plus ``stopwatch`` — everything that takes a
+#: glossary *name* as its first argument (REP009 checks names, REP003
+#: checks guards; ``stopwatch`` is deliberately allowed unguarded).
+_OBS_NAMED = _OBS_RECORDING | {"stopwatch"}
+
 _ENABLED_RE = re.compile(r"ENABLED$")
+
+
+def collect_obs_aliases(
+    tree: ast.Module, names: frozenset[str] = _OBS_RECORDING
+) -> tuple[set[str], set[str]]:
+    """Local names bound to obs modules / recording functions.
+
+    Returns ``(module_aliases, func_aliases)``: names that refer to
+    :mod:`repro.obs` / :mod:`repro.obs.core` / :mod:`repro.obs.timeline`
+    (so ``alias.incr(...)`` is a recording call) and names bound
+    directly to one of the ``names`` entry points.  Shared by REP003
+    and the interprocedural engine (:mod:`repro.lint.project`).
+    """
+    module_aliases: set[str] = set()
+    func_aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.obs":
+                for alias in node.names:
+                    target = alias.asname or alias.name
+                    if alias.name in ("core", "timeline"):
+                        module_aliases.add(target)
+                    elif alias.name in names:
+                        func_aliases.add(target)
+                    elif alias.name == "obs":
+                        module_aliases.add(target)
+            elif node.module in ("repro.obs.core", "repro.obs.timeline"):
+                for alias in node.names:
+                    target = alias.asname or alias.name
+                    if alias.name in names:
+                        func_aliases.add(target)
+            elif node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "obs":
+                        module_aliases.add(alias.asname or "obs")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in (
+                    "repro.obs",
+                    "repro.obs.core",
+                    "repro.obs.timeline",
+                ):
+                    module_aliases.add(
+                        alias.asname or alias.name.split(".")[-1]
+                    )
+    return module_aliases, func_aliases
+
+
+def collect_guard_names(tree: ast.Module) -> set[str]:
+    """Locals assigned ``x if ENABLED else y`` — snapshot guards;
+    branching on them is branching on the flag."""
+    guard_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, ast.IfExp
+        ):
+            if _mentions_enabled(node.value.test):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        guard_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.value, ast.IfExp
+        ):
+            if _mentions_enabled(node.value.test) and isinstance(
+                node.target, ast.Name
+            ):
+                guard_names.add(node.target.id)
+    return guard_names
 
 
 def _mentions_enabled(test: ast.expr) -> bool:
@@ -564,56 +637,10 @@ class UnguardedObsRule(Rule):
         return _module_in(module, self.hot_packages)
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        module_aliases: set[str] = set()
-        func_aliases: set[str] = set()
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.ImportFrom):
-                if node.module == "repro.obs":
-                    for alias in node.names:
-                        target = alias.asname or alias.name
-                        if alias.name in ("core", "timeline"):
-                            module_aliases.add(target)
-                        elif alias.name in _OBS_RECORDING:
-                            func_aliases.add(target)
-                        elif alias.name == "obs":
-                            module_aliases.add(target)
-                elif node.module in ("repro.obs.core", "repro.obs.timeline"):
-                    for alias in node.names:
-                        target = alias.asname or alias.name
-                        if alias.name in _OBS_RECORDING:
-                            func_aliases.add(target)
-                elif node.module == "repro":
-                    for alias in node.names:
-                        if alias.name == "obs":
-                            module_aliases.add(alias.asname or "obs")
-            elif isinstance(node, ast.Import):
-                for alias in node.names:
-                    if alias.name in (
-                        "repro.obs",
-                        "repro.obs.core",
-                        "repro.obs.timeline",
-                    ):
-                        module_aliases.add(
-                            alias.asname or alias.name.split(".")[-1]
-                        )
+        module_aliases, func_aliases = collect_obs_aliases(ctx.tree)
         if not module_aliases and not func_aliases:
             return
-        guard_names: set[str] = set()
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Assign) and isinstance(
-                node.value, ast.IfExp
-            ):
-                if _mentions_enabled(node.value.test):
-                    for target in node.targets:
-                        if isinstance(target, ast.Name):
-                            guard_names.add(target.id)
-            elif isinstance(node, ast.AnnAssign) and isinstance(
-                node.value, ast.IfExp
-            ):
-                if _mentions_enabled(node.value.test) and isinstance(
-                    node.target, ast.Name
-                ):
-                    guard_names.add(node.target.id)
+        guard_names = collect_guard_names(ctx.tree)
         walker = _ObsWalker(
             ctx, self.rule_id, module_aliases, func_aliases, guard_names
         )

@@ -1,0 +1,555 @@
+"""Interprocedural rules (REP007–REP010) over :mod:`repro.lint.project`.
+
+These are the protocol checks PR 5's scope-local rules could not
+express: they query the call graph and per-function summaries built by
+:class:`repro.lint.project.Project` instead of a single module's AST.
+
+* REP007 — the CAS commit discipline around staged calendar copies.
+* REP008 — the pool workers' bitwise-identical-at-any-worker-count
+  guarantee (op-log whitelist, no unsynchronized mutable globals).
+* REP009 — the obs name vocabulary (every emitted name declared in
+  :mod:`repro.obs.vocab`, every declared name documented).
+* REP010 — REP003's unguarded-obs check followed through call edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.core import Finding, register
+from repro.lint.project import (
+    CONFLICT_CLASSES,
+    FunctionSummary,
+    ModuleSummary,
+    Project,
+    ProjectRule,
+)
+from repro.lint.rules import UnguardedObsRule, _module_in
+
+__all__ = [
+    "CommitProtocolRule",
+    "CrossProcessStateRule",
+    "InterprocUnguardedObsRule",
+    "ObsVocabularyRule",
+]
+
+
+@register
+class CommitProtocolRule(ProjectRule):
+    """REP007: staged calendar copies must complete the CAS protocol.
+
+    A ``ResourceCalendar.copy()`` / ``ShardedCalendar.copy()`` value is
+    *staged* state: planning into it is only meaningful if it reaches
+    ``validate_commit``/``commit``/``adopt`` (directly, through a callee
+    parameter that does, by being returned to the caller, or by being
+    stored with validation).  Separately, the conflict exceptions
+    (``ShardCommitError``/``CommitConflictError``) signal a lost CAS
+    race — catching one anywhere except a retry loop swallows the
+    conflict and silently drops the request.
+    """
+
+    rule_id = "REP007"
+    title = "commit-protocol"
+    rationale = (
+        "the optimistic-concurrency commit discipline (PR 8) and the "
+        "two-phase cross-shard commit (PR 9): staged calendar copies "
+        "must reach validate_commit/commit/adopt or be handed to a "
+        "caller that does, and conflict exceptions may only be caught "
+        "where a retry loop can re-run the CAS"
+    )
+
+    #: Copy constructors legitimately build-and-return a fresh copy.
+    _COPY_EXEMPT = frozenset({"copy", "__copy__", "__deepcopy__"})
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for qual in sorted(project.functions):
+            fsum = project.functions[qual]
+            if fsum.name in self._COPY_EXEMPT:
+                continue
+            yield from self._check_staging(project, fsum)
+            yield from self._check_copy_args(project, fsum)
+            yield from self._check_catches(project, fsum)
+
+    def _check_staging(
+        self, project: Project, fsum: FunctionSummary
+    ) -> Iterator[Finding]:
+        for staged in fsum.staged:
+            if staged.consumed:
+                if staged.stores and not fsum.validates:
+                    yield project.finding(
+                        self.rule_id,
+                        fsum,
+                        staged.stores[0],
+                        f"staged calendar copy '{staged.name}' is adopted "
+                        f"by attribute store in '{fsum.qualname}' without "
+                        "CAS validation (no validate_commit/commit call "
+                        "or generation-token comparison on any path)",
+                    )
+                continue
+            if staged.used:
+                yield project.finding(
+                    self.rule_id,
+                    fsum,
+                    staged.node,
+                    f"staged calendar copy '{staged.name}' in "
+                    f"'{fsum.qualname}' is planned into but never reaches "
+                    "validate_commit/commit/adopt (nor is it returned or "
+                    "stored) — work on the copy is silently discarded",
+                )
+
+    def _check_copy_args(
+        self, project: Project, fsum: FunctionSummary
+    ) -> Iterator[Finding]:
+        for site in fsum.calls:
+            if site.callee is None:
+                continue
+            for slot in site.pos_copies:
+                if not project.param_consumes(site.callee, f"@{slot}"):
+                    yield project.finding(
+                        self.rule_id,
+                        fsum,
+                        site.node,
+                        f"calendar copy passed positionally to "
+                        f"'{site.callee}', which never commits, adopts, "
+                        "stores or returns it — the staged value is lost",
+                    )
+            for kwname in site.kw_copies:
+                if not project.param_consumes(site.callee, kwname):
+                    yield project.finding(
+                        self.rule_id,
+                        fsum,
+                        site.node,
+                        f"calendar copy passed as '{kwname}=' to "
+                        f"'{site.callee}', which never commits, adopts, "
+                        "stores or returns it — the staged value is lost",
+                    )
+
+    def _check_catches(
+        self, project: Project, fsum: FunctionSummary
+    ) -> Iterator[Finding]:
+        for catch in fsum.catches:
+            hit = sorted(set(catch.classes) & CONFLICT_CLASSES)
+            if not hit:
+                continue
+            if catch.reraises or catch.in_loop:
+                continue
+            yield project.finding(
+                self.rule_id,
+                fsum,
+                catch.node,
+                f"'{fsum.qualname}' catches {'/'.join(hit)} outside a "
+                "retry loop and does not re-raise — the commit conflict "
+                "is swallowed instead of re-run or surfaced",
+            )
+
+
+@register
+class CrossProcessStateRule(ProjectRule):
+    """REP008: pool workers may only see op-log-synchronized state.
+
+    The probe pool's bitwise-identical-at-any-worker-count guarantee
+    (PR 9) holds because a worker's replica is a pure function of the
+    pickled op log.  Two ways to break it silently: ship an op kind the
+    worker-side ``_apply_op`` replay does not handle, or let
+    worker-reachable code read module-level state that the owner process
+    mutates at runtime (the worker would see the import-time default).
+    Reads are allowed when worker-reachable replay code *writes* the
+    same state — that is exactly what "synchronized through the log"
+    means mechanically.
+    """
+
+    rule_id = "REP008"
+    title = "cross-process-state"
+    rationale = (
+        "probe answers must be bitwise identical at any worker count "
+        "(PR 9): everything a worker reads must be a pure function of "
+        "the pickled op log, so op kinds must match the replay "
+        "whitelist and worker-reachable code must not read mutable or "
+        "runtime-rebound module state the replay does not synchronize"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        # Scope to the op-log pool: roots living in a package with an
+        # ``_apply_op`` replay function (the experiments instance pool
+        # has its own merge contract and is out of scope here).
+        log_packages = sorted(
+            {
+                project.functions[q].module.rsplit(".", 1)[0]
+                for q in sorted(project.functions)
+                if project.functions[q].name == "_apply_op"
+            }
+        )
+        roots = sorted(
+            q
+            for q in sorted(project.worker_roots)
+            if any(
+                project.functions[q].module == p
+                or project.functions[q].module.startswith(p + ".")
+                for p in log_packages
+            )
+        )
+        if not roots:
+            return
+        reachable = project.reachable_from(roots)
+        yield from self._check_global_reads(project, reachable)
+        yield from self._check_op_vocabulary(project)
+
+    #: The obs layer is fire-and-forget telemetry: its mutable state
+    #: (ENABLED, the _CURRENT sink) never feeds back into placement
+    #: math, so worker-side reads cannot change probe *answers* — the
+    #: worker-count-invariance of obs aggregates is PR 2's separate
+    #: merge contract, checked by its own tests.
+    _READ_EXEMPT_PREFIXES = ("repro.obs",)
+
+    def _check_global_reads(
+        self, project: Project, reachable: set[str]
+    ) -> Iterator[Finding]:
+        synced: set[tuple[str, str]] = set()
+        for qual in sorted(reachable):
+            fsum = project.functions.get(qual)
+            if fsum is not None:
+                synced.update(fsum.global_writes)
+        for qual in sorted(reachable):
+            fsum = project.functions.get(qual)
+            if fsum is None:
+                continue
+            if any(
+                fsum.module == p or fsum.module.startswith(p + ".")
+                for p in self._READ_EXEMPT_PREFIXES
+            ):
+                continue
+            mod = project.modules.get(fsum.module)
+            if mod is None:
+                continue
+            for name in sorted(fsum.global_reads):
+                mutable = mod.globals.get(name, False)
+                rebound = (fsum.module, name) in project.runtime_mutated
+                if not (mutable or rebound):
+                    continue
+                if (fsum.module, name) in synced:
+                    continue
+                how = (
+                    "rebound at runtime" if rebound else "a mutable object"
+                )
+                yield Finding(
+                    path=mod.path,
+                    line=fsum.global_reads[name],
+                    col=0,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"worker-reachable '{qual}' reads module-level "
+                        f"'{name}', which is {how} and not synchronized "
+                        "through the op-log replay — worker replicas can "
+                        "diverge from the owner (answers would depend on "
+                        "worker count)"
+                    ),
+                )
+
+    def _check_op_vocabulary(self, project: Project) -> Iterator[Finding]:
+        handled: set[str] = set()
+        apply_modules: list[str] = []
+        for qual in sorted(project.functions):
+            fsum = project.functions[qual]
+            if fsum.name != "_apply_op":
+                continue
+            apply_modules.append(fsum.module)
+            for node in ast.walk(fsum.node):
+                if isinstance(node, ast.Compare):
+                    for part in [node.left, *node.comparators]:
+                        if isinstance(part, ast.Constant) and isinstance(
+                            part.value, str
+                        ):
+                            handled.add(part.value)
+                elif isinstance(node, ast.MatchValue):
+                    value = node.value
+                    if isinstance(value, ast.Constant) and isinstance(
+                        value.value, str
+                    ):
+                        handled.add(value.value)
+        if not apply_modules:
+            return
+        packages = sorted(
+            {m.rsplit(".", 1)[0] for m in apply_modules}
+        )
+        for mod_name in sorted(project.modules):
+            if not any(
+                mod_name == p or mod_name.startswith(p + ".")
+                for p in packages
+            ):
+                continue
+            mod = project.modules[mod_name]
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = node.func
+                attr: str | None = None
+                if isinstance(fn, ast.Attribute):
+                    attr = fn.attr
+                elif isinstance(fn, ast.Name):
+                    attr = fn.id
+                if attr not in ("record", "_append"):
+                    continue
+                if not node.args or not isinstance(
+                    node.args[0], ast.Tuple
+                ):
+                    continue
+                tup = node.args[0]
+                if not tup.elts:
+                    continue
+                first = tup.elts[0]
+                if not (
+                    isinstance(first, ast.Constant)
+                    and isinstance(first.value, str)
+                ):
+                    yield Finding(
+                        path=mod.path,
+                        line=int(getattr(first, "lineno", 1)),
+                        col=int(getattr(first, "col_offset", 0)),
+                        rule_id=self.rule_id,
+                        message=(
+                            "op shipped to pool workers has a non-literal "
+                            "kind — the replay whitelist cannot be "
+                            "checked statically; use a string literal"
+                        ),
+                    )
+                    continue
+                if first.value not in handled:
+                    yield Finding(
+                        path=mod.path,
+                        line=int(getattr(first, "lineno", 1)),
+                        col=int(getattr(first, "col_offset", 0)),
+                        rule_id=self.rule_id,
+                        message=(
+                            f"op kind '{first.value}' is shipped to pool "
+                            "workers but not handled by the _apply_op "
+                            "replay — workers would raise on replay (or "
+                            "silently skip the mutation)"
+                        ),
+                    )
+
+
+#: vocab set name pairs per obs kind: (exact-set, wildcard-family-set).
+_KIND_SETS: dict[str, tuple[str, str]] = {
+    "counter": ("COUNTERS", "COUNTER_FAMILIES"),
+    "histogram": ("HISTOGRAMS", "HISTOGRAM_FAMILIES"),
+    "span": ("SPANS", "SPAN_FAMILIES"),
+    "event": ("EVENTS", ""),
+}
+
+
+@register
+class ObsVocabularyRule(ProjectRule):
+    """REP009: obs names come from the central vocabulary.
+
+    Counter/histogram/span/timeline-event names used to be free-floating
+    string literals; a typo (``shard.comits``) would silently fork a
+    metric family and every dashboard/docs table chasing it.  The rule
+    checks every literal (or f-string-shaped) name at an emit site
+    against the :mod:`repro.obs.vocab` registry, and every declared name
+    against the ``docs/OBSERVABILITY.md`` tables.
+    """
+
+    rule_id = "REP009"
+    title = "obs-vocabulary"
+    rationale = (
+        "obs names are API: every emitted counter/histogram/span/event "
+        "name must be declared in repro.obs.vocab (exact or wildcard "
+        "family) and every declared name must appear in the "
+        "docs/OBSERVABILITY.md tables, so the RunReport vocabulary "
+        "cannot drift by typo"
+    )
+
+    #: Modules whose emit sites are the instruments themselves.
+    _EXEMPT_PREFIXES = ("repro.obs", "repro.lint")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        vocab_mod: ModuleSummary | None = None
+        for mod_name in sorted(project.modules):
+            if mod_name == "repro.obs.vocab":
+                vocab_mod = project.modules[mod_name]
+                break
+        if vocab_mod is None:
+            return
+        declared, decl_sites = self._parse_vocab(vocab_mod.tree)
+        yield from self._check_emits(project, declared)
+        yield from self._check_docs(vocab_mod, decl_sites)
+
+    @staticmethod
+    def _parse_vocab(
+        tree: ast.Module,
+    ) -> tuple[dict[str, set[str]], list[tuple[str, int]]]:
+        wanted = {
+            name
+            for pair in _KIND_SETS.values()
+            for name in pair
+            if name
+        }
+        declared: dict[str, set[str]] = {name: set() for name in
+                                         sorted(wanted)}
+        sites: list[tuple[str, int]] = []
+        for node in tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+            if (
+                not isinstance(target, ast.Name)
+                or target.id not in wanted
+                or value is None
+            ):
+                continue
+            literal: ast.expr | None = None
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "frozenset"
+                and len(value.args) == 1
+            ):
+                literal = value.args[0]
+            elif isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                literal = value
+            if not isinstance(literal, (ast.Set, ast.Tuple, ast.List)):
+                continue
+            for elt in literal.elts:
+                if isinstance(elt, ast.Constant) and isinstance(
+                    elt.value, str
+                ):
+                    declared[target.id].add(elt.value)
+                    sites.append((elt.value, int(elt.lineno)))
+        return declared, sites
+
+    def _check_emits(
+        self, project: Project, declared: dict[str, set[str]]
+    ) -> Iterator[Finding]:
+        for qual in sorted(project.functions):
+            fsum = project.functions[qual]
+            if any(
+                fsum.module == p or fsum.module.startswith(p + ".")
+                for p in self._EXEMPT_PREFIXES
+            ):
+                continue
+            for site in fsum.obs_sites:
+                if site.name is None:
+                    continue  # dynamic names cannot be checked
+                exact_key, family_key = _KIND_SETS[site.kind]
+                exacts = declared.get(exact_key, set())
+                families = declared.get(family_key, set()) if family_key \
+                    else set()
+                if self._covered(site.name, exacts, families):
+                    continue
+                shape = (
+                    "pattern" if "*" in site.name else "name"
+                )
+                yield project.finding(
+                    self.rule_id,
+                    fsum,
+                    site.node,
+                    f"obs {site.kind} {shape} '{site.name}' is not "
+                    "declared in repro.obs.vocab (add it to "
+                    f"{exact_key}"
+                    + (f" or {family_key}" if family_key else "")
+                    + ")",
+                )
+
+    @staticmethod
+    def _covered(
+        name: str, exacts: set[str], families: set[str]
+    ) -> bool:
+        if "*" not in name:
+            if name in exacts:
+                return True
+            return any(
+                fnmatchcase(name, fam) for fam in sorted(families)
+            )
+        # f-string-shaped pattern: a wildcard family must plausibly
+        # cover it — compare the literal prefixes.
+        prefix = name.split("*", 1)[0]
+        for fam in sorted(families):
+            fam_prefix = fam.split("*", 1)[0]
+            if prefix.startswith(fam_prefix) or fam_prefix.startswith(
+                prefix
+            ):
+                return True
+        return False
+
+    def _check_docs(
+        self, vocab_mod: ModuleSummary, sites: list[tuple[str, int]]
+    ) -> Iterator[Finding]:
+        docs_text: str | None = None
+        for parent in Path(vocab_mod.path).resolve().parents:
+            cand = parent / "docs" / "OBSERVABILITY.md"
+            if cand.is_file():
+                docs_text = cand.read_text(encoding="utf-8")
+                break
+        if docs_text is None:
+            return  # out-of-tree fixtures have no docs to check
+        for name, lineno in sites:
+            probe = name[:-2] if name.endswith(".*") else name
+            if probe and probe not in docs_text:
+                yield Finding(
+                    path=vocab_mod.path,
+                    line=lineno,
+                    col=0,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"declared obs name '{name}' does not appear in "
+                        "the docs/OBSERVABILITY.md tables — document it "
+                        "or remove it from repro.obs.vocab"
+                    ),
+                )
+
+
+@register
+class InterprocUnguardedObsRule(ProjectRule):
+    """REP010: REP003's guard check followed through call edges.
+
+    REP003 is scope-local: a hot-path function calling an *unguarded
+    helper* that records obs slipped through (and conversely, a helper
+    whose every call site is guarded needed a suppression).  With the
+    call graph both directions close: an unguarded call from a hot
+    package to a function that transitively reaches an unguarded obs
+    recording call is flagged here (with the witness site), while
+    locally-unguarded obs calls in private helpers whose every project
+    call site is guard-dominated are dropped from REP003's output by
+    the project runner.
+    """
+
+    rule_id = "REP010"
+    title = "interprocedural-unguarded-obs"
+    rationale = (
+        "the zero-overhead-when-disabled obs contract (PR 2) must hold "
+        "through helper calls: hot-path code may not reach an obs "
+        "recording call without an ENABLED guard dominating some edge "
+        "of the call chain"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        hot = UnguardedObsRule.hot_packages
+        for qual in sorted(project.functions):
+            fsum = project.functions[qual]
+            if not _module_in(fsum.module, hot):
+                continue
+            for site in fsum.calls:
+                if site.guarded or site.callee is None:
+                    continue
+                callee = project.functions.get(site.callee)
+                if callee is None:
+                    continue
+                if _module_in(callee.module, hot):
+                    continue  # the callee's own sites are REP003's beat
+                witness = project.reaches_unguarded_obs.get(site.callee)
+                if witness is None:
+                    continue
+                yield project.finding(
+                    self.rule_id,
+                    fsum,
+                    site.node,
+                    f"unguarded call to '{site.callee}' reaches an "
+                    f"unguarded obs recording call ({witness}) — guard "
+                    "the call with ENABLED or guard the recording site",
+                )

@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 
 class SpeedupModel(ABC):
@@ -46,13 +47,16 @@ class SpeedupModel(ABC):
             raise ValueError(f"sequential time must be positive, got {seq_time}")
         return seq_time / self.speedup(m)
 
-    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
+    def exec_times(self, seq_time: float, max_m: int) -> npt.NDArray[np.float64]:
         """Vector of ``T(m)`` for ``m = 1..max_m`` (index ``m-1``).
 
         Used by the schedulers' inner loops; subclasses may override with
         a vectorized implementation.
         """
-        return np.array([self.exec_time(seq_time, m) for m in range(1, max_m + 1)])
+        return np.asarray(
+            [self.exec_time(seq_time, m) for m in range(1, max_m + 1)],
+            dtype=np.float64,
+        )
 
     def work(self, seq_time: float, m: int) -> float:
         """CPU-seconds consumed on ``m`` processors: ``m * T(m)``."""
@@ -78,12 +82,12 @@ class AmdahlModel(SpeedupModel):
             raise ValueError(f"processor count must be >= 1, got {m}")
         return 1.0 / (self.alpha + (1.0 - self.alpha) / m)
 
-    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
+    def exec_times(self, seq_time: float, max_m: int) -> npt.NDArray[np.float64]:
         if seq_time <= 0:
             raise ValueError(f"sequential time must be positive, got {seq_time}")
         if max_m < 1:
             raise ValueError(f"max_m must be >= 1, got {max_m}")
-        m = np.arange(1, max_m + 1, dtype=float)
+        m = np.arange(1, max_m + 1, dtype=np.float64)
         return seq_time * (self.alpha + (1.0 - self.alpha) / m)
 
 
@@ -170,14 +174,14 @@ class GustafsonFixedWorkModel(SpeedupModel):
             raise ValueError(f"sequential time must be positive, got {seq_time}")
         return seq_time / m + self.overhead * (m - 1)
 
-    def exec_times(self, seq_time: float, max_m: int) -> np.ndarray:
-        m = np.arange(1, max_m + 1, dtype=float)
+    def exec_times(self, seq_time: float, max_m: int) -> npt.NDArray[np.float64]:
+        m = np.arange(1, max_m + 1, dtype=np.float64)
         return seq_time / m + self.overhead * (m - 1)
 
     def max_useful_processors(self, seq_time: float, p: int) -> int:
         """Largest ``m <= p`` on the non-increasing prefix of ``T(m)``."""
         times = self.exec_times(seq_time, p)
         for m in range(1, p):
-            if times[m] > times[m - 1]:
+            if float(times[m]) > float(times[m - 1]):
                 return m
         return p

@@ -51,6 +51,8 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs import vocab as _vocab
+
 #: Master switch for timeline recording.  Independent of
 #: ``repro.obs.core.ENABLED`` (aggregates are cheap; per-event recording
 #: is opt-in per run).  Hot paths read this attribute directly:
@@ -58,23 +60,8 @@ from typing import Any, Iterator
 ENABLED: bool = False
 
 #: The closed event vocabulary; :meth:`Timeline.emit` rejects others.
-EVENT_TYPES: frozenset[str] = frozenset(
-    {
-        "request_arrived",
-        "request_rejected",
-        "placement_committed",
-        "probe_batch",
-        "task_ready",
-        "task_placed",
-        "repair_triggered",
-        "fault_applied",
-        "commit_conflict",
-        "request_quarantined",
-        "span_begin",
-        "span_end",
-        "mark",
-    }
-)
+#: Declared centrally in :mod:`repro.obs.vocab` (the REP009 registry).
+EVENT_TYPES: frozenset[str] = _vocab.EVENTS
 
 #: Event-dict keys owned by the timeline itself; ``emit`` rejects
 #: attribute names that would shadow them.

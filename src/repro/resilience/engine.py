@@ -451,9 +451,9 @@ def execute_resilient(
         _repair(t, ev.kind, revoked)
 
     # --- event loop --------------------------------------------------
-    # One span per execution run: the disabled-mode no-op span costs a
-    # single call per execute_resilient.
-    with _obs.span("resilience.execute"):  # lint: ignore[REP003] — once per execution run
+
+    def _run_events() -> None:
+        nonlocal total_kills
         while pending:
             if _cascade_failures():
                 continue
@@ -513,6 +513,14 @@ def execute_resilient(
             cal.reserve(ws, new_len, b.nprocs, label=f"rebook-{i}")
             bookings[i] = _Booking(ws, ws + new_len, b.nprocs)
             attempts[i] += 1
+
+    # One span per whole execution run; with obs disabled even the
+    # no-op span call is skipped.
+    if _obs.ENABLED:
+        with _obs.span("resilience.execute"):
+            _run_events()
+    else:
+        _run_events()
 
     # --- results -----------------------------------------------------
     outcomes = tuple(

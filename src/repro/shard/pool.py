@@ -38,6 +38,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.calendar import Reservation, ResourceCalendar
+from repro.calendar import calendar as _calmod
 from repro.errors import ServiceError
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard (typing only)
@@ -53,6 +54,33 @@ _Op = tuple[Any, ...]
 
 #: Serialized shard: (capacity, clamp, ((start, end, nprocs, label), ...)).
 _ShardState = tuple[int, bool, tuple[tuple[float, float, int, str], ...]]
+
+#: Calendar tuning gates shipped inside every ``snap`` frame: the bench
+#: harness and experiment drivers rebind these at runtime, so a worker
+#: that kept its import-time defaults would answer probes under a
+#: different configuration than the owner.  Snapshot frames carry the
+#: owner's values and the replay applies them before rebuilding, which
+#: keeps every worker a pure function of the log (REP008).
+_GATES = (
+    "INCREMENTAL_COMMITS",
+    "USE_INDEX",
+    "INDEX_MIN_SEGMENTS",
+    "BATCH_WINDOW_SEGMENTS",
+    "VALIDATE_COMMITS",
+)
+
+#: Gate values in :data:`_GATES` order.
+_GateState = tuple[bool, bool, int, int, bool]
+
+
+def _gate_state() -> _GateState:
+    return (
+        _calmod.INCREMENTAL_COMMITS,
+        _calmod.USE_INDEX,
+        _calmod.INDEX_MIN_SEGMENTS,
+        _calmod.BATCH_WINDOW_SEGMENTS,
+        _calmod.VALIDATE_COMMITS,
+    )
 
 
 def probe_leg(
@@ -109,7 +137,17 @@ def _build_replica(state: list[_ShardState]) -> list[ResourceCalendar]:
 def _apply_op(shards: list[ResourceCalendar], op: _Op) -> list[ResourceCalendar]:
     kind = op[0]
     if kind == "snap":
-        return _build_replica(op[1])
+        _, state, gates = op
+        # Adopt the owner's calendar gates before rebuilding so the
+        # replica compiles and probes under the same configuration.
+        (
+            _calmod.INCREMENTAL_COMMITS,
+            _calmod.USE_INDEX,
+            _calmod.INDEX_MIN_SEGMENTS,
+            _calmod.BATCH_WINDOW_SEGMENTS,
+            _calmod.VALIDATE_COMMITS,
+        ) = gates
+        return _build_replica(state)
     if kind == "rkf":
         _, k, start, dur, nprocs, label = op
         shards[k].reserve_known_feasible(start, dur, nprocs, label)
@@ -195,8 +233,9 @@ class ShardProbePool:
         self._append(op)
 
     def record_snapshot(self, calendar: "ShardedCalendar") -> None:
-        """Reseed the replicas with the calendar's full current state."""
-        self._append(("snap", _snapshot_state(calendar.shards)))
+        """Reseed the replicas with the calendar's full current state
+        (shard contents plus the owner's calendar tuning gates)."""
+        self._append(("snap", _snapshot_state(calendar.shards), _gate_state()))
 
     # -- probes ---------------------------------------------------------
 

@@ -1,0 +1,657 @@
+"""Tests for the interprocedural analyzer and rules REP007-REP010.
+
+The engine tests (:class:`TestEngine`) drive :func:`analyze_sources`
+directly and assert on the call graph / function summaries.  Each rule
+gets an offending + clean fixture pair staged as a tiny ``repro/...``
+tree under ``tmp_path`` (``module_name_for_path`` anchors at the last
+``repro`` path component, so the snippets land in the right dotted
+modules).  The suite ends with the self-check the CI gate relies on:
+the real tree reports zero findings under the *full* pass, and the
+content-digest cache reproduces those results warm.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    Finding,
+    LintError,
+    all_rules,
+    analyze_sources,
+    baseline_key,
+    format_findings,
+    lint_paths,
+    lint_project,
+    load_baseline,
+)
+from repro.lint.project import interprocedurally_guarded_lines
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPO_SRC = REPO_ROOT / "src" / "repro"
+
+
+def ids(findings: list[Finding]) -> set[str]:
+    return {f.rule_id for f in findings}
+
+
+def stage(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write ``files`` (paths relative to a fresh tree root) and return
+    the ``repro`` package directory to lint."""
+    root = tmp_path / "tree"
+    for rel, src in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(src)
+    return root / "repro"
+
+
+# ----------------------------------------------------------------------
+# The engine: call graph and function summaries
+# ----------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_cross_module_call_resolution(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/a.py",
+                    "from repro.b import helper\n"
+                    "def f():\n"
+                    "    return helper()\n",
+                ),
+                ("repro/b.py", "def helper():\n    return 1\n"),
+            ]
+        )
+        calls = project.functions["repro.a.f"].calls
+        assert [c.callee for c in calls] == ["repro.b.helper"]
+
+    def test_method_resolution_through_self(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/m.py",
+                    "class C:\n"
+                    "    def a(self):\n"
+                    "        return self.b()\n"
+                    "    def b(self):\n"
+                    "        return 1\n",
+                )
+            ]
+        )
+        calls = project.functions["repro.m.C.a"].calls
+        assert [c.callee for c in calls] == ["repro.m.C.b"]
+
+    def test_staged_copy_consumed_by_return(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/m.py",
+                    "from repro.calendar import ResourceCalendar\n"
+                    "def plan(cal: ResourceCalendar):\n"
+                    "    trial = cal.copy()\n"
+                    "    trial.add(1)\n"
+                    "    return trial\n",
+                )
+            ]
+        )
+        staged = project.functions["repro.m.plan"].staged
+        assert len(staged) == 1
+        assert staged[0].name == "trial"
+        assert staged[0].consumed
+
+    def test_consuming_param_propagates_to_caller(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/m.py",
+                    "from repro.calendar import ResourceCalendar\n"
+                    "def finish(cal, trial):\n"
+                    "    cal.commit(trial)\n"
+                    "def plan(cal: ResourceCalendar):\n"
+                    "    trial = cal.copy()\n"
+                    "    finish(cal, trial)\n",
+                )
+            ]
+        )
+        assert project.param_consumes("repro.m.finish", "@1")
+        assert project.functions["repro.m.plan"].staged[0].consumed
+
+    def test_worker_roots_and_reachability(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/poolfix/mod.py",
+                    "def _leaf():\n"
+                    "    return 1\n"
+                    "def _worker(x):\n"
+                    "    return _leaf()\n"
+                    "def run(pool):\n"
+                    "    return pool.submit(_worker, 1)\n",
+                )
+            ]
+        )
+        assert project.worker_roots == {"repro.poolfix.mod._worker"}
+        reach = project.reachable_from(sorted(project.worker_roots))
+        assert "repro.poolfix.mod._leaf" in reach
+        assert "repro.poolfix.mod.run" not in reach
+
+    def test_always_guarded_and_witness(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/m.py",
+                    "from repro.obs import core as _obs\n"
+                    "def _h():\n"
+                    "    _obs.incr('x')\n"
+                    "def main():\n"
+                    "    if _obs.ENABLED:\n"
+                    "        _h()\n"
+                    "def loose():\n"
+                    "    _h()\n",
+                )
+            ]
+        )
+        # `loose` calls _h unguarded, so _h is not always-guarded and
+        # carries a witness pointing at its recording line.
+        assert "repro.m._h" not in project.always_guarded
+        witness = project.reaches_unguarded_obs["repro.m._h"]
+        assert witness.endswith(":3")
+
+    def test_all_call_sites_guarded_makes_always_guarded(self):
+        project = analyze_sources(
+            [
+                (
+                    "repro/m.py",
+                    "from repro.obs import core as _obs\n"
+                    "def _h():\n"
+                    "    _obs.incr('x')\n"
+                    "def main():\n"
+                    "    if _obs.ENABLED:\n"
+                    "        _h()\n",
+                )
+            ]
+        )
+        assert "repro.m._h" in project.always_guarded
+        dominated = interprocedurally_guarded_lines(project)
+        assert ("repro/m.py", 3) in dominated
+
+
+# ----------------------------------------------------------------------
+# REP007 — commit protocol
+# ----------------------------------------------------------------------
+
+
+class TestCommitProtocol:
+    OFFENDING = (
+        "from repro.calendar import ResourceCalendar\n"
+        "def plan(cal: ResourceCalendar):\n"
+        "    trial = cal.copy()\n"
+        "    trial.reserve_known_feasible(0, 1, 1, 'x')\n"
+        "    return None\n"
+    )
+    CLEAN = (
+        "from repro.calendar import ResourceCalendar\n"
+        "def plan(cal: ResourceCalendar):\n"
+        "    trial = cal.copy()\n"
+        "    trial.reserve_known_feasible(0, 1, 1, 'x')\n"
+        "    return cal.validate_commit(trial)\n"
+    )
+
+    def test_discarded_staged_copy_fires(self, tmp_path):
+        pkg = stage(tmp_path, {"repro/service/m.py": self.OFFENDING})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP007"}
+        assert "silently discarded" in found[0].message
+
+    def test_validated_copy_is_clean(self, tmp_path):
+        pkg = stage(tmp_path, {"repro/service/m.py": self.CLEAN})
+        assert lint_project([pkg]) == []
+
+    def test_returned_copy_is_clean(self, tmp_path):
+        src = (
+            "from repro.calendar import ResourceCalendar\n"
+            "def plan(cal: ResourceCalendar):\n"
+            "    trial = cal.copy()\n"
+            "    trial.reserve_known_feasible(0, 1, 1, 'x')\n"
+            "    return trial\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_copy_passed_to_non_consuming_callee_fires(self, tmp_path):
+        src = (
+            "from repro.calendar import ResourceCalendar\n"
+            "def sink(x):\n"
+            "    return None\n"
+            "def plan(cal: ResourceCalendar):\n"
+            "    sink(cal.copy())\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP007"}
+        assert "passed positionally" in found[0].message
+
+    def test_adoption_without_validation_fires(self, tmp_path):
+        src = (
+            "from repro.calendar import ResourceCalendar\n"
+            "class S:\n"
+            "    def swap(self, cal: ResourceCalendar):\n"
+            "        trial = cal.copy()\n"
+            "        trial.reserve_known_feasible(0, 1, 1, 'x')\n"
+            "        self._calendar = trial\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP007"}
+        assert "without CAS validation" in found[0].message
+
+    def test_adoption_with_generation_check_is_clean(self, tmp_path):
+        src = (
+            "from repro.calendar import ResourceCalendar\n"
+            "class S:\n"
+            "    def swap(self, cal: ResourceCalendar, token: int):\n"
+            "        trial = cal.copy()\n"
+            "        trial.reserve_known_feasible(0, 1, 1, 'x')\n"
+            "        if cal.generation != token:\n"
+            "            return False\n"
+            "        self._calendar = trial\n"
+            "        return True\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_conflict_catch_outside_retry_loop_fires(self, tmp_path):
+        src = (
+            "from repro.errors import ShardCommitError\n"
+            "def once(c):\n"
+            "    try:\n"
+            "        return c.commit_all()\n"
+            "    except ShardCommitError:\n"
+            "        return None\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP007"}
+        assert "outside a retry loop" in found[0].message
+
+    def test_conflict_catch_inside_retry_loop_is_clean(self, tmp_path):
+        src = (
+            "from repro.errors import ShardCommitError\n"
+            "def retry(c, attempts):\n"
+            "    for _ in range(attempts):\n"
+            "        try:\n"
+            "            return c.commit_all()\n"
+            "        except ShardCommitError:\n"
+            "            continue\n"
+            "    return None\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_conflict_catch_that_reraises_is_clean(self, tmp_path):
+        src = (
+            "from repro.errors import ShardCommitError\n"
+            "def annotate(c):\n"
+            "    try:\n"
+            "        return c.commit_all()\n"
+            "    except ShardCommitError as exc:\n"
+            "        raise exc\n"
+        )
+        pkg = stage(tmp_path, {"repro/service/m.py": src})
+        assert lint_project([pkg]) == []
+
+
+# ----------------------------------------------------------------------
+# REP008 — cross-process state
+# ----------------------------------------------------------------------
+
+_APPLY_OP = (
+    "def _apply_op(shards, op):\n"
+    "    kind = op[0]\n"
+    "    if kind == 'add':\n"
+    "        shards.append(op[1])\n"
+    "    return shards\n"
+)
+
+
+class TestCrossProcessState:
+    def test_unhandled_op_kind_fires(self, tmp_path):
+        src = _APPLY_OP + (
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool, execu):\n"
+            "    pool.record(('zap', 1))\n"
+            "    return execu.submit(_worker, 1)\n"
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP008"}
+        assert "'zap'" in found[0].message
+
+    def test_handled_op_kind_is_clean(self, tmp_path):
+        src = _APPLY_OP + (
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool, execu):\n"
+            "    pool.record(('add', 1))\n"
+            "    return execu.submit(_worker, 1)\n"
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_non_literal_op_kind_fires(self, tmp_path):
+        src = _APPLY_OP + (
+            "def _worker(x):\n"
+            "    return x\n"
+            "def run(pool, execu, kind):\n"
+            "    pool.record((kind, 1))\n"
+            "    return execu.submit(_worker, 1)\n"
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP008"}
+        assert "non-literal" in found[0].message
+
+    def test_worker_read_of_mutable_global_fires(self, tmp_path):
+        src = (
+            "GATE = {}\n" + _APPLY_OP + (
+                "def _worker(x):\n"
+                "    return GATE.get(x)\n"
+                "def run(pool, execu):\n"
+                "    pool.record(('add', 1))\n"
+                "    return execu.submit(_worker, 1)\n"
+            )
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        found = lint_project([pkg])
+        assert ids(found) == {"REP008"}
+        assert "not synchronized" in found[0].message
+
+    def test_worker_read_synced_by_replay_write_is_clean(self, tmp_path):
+        src = (
+            "GATE = {}\n" + _APPLY_OP + (
+                "def _sync(op):\n"
+                "    GATE[op[0]] = op[1]\n"
+                "def _worker(x):\n"
+                "    _sync((x, x))\n"
+                "    return GATE.get(x)\n"
+                "def run(pool, execu):\n"
+                "    pool.record(('add', 1))\n"
+                "    return execu.submit(_worker, 1)\n"
+            )
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_immutable_constant_read_is_clean(self, tmp_path):
+        src = (
+            "CAP = 64\n" + _APPLY_OP + (
+                "def _worker(x):\n"
+                "    return min(x, CAP)\n"
+                "def run(pool, execu):\n"
+                "    pool.record(('add', 1))\n"
+                "    return execu.submit(_worker, 1)\n"
+            )
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        assert lint_project([pkg]) == []
+
+    def test_rule_is_silent_without_an_op_log_pool(self, tmp_path):
+        # submit() without an _apply_op replay anywhere: the instance
+        # pool's merge contract, not this rule's beat.
+        src = (
+            "GATE = {}\n"
+            "def _worker(x):\n"
+            "    return GATE.get(x)\n"
+            "def run(execu):\n"
+            "    return execu.submit(_worker, 1)\n"
+        )
+        pkg = stage(tmp_path, {"repro/poolfix/mod.py": src})
+        assert lint_project([pkg]) == []
+
+
+# ----------------------------------------------------------------------
+# REP009 — obs vocabulary
+# ----------------------------------------------------------------------
+
+_VOCAB = (
+    "COUNTERS = frozenset({'good.one', 'undocumented.name'})\n"
+    "COUNTER_FAMILIES = frozenset({'fam.*'})\n"
+)
+
+
+class TestObsVocabulary:
+    def test_undeclared_counter_fires(self, tmp_path):
+        em = (
+            "from repro.obs import core as _obs\n"
+            "def f():\n"
+            "    if _obs.ENABLED:\n"
+            "        _obs.incr('bad.one')\n"
+        )
+        pkg = stage(
+            tmp_path,
+            {"repro/obs/vocab.py": _VOCAB, "repro/calendar/em.py": em},
+        )
+        found = lint_project([pkg])
+        assert ids(found) == {"REP009"}
+        assert "'bad.one'" in found[0].message
+
+    def test_declared_and_family_names_are_clean(self, tmp_path):
+        em = (
+            "from repro.obs import core as _obs\n"
+            "def f(kind):\n"
+            "    if _obs.ENABLED:\n"
+            "        _obs.incr('good.one')\n"
+            "        _obs.incr(f'fam.{kind}')\n"
+        )
+        pkg = stage(
+            tmp_path,
+            {"repro/obs/vocab.py": _VOCAB, "repro/calendar/em.py": em},
+        )
+        assert lint_project([pkg]) == []
+
+    def test_rule_is_silent_without_a_vocab_module(self, tmp_path):
+        em = (
+            "from repro.obs import core as _obs\n"
+            "def f():\n"
+            "    if _obs.ENABLED:\n"
+            "        _obs.incr('anything.goes')\n"
+        )
+        pkg = stage(tmp_path, {"repro/calendar/em.py": em})
+        assert lint_project([pkg]) == []
+
+    def test_declared_but_undocumented_name_fires(self, tmp_path):
+        pkg = stage(
+            tmp_path,
+            {
+                "repro/obs/vocab.py": _VOCAB,
+                "docs/OBSERVABILITY.md": "| `good.one` | a counter |\n"
+                "| `fam.*` | a family |\n",
+            },
+        )
+        found = lint_project([pkg])
+        assert ids(found) == {"REP009"}
+        assert "'undocumented.name'" in found[0].message
+        assert found[0].path.endswith("vocab.py")
+
+
+# ----------------------------------------------------------------------
+# REP010 — interprocedural unguarded obs
+# ----------------------------------------------------------------------
+
+_COLD_HELPER = (
+    "from repro.obs import core as _obs\n"
+    "def note():\n"
+    "    _obs.incr('cache.thing')\n"
+)
+
+
+class TestInterprocUnguardedObs:
+    def test_unguarded_hot_call_to_recording_helper_fires(self, tmp_path):
+        kern = (
+            "from repro.experiments.helpers import note\n"
+            "def place():\n"
+            "    note()\n"
+        )
+        pkg = stage(
+            tmp_path,
+            {
+                "repro/experiments/helpers.py": _COLD_HELPER,
+                "repro/calendar/kern.py": kern,
+            },
+        )
+        found = lint_project([pkg])
+        assert ids(found) == {"REP010"}
+        assert "helpers.py:3" in found[0].message
+
+    def test_guarded_hot_call_is_clean(self, tmp_path):
+        kern = (
+            "from repro.obs import core as _obs\n"
+            "from repro.experiments.helpers import note\n"
+            "def place():\n"
+            "    if _obs.ENABLED:\n"
+            "        note()\n"
+        )
+        pkg = stage(
+            tmp_path,
+            {
+                "repro/experiments/helpers.py": _COLD_HELPER,
+                "repro/calendar/kern.py": kern,
+            },
+        )
+        assert lint_project([pkg]) == []
+
+    def test_domination_drops_rep003_for_guarded_private_helper(
+        self, tmp_path
+    ):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def _note():\n"
+            "    _obs.incr('calendar.thing')\n"
+            "def place():\n"
+            "    if _obs.ENABLED:\n"
+            "        _note()\n"
+        )
+        pkg = stage(tmp_path, {"repro/calendar/dom.py": src})
+        # Module-local REP003 flags the recording line; the project
+        # runner proves every call site is guarded and drops it.
+        assert ids(lint_paths([pkg])) == {"REP003"}
+        assert lint_project([pkg]) == []
+
+    def test_domination_requires_every_call_site_guarded(self, tmp_path):
+        src = (
+            "from repro.obs import core as _obs\n"
+            "def _note():\n"
+            "    _obs.incr('calendar.thing')\n"
+            "def place():\n"
+            "    if _obs.ENABLED:\n"
+            "        _note()\n"
+            "def sloppy():\n"
+            "    _note()\n"
+        )
+        pkg = stage(tmp_path, {"repro/calendar/dom.py": src})
+        assert "REP003" in ids(lint_project([pkg]))
+
+
+# ----------------------------------------------------------------------
+# Cache and baseline plumbing
+# ----------------------------------------------------------------------
+
+
+class TestCache:
+    def test_warm_run_reproduces_cold_findings(self, tmp_path):
+        pkg = stage(
+            tmp_path, {"repro/service/m.py": TestCommitProtocol.OFFENDING}
+        )
+        cache = tmp_path / "cache.json"
+        cold = lint_project([pkg], cache_path=cache)
+        assert cache.is_file()
+        warm = lint_project([pkg], cache_path=cache)
+        assert warm == cold
+        assert ids(warm) == {"REP007"}
+
+    def test_edited_file_invalidates_its_cache_entry(self, tmp_path):
+        pkg = stage(
+            tmp_path, {"repro/service/m.py": TestCommitProtocol.OFFENDING}
+        )
+        cache = tmp_path / "cache.json"
+        assert ids(lint_project([pkg], cache_path=cache)) == {"REP007"}
+        (pkg / "service" / "m.py").write_text(TestCommitProtocol.CLEAN)
+        assert lint_project([pkg], cache_path=cache) == []
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        pkg = stage(
+            tmp_path, {"repro/service/m.py": TestCommitProtocol.OFFENDING}
+        )
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        assert ids(lint_project([pkg], cache_path=cache)) == {"REP007"}
+
+
+class TestBaseline:
+    def test_baseline_round_trip_via_cli(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("import random\n")
+        base = tmp_path / "base.json"
+        assert main(
+            ["lint", str(bad), "--format", "json", "--out", str(base)]
+        ) == 1
+        # Baselined findings stop failing the run...
+        assert main(["lint", str(bad), "--baseline", str(base)]) == 0
+        err = capsys.readouterr().err
+        assert "1 baselined finding(s)" in err
+        # ...but new findings still do.
+        bad.write_text("import random\nimport time\nt = time.time()\n")
+        assert main(["lint", str(bad), "--baseline", str(base)]) == 1
+
+    def test_baseline_key_ignores_line_numbers(self):
+        a = Finding("p.py", 3, 0, "REP001", "msg")
+        b = Finding("p.py", 9, 4, "REP001", "msg")
+        assert baseline_key(a) == baseline_key(b)
+
+    def test_load_baseline_rejects_bad_json(self, tmp_path):
+        bad = tmp_path / "base.json"
+        bad.write_text("{not json")
+        with pytest.raises(LintError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_load_baseline_rejects_wrong_shape(self, tmp_path):
+        bad = tmp_path / "base.json"
+        bad.write_text(json.dumps({"rules": {}}))
+        with pytest.raises(LintError, match="no 'findings' list"):
+            load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# The gate: registry, explain, and the real tree
+# ----------------------------------------------------------------------
+
+
+class TestProjectSelfCheck:
+    def test_ten_rules_registered(self):
+        rule_ids = [r.rule_id for r in all_rules()]
+        for rid in ("REP007", "REP008", "REP009", "REP010"):
+            assert rid in rule_ids
+        assert rule_ids == sorted(rule_ids)
+
+    def test_cli_explain_covers_project_rules(self, capsys):
+        assert main(["lint", "--explain"]) == 0
+        out = capsys.readouterr().out
+        for rid in ("REP007", "REP008", "REP009", "REP010"):
+            assert rid in out
+
+    def test_full_tree_has_zero_findings(self):
+        targets = [
+            REPO_SRC,
+            REPO_ROOT / "scripts" / "check_bench_regression.py",
+            REPO_ROOT / "tests" / "conftest.py",
+        ]
+        findings = lint_project([t for t in targets if t.exists()])
+        assert findings == [], format_findings(findings)
